@@ -1,0 +1,57 @@
+// Command experiments regenerates every table and figure from the paper's
+// evaluation (§4.3) on the simulated trans-Atlantic testbed and prints the
+// same rows/series the paper plots.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run fig4 -duration 1m
+//	experiments -run table1
+//
+// Output is gnuplot-style columns, one block per experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: table1|fig4|fig5|fig6|fig6bug|all")
+	duration := flag.Duration("duration", time.Minute, "virtual duration of each measured run (paper: 1m)")
+	flag.Parse()
+
+	any := false
+	want := func(name string) bool {
+		return *run == "all" || *run == name
+	}
+
+	if want("table1") {
+		any = true
+		fmt.Println(experiments.FormatTable1(experiments.RunTable1(experiments.Table1Options{})))
+	}
+	if want("fig4") {
+		any = true
+		fmt.Println(experiments.FormatFig4(experiments.RunFig4(experiments.Fig4Options{Duration: *duration})))
+	}
+	if want("fig5") {
+		any = true
+		fmt.Println(experiments.FormatFig5(experiments.RunFig5(experiments.Fig5Options{Duration: *duration})))
+	}
+	if want("fig6") {
+		any = true
+		fmt.Println(experiments.FormatFig6(experiments.RunFig6(experiments.Fig6Options{Duration: *duration})))
+	}
+	if want("fig6bug") {
+		any = true
+		fmt.Println(experiments.FormatFig6Bug(experiments.RunFig6Bug(experiments.Fig6BugOptions{Duration: *duration})))
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want table1|fig4|fig5|fig6|fig6bug|all)\n", *run)
+		os.Exit(2)
+	}
+}

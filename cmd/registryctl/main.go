@@ -1,0 +1,137 @@
+// Command registryctl manages WS-Dispatcher registry files and inspects a
+// running dispatcher's browseable directory.
+//
+// Examples:
+//
+//	registryctl -file registry.txt add echo http://10.0.0.5:8080/echo
+//	registryctl -file registry.txt remove echo
+//	registryctl -file registry.txt list
+//	registryctl browse http://localhost:9000
+//	registryctl check -file registry.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/httpx"
+	"repro/internal/registry"
+)
+
+func main() {
+	file := flag.String("file", "registry.txt", "registry file to manage")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	switch args[0] {
+	case "add":
+		if len(args) < 3 {
+			usage()
+		}
+		reg := load(*file, true)
+		reg.Register(args[1], args[2:]...)
+		save(reg, *file)
+		fmt.Printf("registered %s -> %s\n", args[1], strings.Join(args[2:], ", "))
+
+	case "remove":
+		if len(args) != 2 {
+			usage()
+		}
+		reg := load(*file, false)
+		if !reg.Unregister(args[1]) {
+			log.Fatalf("no such service %q", args[1])
+		}
+		save(reg, *file)
+		fmt.Printf("removed %s\n", args[1])
+
+	case "list":
+		reg := load(*file, false)
+		for _, name := range reg.Services() {
+			entry, ok := reg.Lookup(name)
+			if !ok {
+				continue
+			}
+			urls := make([]string, 0, len(entry.Endpoints))
+			for _, ep := range entry.Endpoints {
+				urls = append(urls, ep.URL)
+			}
+			fmt.Printf("%-24s %s\n", name, strings.Join(urls, ", "))
+		}
+
+	case "check":
+		reg := load(*file, false)
+		client := httpx.NewClient(httpx.NetDialer{}, httpx.ClientConfig{Clock: clock.Wall})
+		dead := reg.CheckAlive(client, 5*time.Second)
+		for _, name := range reg.Services() {
+			entry, ok := reg.Lookup(name)
+			if !ok {
+				continue
+			}
+			for _, ep := range entry.Endpoints {
+				status := "alive"
+				if !ep.Alive() {
+					status = "DEAD"
+				}
+				fmt.Printf("%-24s %-40s %s\n", name, ep.URL, status)
+			}
+		}
+		if dead > 0 {
+			os.Exit(1)
+		}
+
+	case "browse":
+		if len(args) != 2 {
+			usage()
+		}
+		addr, _, err := httpx.SplitURL(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		client := httpx.NewClient(httpx.NetDialer{}, httpx.ClientConfig{Clock: clock.Wall})
+		resp, err := client.Do(addr, httpx.NewRequest("GET", "/registry", nil))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(resp.Body))
+
+	default:
+		usage()
+	}
+}
+
+func load(path string, createOK bool) *registry.Registry {
+	reg := registry.New(registry.PolicyFirst, clock.Wall)
+	if err := reg.LoadFile(path); err != nil {
+		if createOK && os.IsNotExist(err) {
+			return reg
+		}
+		if !os.IsNotExist(err) {
+			log.Fatal(err)
+		}
+	}
+	return reg
+}
+
+func save(reg *registry.Registry, path string) {
+	if err := reg.SaveFile(path); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  registryctl [-file F] add <logical> <url> [url...]
+  registryctl [-file F] remove <logical>
+  registryctl [-file F] list
+  registryctl [-file F] check
+  registryctl browse <dispatcher-rpc-url>`)
+	os.Exit(2)
+}

@@ -1,0 +1,60 @@
+// Command wsmsgbox runs a standalone WS-MsgBox ("P.O. Mailbox") service
+// over real TCP — the paper notes the mailbox "can be co-located with
+// MSG-Dispatcher or run as a separate service"; this is the separate one.
+//
+// Example:
+//
+//	wsmsgbox -host postoffice.example.org -port 9200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+
+	"repro/internal/clock"
+	"repro/internal/httpx"
+	"repro/internal/msgbox"
+)
+
+func main() {
+	host := flag.String("host", "localhost", "externally visible host name for mailbox addresses")
+	port := flag.Int("port", 9200, "service port")
+	boxCap := flag.Int("box-cap", 4096, "messages retained per mailbox")
+	workers := flag.Int("workers", 8, "store worker pool size")
+	buggy := flag.Bool("buggy", false, "run the §4.3.2 thread-per-message design (for demonstrations)")
+	flag.Parse()
+
+	mode := msgbox.ModeFixed
+	if *buggy {
+		mode = msgbox.ModeBuggy
+		log.Print("WARNING: running the historically buggy thread-per-message design")
+	}
+	svc := msgbox.New(msgbox.Config{
+		Clock:        clock.Wall,
+		BaseURL:      fmt.Sprintf("http://%s:%d", *host, *port),
+		Mode:         mode,
+		BoxCap:       *boxCap,
+		StoreWorkers: *workers,
+	})
+	if err := svc.Start(); err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", fmt.Sprintf(":%d", *port))
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := httpx.NewServer(svc, httpx.ServerConfig{Clock: clock.Wall})
+	srv.Start(ln)
+	log.Printf("WS-MsgBox up at http://%s:%d/mbox", *host, *port)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Print("shutting down")
+	srv.Close()
+	svc.Stop()
+}

@@ -1,0 +1,124 @@
+// Firewalled peer: demonstrates the MSG-Dispatcher's WS-Addressing
+// rewriting. A peer with a real (reachable) endpoint converses with a
+// firewalled service; the dispatcher rewrites ReplyTo so the service's
+// answer travels back through it, and the peer receives the reply as an
+// inbound message on its own endpoint — no mailbox needed.
+//
+// Run with:
+//
+//	go run ./examples/firewalled-peer
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/dispatch/msgdisp"
+	"repro/internal/echoservice"
+	"repro/internal/httpx"
+	"repro/internal/netsim"
+	"repro/internal/registry"
+	"repro/internal/soap"
+	"repro/internal/wsa"
+	"repro/internal/xmlsoap"
+)
+
+func main() {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	defer clk.Stop()
+	nw := netsim.New(clk, 3)
+	peer := nw.AddHost("peer", netsim.ProfileLAN())
+	wsd := nw.AddHost("wsd", netsim.ProfileLAN())
+	ws := nw.AddHost("ws", netsim.ProfileLAN(),
+		netsim.WithFirewall(netsim.OutboundOnlyExcept("wsd")))
+
+	// The firewalled asynchronous echo service.
+	wsHTTP := httpx.NewClient(ws, httpx.ClientConfig{Clock: clk})
+	echo := echoservice.NewAsync(clk, wsHTTP, 10*time.Millisecond)
+	echo.OwnAddress = "http://ws:81/msg"
+	lnWS, err := ws.Listen(81)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srvWS := httpx.NewServer(echo, httpx.ServerConfig{Clock: clk})
+	srvWS.Start(lnWS)
+	defer srvWS.Close()
+
+	// The MSG-Dispatcher.
+	server, err := core.New(core.Config{
+		Clock:    clk,
+		HostName: "wsd",
+		Listen:   func(port int) (net.Listener, error) { return wsd.Listen(port) },
+		Dialer:   wsd,
+		MsgPort:  9100,
+		Policy:   registry.PolicyFirst,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	server.Registry.Register("echo", "http://ws:81/msg")
+	if err := server.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer server.Stop()
+
+	// The peer runs its own message endpoint and correlates replies by
+	// RelatesTo.
+	replies := make(chan *soap.Envelope, 8)
+	lnPeer, err := peer.Listen(7000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srvPeer := httpx.NewServer(httpx.HandlerFunc(func(req *httpx.Request) *httpx.Response {
+		env, perr := soap.Parse(req.Body)
+		if perr != nil {
+			return httpx.NewResponse(httpx.StatusBadRequest, nil)
+		}
+		replies <- env
+		return httpx.NewResponse(httpx.StatusAccepted, nil)
+	}), httpx.ServerConfig{Clock: clk})
+	srvPeer.Start(lnPeer)
+	defer srvPeer.Close()
+
+	// Send three messages of one conversation through the dispatcher.
+	messenger := client.NewMessenger(httpx.NewClient(peer, httpx.ClientConfig{Clock: clk}))
+	messenger.From = "http://peer:7000/msg"
+	sent := map[string]string{}
+	for i := 1; i <= 3; i++ {
+		text := fmt.Sprintf("message %d of the conversation", i)
+		id, err := messenger.Send(server.MsgURL(), &wsa.Headers{
+			To:      msgdisp.LogicalScheme + "echo",
+			Action:  echoservice.EchoNS + ":echo",
+			ReplyTo: &wsa.EPR{Address: "http://peer:7000/msg"},
+		}, xmlsoap.NewText(echoservice.EchoNS, "echo", text))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sent[id] = text
+		fmt.Printf("sent %s\n", id)
+	}
+
+	// Collect the three replies, whatever order they arrive in.
+	for range sent {
+		select {
+		case env := <-replies:
+			h, err := wsa.FromEnvelope(env)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("reply to %s: %q\n", h.RelatesTo, env.BodyElement().Text)
+			if env.BodyElement().Text != sent[h.RelatesTo] {
+				log.Fatalf("reply does not match request %s", h.RelatesTo)
+			}
+		case <-time.After(30 * time.Second):
+			log.Fatal("timed out waiting for replies")
+		}
+	}
+	fmt.Printf("dispatcher routed %d replies back through itself\n",
+		server.Msg.RepliesDelivered.Value())
+}

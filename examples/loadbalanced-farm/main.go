@@ -1,0 +1,122 @@
+// Load-balanced farm: the paper's future-work item — "integrate a
+// load-balancing system into the Registry service" — in action. One
+// logical name maps to a farm of three echo services; the dispatcher
+// spreads calls round-robin, detects a crashed replica via its liveness
+// check, and routes around it.
+//
+// Run with:
+//
+//	go run ./examples/loadbalanced-farm
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/echoservice"
+	"repro/internal/httpx"
+	"repro/internal/netsim"
+	"repro/internal/registry"
+	"repro/internal/soap"
+)
+
+func main() {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	defer clk.Stop()
+	nw := netsim.New(clk, 4)
+	cli := nw.AddHost("cli", netsim.ProfileLAN())
+	wsd := nw.AddHost("wsd", netsim.ProfileLAN())
+
+	// Three replicas of the echo service.
+	type replica struct {
+		echo *echoservice.RPC
+		srv  *httpx.Server
+	}
+	replicas := make([]replica, 3)
+	urls := make([]string, 3)
+	for i := range replicas {
+		name := fmt.Sprintf("ws%d", i+1)
+		host := nw.AddHost(name, netsim.ProfileLAN(),
+			netsim.WithFirewall(netsim.OutboundOnlyExcept("wsd")))
+		echo := echoservice.NewRPC(clk, time.Millisecond)
+		ln, err := host.Listen(80)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := httpx.NewServer(echo, httpx.ServerConfig{Clock: clk})
+		srv.Start(ln)
+		replicas[i] = replica{echo: echo, srv: srv}
+		urls[i] = fmt.Sprintf("http://%s:80/", name)
+	}
+	defer func() {
+		for _, r := range replicas {
+			r.srv.Close()
+		}
+	}()
+
+	// Dispatcher with round-robin balancing across the farm.
+	server, err := core.New(core.Config{
+		Clock:    clk,
+		HostName: "wsd",
+		Listen:   func(port int) (net.Listener, error) { return wsd.Listen(port) },
+		Dialer:   wsd,
+		RPCPort:  9000,
+		Policy:   registry.PolicyRoundRobin,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	server.Registry.Register("echo", urls...)
+	if err := server.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer server.Stop()
+
+	rpc := client.NewRPC(httpx.NewClient(cli, httpx.ClientConfig{Clock: clk}))
+	call := func() error {
+		_, err := rpc.CallTimeout(server.RPCURL()+"/rpc/echo",
+			echoservice.EchoNS, echoservice.EchoOp, 5*time.Second,
+			soap.Param{Name: "message", Value: "farm"})
+		return err
+	}
+
+	// Phase 1: nine calls spread evenly.
+	for i := 0; i < 9; i++ {
+		if err := call(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Print("phase 1 (round robin): ")
+	for i, r := range replicas {
+		fmt.Printf("ws%d=%d ", i+1, r.echo.Handled.Value())
+	}
+	fmt.Println()
+
+	// Phase 2: crash replica 2, run the dispatcher's liveness check
+	// (the future-work "checking if service is alive"), keep calling.
+	replicas[1].srv.Close()
+	probe := httpx.NewClient(wsd, httpx.ClientConfig{Clock: clk})
+	dead := server.Registry.CheckAlive(probe, 2*time.Second)
+	fmt.Printf("phase 2: liveness check found %d dead endpoint(s)\n", dead)
+
+	failures := 0
+	for i := 0; i < 8; i++ {
+		if err := call(); err != nil {
+			failures++
+		}
+	}
+	fmt.Print("phase 2 (after failover): ")
+	for i, r := range replicas {
+		fmt.Printf("ws%d=%d ", i+1, r.echo.Handled.Value())
+	}
+	fmt.Printf("failures=%d\n", failures)
+	if failures > 0 {
+		log.Fatal("calls failed despite failover")
+	}
+	fmt.Println("all calls survived the replica crash")
+}

@@ -1,0 +1,86 @@
+// Quickstart: bring up an echo Web Service, a WS-Dispatcher in front of
+// it, and a client — all in one process on the simulated network — and
+// make one SOAP-RPC call through the dispatcher.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/echoservice"
+	"repro/internal/httpx"
+	"repro/internal/netsim"
+	"repro/internal/registry"
+	"repro/internal/soap"
+)
+
+func main() {
+	// A virtual clock and a three-host network: the client, the
+	// dispatcher, and a service hidden behind a firewall that admits
+	// only the dispatcher.
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	defer clk.Stop()
+	nw := netsim.New(clk, 1)
+	cli := nw.AddHost("cli", netsim.ProfileLAN())
+	wsd := nw.AddHost("wsd", netsim.ProfileLAN())
+	ws := nw.AddHost("ws", netsim.ProfileLAN(),
+		netsim.WithFirewall(netsim.OutboundOnlyExcept("wsd")))
+
+	// The echo Web Service on ws:80.
+	echo := echoservice.NewRPC(clk, time.Millisecond)
+	ln, err := ws.Listen(80)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := httpx.NewServer(echo, httpx.ServerConfig{Clock: clk})
+	srv.Start(ln)
+	defer srv.Close()
+
+	// The WS-Dispatcher, with "echo" registered as a logical name.
+	server, err := core.New(core.Config{
+		Clock:    clk,
+		HostName: "wsd",
+		Listen:   func(port int) (net.Listener, error) { return wsd.Listen(port) },
+		Dialer:   wsd,
+		RPCPort:  9000,
+		Policy:   registry.PolicyFirst,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	server.Registry.Register("echo", "http://ws:80/")
+	if err := server.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer server.Stop()
+
+	// A client that only knows the dispatcher and the logical name.
+	httpCli := httpx.NewClient(cli, httpx.ClientConfig{Clock: clk})
+	rpc := client.NewRPC(httpCli)
+
+	// Direct access is blocked by the firewall...
+	if _, err := rpc.CallTimeout("http://ws:80/", echoservice.EchoNS,
+		echoservice.EchoOp, 2*time.Second,
+		soap.Param{Name: "message", Value: "direct?"}); err != nil {
+		fmt.Printf("direct call blocked as expected: %v\n", err)
+	}
+
+	// ...but the logical address through the WSD works.
+	results, err := rpc.Call(server.RPCURL()+"/rpc/echo",
+		echoservice.EchoNS, echoservice.EchoOp,
+		soap.Param{Name: "message", Value: "hello through the dispatcher"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("echo replied: %q\n", results[0].Value)
+	fmt.Printf("dispatcher forwarded %d call(s)\n", server.RPC.Forwarded.Value())
+}

@@ -1,0 +1,125 @@
+// Package auth implements the single-sign-on support the paper plans for
+// the WS-Dispatcher (§4.4): "investigate how WSD can provide
+// authentication and authorization (single sign-on) for web services that
+// do not need to implement security [and] instead rel[y] on WSD to do
+// checks".
+//
+// The model is a token service at the dispatcher: a peer authenticates
+// once with a shared secret and receives a signed, expiring token; every
+// subsequent request carries the token in an HTTP header, and the
+// dispatcher verifies it before forwarding — the backend services never
+// see credentials.
+package auth
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/cmap"
+)
+
+// HeaderName carries the token on dispatcher requests.
+const HeaderName = "X-WSD-Token"
+
+// Errors returned by Verify.
+var (
+	ErrBadCredentials = errors.New("auth: unknown principal or wrong secret")
+	ErrMalformedToken = errors.New("auth: malformed token")
+	ErrBadSignature   = errors.New("auth: signature mismatch")
+	ErrExpired        = errors.New("auth: token expired")
+)
+
+// Authority issues and verifies tokens. It is safe for concurrent use.
+type Authority struct {
+	key    []byte
+	clk    clock.Clock
+	ttl    time.Duration
+	users  *cmap.Map[string] // principal -> secret
+	denied *cmap.Map[struct{}]
+}
+
+// New builds an Authority signing with key; tokens live for ttl
+// (default 1h when 0).
+func New(key []byte, ttl time.Duration, clk clock.Clock) *Authority {
+	if clk == nil {
+		clk = clock.Wall
+	}
+	if ttl <= 0 {
+		ttl = time.Hour
+	}
+	k := make([]byte, len(key))
+	copy(k, key)
+	return &Authority{key: k, clk: clk, ttl: ttl, users: cmap.New[string](), denied: cmap.New[struct{}]()}
+}
+
+// AddPrincipal registers a peer and its shared secret.
+func (a *Authority) AddPrincipal(name, secret string) { a.users.Put(name, secret) }
+
+// Revoke bans a principal; existing tokens stop verifying immediately.
+func (a *Authority) Revoke(name string) { a.denied.Put(name, struct{}{}) }
+
+// Login authenticates a principal and returns a token:
+// base64(principal|expiresUnixNano) + "." + base64(HMAC-SHA256).
+func (a *Authority) Login(principal, secret string) (string, error) {
+	want, ok := a.users.Get(principal)
+	if !ok || !hmac.Equal([]byte(want), []byte(secret)) {
+		return "", ErrBadCredentials
+	}
+	expires := a.clk.Now().Add(a.ttl).UnixNano()
+	payload := fmt.Sprintf("%s|%d", principal, expires)
+	sig := a.sign(payload)
+	return base64.RawURLEncoding.EncodeToString([]byte(payload)) + "." +
+		base64.RawURLEncoding.EncodeToString(sig), nil
+}
+
+// Verify checks a token and returns the authenticated principal.
+func (a *Authority) Verify(token string) (string, error) {
+	dot := strings.IndexByte(token, '.')
+	if dot <= 0 {
+		return "", ErrMalformedToken
+	}
+	payloadB, err := base64.RawURLEncoding.DecodeString(token[:dot])
+	if err != nil {
+		return "", ErrMalformedToken
+	}
+	sig, err := base64.RawURLEncoding.DecodeString(token[dot+1:])
+	if err != nil {
+		return "", ErrMalformedToken
+	}
+	payload := string(payloadB)
+	if !hmac.Equal(sig, a.sign(payload)) {
+		return "", ErrBadSignature
+	}
+	bar := strings.LastIndexByte(payload, '|')
+	if bar <= 0 {
+		return "", ErrMalformedToken
+	}
+	principal := payload[:bar]
+	expires, err := strconv.ParseInt(payload[bar+1:], 10, 64)
+	if err != nil {
+		return "", ErrMalformedToken
+	}
+	if a.clk.Now().UnixNano() > expires {
+		return "", ErrExpired
+	}
+	if _, banned := a.denied.Get(principal); banned {
+		return "", ErrBadCredentials
+	}
+	if _, ok := a.users.Get(principal); !ok {
+		return "", ErrBadCredentials
+	}
+	return principal, nil
+}
+
+func (a *Authority) sign(payload string) []byte {
+	m := hmac.New(sha256.New, a.key)
+	m.Write([]byte(payload))
+	return m.Sum(nil)
+}

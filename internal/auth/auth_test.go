@@ -1,0 +1,118 @@
+package auth
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func newAuthority(t *testing.T) (*Authority, *clock.Virtual) {
+	t.Helper()
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	t.Cleanup(clk.Stop)
+	a := New([]byte("dispatcher-signing-key"), time.Hour, clk)
+	a.AddPrincipal("alice", "s3cret")
+	return a, clk
+}
+
+func TestLoginAndVerify(t *testing.T) {
+	a, _ := newAuthority(t)
+	token, err := a.Login("alice", "s3cret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	who, err := a.Verify(token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if who != "alice" {
+		t.Fatalf("principal = %q", who)
+	}
+}
+
+func TestLoginWrongSecret(t *testing.T) {
+	a, _ := newAuthority(t)
+	if _, err := a.Login("alice", "wrong"); !errors.Is(err, ErrBadCredentials) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := a.Login("mallory", "s3cret"); !errors.Is(err, ErrBadCredentials) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyExpired(t *testing.T) {
+	a, clk := newAuthority(t)
+	token, _ := a.Login("alice", "s3cret")
+	clk.Advance(2 * time.Hour)
+	if _, err := a.Verify(token); !errors.Is(err, ErrExpired) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyTamperedPayload(t *testing.T) {
+	a, _ := newAuthority(t)
+	token, _ := a.Login("alice", "s3cret")
+	parts := strings.SplitN(token, ".", 2)
+	forged := "x" + parts[0][1:] + "." + parts[1]
+	if _, err := a.Verify(forged); err == nil {
+		t.Fatal("tampered token verified")
+	}
+}
+
+func TestVerifyTamperedSignature(t *testing.T) {
+	a, _ := newAuthority(t)
+	token, _ := a.Login("alice", "s3cret")
+	if _, err := a.Verify(token[:len(token)-2] + "zz"); err == nil {
+		t.Fatal("tampered signature verified")
+	}
+}
+
+func TestVerifyGarbage(t *testing.T) {
+	a, _ := newAuthority(t)
+	for _, tok := range []string{"", ".", "abc", "!!!.???", "YWJj."} {
+		if _, err := a.Verify(tok); err == nil {
+			t.Fatalf("garbage token %q verified", tok)
+		}
+	}
+}
+
+func TestRevokeKillsExistingTokens(t *testing.T) {
+	a, _ := newAuthority(t)
+	token, _ := a.Login("alice", "s3cret")
+	a.Revoke("alice")
+	if _, err := a.Verify(token); err == nil {
+		t.Fatal("revoked principal's token verified")
+	}
+}
+
+func TestDifferentKeysDontCrossVerify(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	defer clk.Stop()
+	a1 := New([]byte("key-one"), time.Hour, clk)
+	a2 := New([]byte("key-two"), time.Hour, clk)
+	a1.AddPrincipal("alice", "s")
+	a2.AddPrincipal("alice", "s")
+	token, _ := a1.Login("alice", "s")
+	if _, err := a2.Verify(token); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPrincipalWithPipeInName(t *testing.T) {
+	a, _ := newAuthority(t)
+	a.AddPrincipal("bob|smith", "pw")
+	token, err := a.Login("bob|smith", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	who, err := a.Verify(token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if who != "bob|smith" {
+		t.Fatalf("principal = %q", who)
+	}
+}

@@ -1,0 +1,319 @@
+// Package client is the peer-side library: everything a Web Service peer
+// needs to interact with the WS-Dispatcher stack — SOAP-RPC calls
+// (optionally through the RPC-Dispatcher), one-way asynchronous sends
+// (through the MSG-Dispatcher), mailbox management and polling against
+// WS-MsgBox, and a Conversation helper that composes them into the
+// "reliable and long running conversations through firewalls" of the
+// paper's abstract.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/httpx"
+	"repro/internal/msgbox"
+	"repro/internal/soap"
+	"repro/internal/wsa"
+	"repro/internal/xmlsoap"
+)
+
+// RPC performs SOAP-RPC calls over HTTP.
+type RPC struct {
+	// HTTP is the transport (its dialer is bound to the peer's host).
+	HTTP *httpx.Client
+	// Version selects the SOAP version; zero value is SOAP 1.1.
+	Version soap.Version
+}
+
+// NewRPC wraps an HTTP client for SOAP-RPC.
+func NewRPC(h *httpx.Client) *RPC { return &RPC{HTTP: h, Version: soap.V11} }
+
+// Call invokes operation on the service at serviceURL and returns the
+// result parameters. A SOAP fault in the response surfaces as *soap.Fault.
+func (c *RPC) Call(serviceURL, serviceNS, operation string, params ...soap.Param) ([]soap.Param, error) {
+	return c.CallTimeout(serviceURL, serviceNS, operation, 0, params...)
+}
+
+// CallTimeout is Call with an explicit exchange budget (0 uses the HTTP
+// client's default).
+func (c *RPC) CallTimeout(serviceURL, serviceNS, operation string, timeout time.Duration, params ...soap.Param) ([]soap.Param, error) {
+	addr, path, err := httpx.SplitURL(serviceURL)
+	if err != nil {
+		return nil, err
+	}
+	body, err := soap.RPCRequest(c.Version, serviceNS, operation, params...).Marshal()
+	if err != nil {
+		return nil, err
+	}
+	req := httpx.NewRequest("POST", path, body)
+	req.Header.Set("Content-Type", c.Version.ContentType())
+	req.Header.Set("SOAPAction", `"`+serviceNS+":"+operation+`"`)
+
+	var resp *httpx.Response
+	if timeout > 0 {
+		resp, err = c.HTTP.DoTimeout(addr, req, timeout)
+	} else {
+		resp, err = c.HTTP.Do(addr, req)
+	}
+	if err != nil {
+		return nil, err
+	}
+	env, err := soap.Parse(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: bad RPC response (HTTP %d): %w", resp.Status, err)
+	}
+	return soap.ParseRPCResponse(env, operation)
+}
+
+// Messenger sends one-way WS-Addressing messages (fire-and-forget with
+// respect to the transport: success is 202/200 from the next hop).
+type Messenger struct {
+	// HTTP is the transport.
+	HTTP *httpx.Client
+	// Version selects the SOAP version; zero value is SOAP 1.1.
+	Version soap.Version
+	// From, when set, stamps outgoing messages' From header.
+	From string
+}
+
+// NewMessenger wraps an HTTP client for one-way messaging.
+func NewMessenger(h *httpx.Client) *Messenger { return &Messenger{HTTP: h, Version: soap.V11} }
+
+// Send posts one message to postURL (typically the MSG-Dispatcher's
+// endpoint). Missing MessageIDs are filled in; the assigned ID is
+// returned so callers can correlate replies.
+func (m *Messenger) Send(postURL string, h *wsa.Headers, body *xmlsoap.Element) (string, error) {
+	return m.SendTimeout(postURL, h, body, 0)
+}
+
+// SendTimeout is Send with an explicit budget (0 uses the client default).
+func (m *Messenger) SendTimeout(postURL string, h *wsa.Headers, body *xmlsoap.Element, timeout time.Duration) (string, error) {
+	addr, path, err := httpx.SplitURL(postURL)
+	if err != nil {
+		return "", err
+	}
+	hh := h.Clone()
+	if hh.MessageID == "" {
+		hh.MessageID = wsa.NewMessageID()
+	}
+	if hh.From == nil && m.From != "" {
+		hh.From = &wsa.EPR{Address: m.From}
+	}
+	env := soap.New(m.Version).SetBody(body)
+	hh.Apply(env)
+	raw, err := env.Marshal()
+	if err != nil {
+		return "", err
+	}
+	req := httpx.NewRequest("POST", path, raw)
+	req.Header.Set("Content-Type", m.Version.ContentType())
+	var resp *httpx.Response
+	if timeout > 0 {
+		resp, err = m.HTTP.DoTimeout(addr, req, timeout)
+	} else {
+		resp, err = m.HTTP.Do(addr, req)
+	}
+	if err != nil {
+		return "", err
+	}
+	if resp.Status >= 300 {
+		if env, perr := soap.Parse(resp.Body); perr == nil {
+			if f, ok := soap.AsFault(env); ok {
+				return "", fmt.Errorf("client: send rejected: %w", f)
+			}
+		}
+		return "", fmt.Errorf("client: send rejected with HTTP %d", resp.Status)
+	}
+	return hh.MessageID, nil
+}
+
+// Box identifies one mailbox at a WS-MsgBox service.
+type Box struct {
+	ID      string
+	Token   string
+	Address string
+}
+
+// MailboxClient manages and polls mailboxes over RPC (Figure 2 steps 1,
+// 3, 4) — RPC because "RPC is typically well supported from a client
+// behind firewalls".
+type MailboxClient struct {
+	// RPC is the underlying call machinery.
+	RPC *RPC
+	// ServiceURL is the WS-MsgBox management endpoint,
+	// e.g. "http://postoffice:9200/mbox".
+	ServiceURL string
+	// Clock paces polling; defaults to the wall clock.
+	Clock clock.Clock
+
+	mu       sync.Mutex
+	buffered map[string]*soap.Envelope // replies taken but not yet claimed
+}
+
+// NewMailboxClient builds a mailbox client for the given service URL.
+func NewMailboxClient(rpc *RPC, serviceURL string, clk clock.Clock) *MailboxClient {
+	if clk == nil {
+		clk = clock.Wall
+	}
+	return &MailboxClient{RPC: rpc, ServiceURL: serviceURL, Clock: clk, buffered: map[string]*soap.Envelope{}}
+}
+
+// Create makes a new mailbox (Figure 2 step 1).
+func (mc *MailboxClient) Create() (*Box, error) {
+	results, err := mc.RPC.Call(mc.ServiceURL, msgbox.ServiceNS, msgbox.OpCreate)
+	if err != nil {
+		return nil, err
+	}
+	box := &Box{}
+	for _, p := range results {
+		switch p.Name {
+		case "boxId":
+			box.ID = p.Value
+		case "token":
+			box.Token = p.Value
+		case "address":
+			box.Address = p.Value
+		}
+	}
+	if box.ID == "" || box.Address == "" {
+		return nil, errors.New("client: malformed createMsgBox response")
+	}
+	return box, nil
+}
+
+// Take downloads up to max messages (Figure 2 step 3).
+func (mc *MailboxClient) Take(box *Box, max int) ([]*soap.Envelope, error) {
+	results, err := mc.RPC.Call(mc.ServiceURL, msgbox.ServiceNS, msgbox.OpTake,
+		soap.Param{Name: "boxId", Value: box.ID},
+		soap.Param{Name: "token", Value: box.Token},
+		soap.Param{Name: "max", Value: strconv.Itoa(max)},
+	)
+	if err != nil {
+		return nil, err
+	}
+	var out []*soap.Envelope
+	for _, p := range results {
+		if p.Name == "count" {
+			continue
+		}
+		env, err := soap.Parse([]byte(p.Value))
+		if err != nil {
+			return nil, fmt.Errorf("client: undecodable stored message: %w", err)
+		}
+		out = append(out, env)
+	}
+	return out, nil
+}
+
+// Peek returns the number of waiting messages without removing any.
+func (mc *MailboxClient) Peek(box *Box) (int, error) {
+	results, err := mc.RPC.Call(mc.ServiceURL, msgbox.ServiceNS, msgbox.OpPeek,
+		soap.Param{Name: "boxId", Value: box.ID},
+		soap.Param{Name: "token", Value: box.Token},
+	)
+	if err != nil {
+		return 0, err
+	}
+	for _, p := range results {
+		if p.Name == "count" {
+			return strconv.Atoi(p.Value)
+		}
+	}
+	return 0, errors.New("client: malformed peekCount response")
+}
+
+// Destroy frees the mailbox (Figure 2 step 4).
+func (mc *MailboxClient) Destroy(box *Box) error {
+	_, err := mc.RPC.Call(mc.ServiceURL, msgbox.ServiceNS, msgbox.OpDestroy,
+		soap.Param{Name: "boxId", Value: box.ID},
+		soap.Param{Name: "token", Value: box.Token},
+	)
+	return err
+}
+
+// ErrAwaitTimeout is returned by AwaitReply when no matching reply arrives
+// within the budget.
+var ErrAwaitTimeout = errors.New("client: timed out awaiting reply")
+
+// AwaitReply polls the mailbox until a message with RelatesTo == msgID
+// arrives. Non-matching messages are buffered for later AwaitReply calls
+// (interleaved conversations share one mailbox).
+func (mc *MailboxClient) AwaitReply(box *Box, msgID string, pollEvery, timeout time.Duration) (*soap.Envelope, error) {
+	deadline := mc.Clock.Now().Add(timeout)
+	for {
+		mc.mu.Lock()
+		if env, ok := mc.buffered[msgID]; ok {
+			delete(mc.buffered, msgID)
+			mc.mu.Unlock()
+			return env, nil
+		}
+		mc.mu.Unlock()
+
+		envs, err := mc.Take(box, 32)
+		if err != nil {
+			return nil, err
+		}
+		var match *soap.Envelope
+		mc.mu.Lock()
+		for _, env := range envs {
+			h, err := wsa.FromEnvelope(env)
+			if err != nil || h.RelatesTo == "" {
+				continue
+			}
+			if h.RelatesTo == msgID && match == nil {
+				match = env
+			} else {
+				mc.buffered[h.RelatesTo] = env
+			}
+		}
+		mc.mu.Unlock()
+		if match != nil {
+			return match, nil
+		}
+		if !mc.Clock.Now().Add(pollEvery).Before(deadline) {
+			return nil, ErrAwaitTimeout
+		}
+		mc.Clock.Sleep(pollEvery)
+	}
+}
+
+// Conversation composes a Messenger and a MailboxClient into the paper's
+// complete pattern for endpoint-less peers: send through the
+// MSG-Dispatcher with ReplyTo pointing at a mailbox, then poll the mailbox
+// for the correlated reply.
+type Conversation struct {
+	// Messenger sends the outbound legs.
+	Messenger *Messenger
+	// Mailbox polls the inbound legs.
+	Mailbox *MailboxClient
+	// Box is the conversation's mailbox.
+	Box *Box
+	// DispatcherURL is the MSG-Dispatcher message endpoint.
+	DispatcherURL string
+	// PollEvery is the mailbox polling interval. Default 250ms.
+	PollEvery time.Duration
+}
+
+// Call sends one message (To may be "logical:<name>") and awaits its
+// correlated reply via the mailbox.
+func (c *Conversation) Call(to, action string, body *xmlsoap.Element, timeout time.Duration) (*soap.Envelope, error) {
+	poll := c.PollEvery
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	h := &wsa.Headers{
+		To:      to,
+		Action:  action,
+		ReplyTo: &wsa.EPR{Address: c.Box.Address},
+	}
+	msgID, err := c.Messenger.Send(c.DispatcherURL, h, body)
+	if err != nil {
+		return nil, err
+	}
+	return c.Mailbox.AwaitReply(c.Box, msgID, poll, timeout)
+}

@@ -1,0 +1,202 @@
+package clock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRealNow(t *testing.T) {
+	before := time.Now()
+	got := Wall.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real.Now() = %v outside [%v, %v]", got, before, after)
+	}
+}
+
+func TestRealTimerStop(t *testing.T) {
+	tm := Wall.NewTimer(time.Hour)
+	if !tm.Stop() {
+		t.Fatal("Stop on pending real timer returned false")
+	}
+}
+
+func TestNilTimerStop(t *testing.T) {
+	var tm *Timer
+	if tm.Stop() {
+		t.Fatal("Stop on nil timer returned true")
+	}
+}
+
+func TestVirtualAdvanceFiresInOrder(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	defer v.Stop()
+
+	start := v.Now()
+	durations := []time.Duration{30 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond}
+	chans := make([]<-chan time.Time, len(durations))
+	for i, d := range durations {
+		chans[i] = v.After(d)
+	}
+	v.Advance(time.Second)
+	for i, ch := range chans {
+		select {
+		case at := <-ch:
+			if got := at.Sub(start); got != durations[i] {
+				t.Fatalf("timer %d fired at +%v, want +%v", i, got, durations[i])
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timer %d never fired", i)
+		}
+	}
+}
+
+func TestVirtualSleepAutoAdvances(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	defer v.Stop()
+
+	start := v.Now()
+	done := make(chan struct{})
+	go func() {
+		v.Sleep(5 * time.Second)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("virtual 5s sleep did not complete within real 5s budget")
+	}
+	if got := v.Since(start); got < 5*time.Second {
+		t.Fatalf("clock advanced %v, want >= 5s", got)
+	}
+}
+
+func TestVirtualManySleepersConverge(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	defer v.Stop()
+
+	const n = 200
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		d := time.Duration(i%17+1) * time.Millisecond
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				v.Sleep(d)
+			}
+			done.Add(1)
+		}()
+	}
+	waitGroupWithin(t, &wg, 10*time.Second)
+	if done.Load() != n {
+		t.Fatalf("done = %d, want %d", done.Load(), n)
+	}
+}
+
+func TestVirtualTimerStopPreventsFire(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	defer v.Stop()
+
+	tm := v.NewTimer(time.Minute)
+	if !tm.Stop() {
+		t.Fatal("Stop returned false for pending virtual timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	v.Advance(2 * time.Minute)
+	select {
+	case <-tm.C:
+		t.Fatal("stopped timer fired")
+	default:
+	}
+}
+
+func TestVirtualAfterFunc(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	defer v.Stop()
+
+	var fired atomic.Bool
+	v.AfterFunc(time.Second, func() { fired.Store(true) })
+	waitFor(t, func() bool { return fired.Load() })
+}
+
+func TestVirtualAfterFuncStopped(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	defer v.Stop()
+
+	var fired atomic.Bool
+	tm := v.AfterFunc(time.Hour, func() { fired.Store(true) })
+	if !tm.Stop() {
+		t.Fatal("Stop returned false")
+	}
+	v.Advance(2 * time.Hour)
+	time.Sleep(10 * time.Millisecond)
+	if fired.Load() {
+		t.Fatal("stopped AfterFunc ran")
+	}
+}
+
+func TestVirtualZeroSleepReturns(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	defer v.Stop()
+	v.Sleep(0)
+	v.Sleep(-time.Second)
+}
+
+func TestVirtualNegativeAfterFiresImmediately(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	defer v.Stop()
+	select {
+	case <-v.After(-1):
+	case <-time.After(5 * time.Second):
+		t.Fatal("negative After never fired")
+	}
+}
+
+func TestVirtualSequentialSleepAccumulates(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	defer v.Stop()
+	start := v.Now()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 10; i++ {
+			v.Sleep(100 * time.Millisecond)
+		}
+		close(done)
+	}()
+	<-done
+	if got := v.Since(start); got < time.Second {
+		t.Fatalf("10 x 100ms sleeps advanced only %v", got)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}
+
+func waitGroupWithin(t *testing.T, wg *sync.WaitGroup, d time.Duration) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatalf("goroutines did not finish within %v", d)
+	}
+}

@@ -1,0 +1,298 @@
+package clock
+
+import (
+	"container/heap"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Virtual is a discrete-event clock. Time only moves when every goroutine
+// that interacts with the clock is blocked waiting on it: a background pump
+// observes a short quiescence window (no new timer registrations) and then
+// jumps the clock to the earliest pending deadline, firing all timers due at
+// that instant.
+//
+// This "auto-advancing fake clock" lets unmodified production code — the
+// dispatcher, the mailbox, the simulated network — run a one-minute workload
+// in a few milliseconds of wall time. The quiescence heuristic trades strict
+// determinism for not having to instrument every goroutine; in practice the
+// workloads in this repository are sleep-dominated (bandwidth serialization,
+// propagation delay, timeouts), so the heuristic is stable. Tests assert
+// shapes with tolerances rather than exact event interleavings.
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters waiterHeap
+	seq     uint64 // tie-break so equal deadlines fire FIFO
+	gen     uint64 // bumped on every registration; pump detects churn
+	stopped bool
+	wake    chan struct{} // pump kick
+
+	// grace is how long the pump waits (real time) for new
+	// registrations before concluding the system is quiescent.
+	grace time.Duration
+	// coalesce is the virtual window within which distinct deadlines
+	// fire in one pump step. Coalescing trades a bounded amount of
+	// virtual-time dilation (≤ coalesce per causal hop) for a large
+	// reduction in pump steps, which is what makes thousand-client
+	// minute-long sweeps run in seconds of wall time.
+	coalesce time.Duration
+}
+
+// NewVirtual returns a running Virtual clock starting at start. Call Stop
+// when the experiment finishes to release the pump goroutine.
+func NewVirtual(start time.Time) *Virtual {
+	v := &Virtual{
+		now:      start,
+		wake:     make(chan struct{}, 1),
+		grace:    50 * time.Microsecond,
+		coalesce: time.Millisecond,
+	}
+	go v.pump()
+	return v
+}
+
+// NewVirtualAt is shorthand for a Virtual clock starting at the Unix epoch
+// plus the given offset; experiments use it so logs carry small readable
+// timestamps.
+func NewVirtualAt(offset time.Duration) *Virtual {
+	return NewVirtual(time.Unix(0, 0).Add(offset))
+}
+
+// SetGrace adjusts the quiescence window. Larger values are more robust to
+// CPU-bound phases between sleeps at the cost of slower simulations.
+func (v *Virtual) SetGrace(d time.Duration) {
+	v.mu.Lock()
+	v.grace = d
+	v.mu.Unlock()
+}
+
+// SetCoalesce adjusts the virtual coalescing window (0 disables: every
+// distinct deadline gets its own pump step).
+func (v *Virtual) SetCoalesce(d time.Duration) {
+	v.mu.Lock()
+	v.coalesce = d
+	v.mu.Unlock()
+}
+
+// Stop shuts down the pump goroutine. Pending timers never fire after Stop.
+func (v *Virtual) Stop() {
+	v.mu.Lock()
+	v.stopped = true
+	v.mu.Unlock()
+	v.kick()
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Since implements Clock.
+func (v *Virtual) Since(t time.Time) time.Duration { return v.Now().Sub(t) }
+
+// Sleep implements Clock.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		runtime.Gosched()
+		return
+	}
+	<-v.After(d)
+}
+
+// After implements Clock.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	return v.NewTimer(d).C
+}
+
+// NewTimer implements Clock.
+func (v *Virtual) NewTimer(d time.Duration) *Timer {
+	ch := make(chan time.Time, 1)
+	w := v.register(d, func(t time.Time) { ch <- t })
+	return &Timer{C: ch, stop: func() bool { return v.cancel(w) }}
+}
+
+// AfterFunc implements Clock.
+func (v *Virtual) AfterFunc(d time.Duration, f func()) *Timer {
+	w := v.register(d, func(time.Time) { go f() })
+	return &Timer{stop: func() bool { return v.cancel(w) }}
+}
+
+// Advance manually moves the clock forward by d, firing every timer whose
+// deadline is reached, in deadline order. It is primarily for unit tests
+// that want explicit control; the pump handles normal operation.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	target := v.now.Add(d)
+	fired := v.advanceLocked(target)
+	v.now = target
+	v.mu.Unlock()
+	runFired(fired)
+}
+
+// Pending reports how many timers are currently registered. Used by tests.
+func (v *Virtual) Pending() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.waiters.Len()
+}
+
+type waiter struct {
+	deadline time.Time
+	seq      uint64
+	fire     func(time.Time)
+	index    int // heap index, -1 once fired or cancelled
+}
+
+func (v *Virtual) register(d time.Duration, fire func(time.Time)) *waiter {
+	if d < 0 {
+		d = 0
+	}
+	v.mu.Lock()
+	v.seq++
+	v.gen++
+	w := &waiter{deadline: v.now.Add(d), seq: v.seq, fire: fire}
+	heap.Push(&v.waiters, w)
+	v.mu.Unlock()
+	v.kick()
+	return w
+}
+
+func (v *Virtual) cancel(w *waiter) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if w.index < 0 {
+		return false
+	}
+	heap.Remove(&v.waiters, w.index)
+	return true
+}
+
+func (v *Virtual) kick() {
+	select {
+	case v.wake <- struct{}{}:
+	default:
+	}
+}
+
+// advanceLocked pops every waiter due at or before target and returns their
+// fire callbacks paired with the times they should observe.
+func (v *Virtual) advanceLocked(target time.Time) []firedWaiter {
+	var fired []firedWaiter
+	for v.waiters.Len() > 0 && !v.waiters[0].deadline.After(target) {
+		w := heap.Pop(&v.waiters).(*waiter)
+		fired = append(fired, firedWaiter{w.fire, w.deadline})
+	}
+	return fired
+}
+
+type firedWaiter struct {
+	fire func(time.Time)
+	at   time.Time
+}
+
+func runFired(fs []firedWaiter) {
+	for _, f := range fs {
+		f.fire(f.at)
+	}
+}
+
+// pump advances virtual time whenever the system is quiescent: it samples
+// the registration generation counter, yields the processor through the
+// grace window, and if no new timers appeared and the earliest deadline is
+// unchanged it jumps time to that deadline.
+func (v *Virtual) pump() {
+	for {
+		v.mu.Lock()
+		if v.stopped {
+			v.mu.Unlock()
+			return
+		}
+		if v.waiters.Len() == 0 {
+			v.mu.Unlock()
+			<-v.wake
+			continue
+		}
+		genBefore := v.gen
+		grace := v.grace
+		v.mu.Unlock()
+
+		// Let runnable goroutines make progress: they may register
+		// earlier deadlines or consume data that was just delivered.
+		quiesce(grace)
+
+		v.mu.Lock()
+		if v.stopped {
+			v.mu.Unlock()
+			return
+		}
+		if v.gen != genBefore || v.waiters.Len() == 0 {
+			// Churn during the grace window; re-observe.
+			v.mu.Unlock()
+			continue
+		}
+		// Advance to the earliest deadline, sweeping in everything
+		// within the coalescing window; the clock lands on the
+		// latest deadline actually fired, so no waiter ever
+		// observes a time before its own deadline.
+		target := v.waiters[0].deadline.Add(v.coalesce)
+		fired := v.advanceLocked(target)
+		if n := len(fired); n > 0 && fired[n-1].at.After(v.now) {
+			v.now = fired[n-1].at
+		}
+		v.mu.Unlock()
+		runFired(fired)
+	}
+}
+
+// quiesce yields the processor repeatedly for roughly the grace duration.
+// It deliberately never calls time.Sleep: OS timer granularity (≥50µs,
+// often worse) would dominate every pump step and slow large simulations
+// by orders of magnitude. Spinning with Gosched keeps a step in the
+// single-digit microseconds when the system is already quiet.
+func quiesce(grace time.Duration) {
+	start := time.Now()
+	for {
+		runtime.Gosched()
+		if time.Since(start) >= grace {
+			return
+		}
+	}
+}
+
+// waiterHeap is a min-heap ordered by (deadline, seq).
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+
+func (h waiterHeap) Less(i, j int) bool {
+	if !h[i].deadline.Equal(h[j].deadline) {
+		return h[i].deadline.Before(h[j].deadline)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h waiterHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *waiterHeap) Push(x any) {
+	w := x.(*waiter)
+	w.index = len(*h)
+	*h = append(*h, w)
+}
+
+func (h *waiterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	w.index = -1
+	*h = old[:n-1]
+	return w
+}

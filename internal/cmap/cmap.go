@@ -1,0 +1,164 @@
+// Package cmap provides a sharded, lock-striped concurrent hash map.
+//
+// The paper's dispatchers and registry are built on the concurrent hash map
+// from Doug Lea's Concurrent Java Library (later java.util.concurrent).
+// This package is the Go stand-in: a generic map striped across a fixed
+// number of shards so that registry lookups on the dispatcher hot path and
+// mailbox-table updates in WS-MsgBox do not contend on a single lock.
+package cmap
+
+import (
+	"hash/maphash"
+	"sync"
+)
+
+// shardCount is a power of two so shard selection is a mask, not a modulo.
+const shardCount = 32
+
+// Map is a concurrent hash map from string keys to values of type V.
+// The zero value is not usable; construct with New.
+type Map[V any] struct {
+	seed   maphash.Seed
+	shards [shardCount]shard[V]
+}
+
+type shard[V any] struct {
+	mu sync.RWMutex
+	m  map[string]V
+}
+
+// New returns an empty concurrent map.
+func New[V any]() *Map[V] {
+	c := &Map[V]{seed: maphash.MakeSeed()}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]V)
+	}
+	return c
+}
+
+func (c *Map[V]) shard(key string) *shard[V] {
+	h := maphash.String(c.seed, key)
+	return &c.shards[h&(shardCount-1)]
+}
+
+// Get returns the value stored for key and whether it was present.
+func (c *Map[V]) Get(key string) (V, bool) {
+	s := c.shard(key)
+	s.mu.RLock()
+	v, ok := s.m[key]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// Put stores value under key, replacing any previous value.
+func (c *Map[V]) Put(key string, value V) {
+	s := c.shard(key)
+	s.mu.Lock()
+	s.m[key] = value
+	s.mu.Unlock()
+}
+
+// PutIfAbsent stores value under key only if the key is not already
+// present. It returns the value that is in the map after the call and
+// whether the store happened.
+func (c *Map[V]) PutIfAbsent(key string, value V) (V, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.m[key]; ok {
+		return existing, false
+	}
+	s.m[key] = value
+	return value, true
+}
+
+// Delete removes key and reports whether it was present.
+func (c *Map[V]) Delete(key string) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	_, ok := s.m[key]
+	delete(s.m, key)
+	s.mu.Unlock()
+	return ok
+}
+
+// GetOrCompute returns the value for key, computing and storing it with f
+// if absent. f is called at most once per absent key and runs under the
+// shard lock, so it must not re-enter the map.
+func (c *Map[V]) GetOrCompute(key string, f func() V) V {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.m[key]; ok {
+		return v
+	}
+	v := f()
+	s.m[key] = v
+	return v
+}
+
+// Update atomically applies f to the current value for key (or the zero
+// value if absent) and stores the result. It returns the stored value.
+func (c *Map[V]) Update(key string, f func(old V, present bool) V) V {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.m[key]
+	v := f(old, ok)
+	s.m[key] = v
+	return v
+}
+
+// Len returns the total number of entries. It is a snapshot: concurrent
+// writers may change the count while it is being computed.
+func (c *Map[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Range calls f for every entry until f returns false. Entries written
+// during iteration may or may not be observed; each present key is visited
+// at most once.
+func (c *Map[V]) Range(f func(key string, value V) bool) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		// Copy the shard so f can call back into the map.
+		entries := make(map[string]V, len(s.m))
+		for k, v := range s.m {
+			entries[k] = v
+		}
+		s.mu.RUnlock()
+		for k, v := range entries {
+			if !f(k, v) {
+				return
+			}
+		}
+	}
+}
+
+// Keys returns a snapshot of all keys in unspecified order.
+func (c *Map[V]) Keys() []string {
+	keys := make([]string, 0, c.Len())
+	c.Range(func(k string, _ V) bool {
+		keys = append(keys, k)
+		return true
+	})
+	return keys
+}
+
+// Clear removes all entries.
+func (c *Map[V]) Clear() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.m = make(map[string]V)
+		s.mu.Unlock()
+	}
+}

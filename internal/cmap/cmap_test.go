@@ -1,0 +1,228 @@
+package cmap
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	m := New[int]()
+	m.Put("a", 1)
+	m.Put("b", 2)
+	if v, ok := m.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v; want 1, true", v, ok)
+	}
+	if _, ok := m.Get("missing"); ok {
+		t.Fatal("Get(missing) reported present")
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	m := New[string]()
+	m.Put("k", "old")
+	m.Put("k", "new")
+	if v, _ := m.Get("k"); v != "new" {
+		t.Fatalf("Get(k) = %q, want new", v)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+}
+
+func TestPutIfAbsent(t *testing.T) {
+	m := New[int]()
+	if v, stored := m.PutIfAbsent("k", 1); !stored || v != 1 {
+		t.Fatalf("first PutIfAbsent = %d, %v", v, stored)
+	}
+	if v, stored := m.PutIfAbsent("k", 2); stored || v != 1 {
+		t.Fatalf("second PutIfAbsent = %d, %v; want 1, false", v, stored)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	m := New[int]()
+	m.Put("k", 1)
+	if !m.Delete("k") {
+		t.Fatal("Delete of present key returned false")
+	}
+	if m.Delete("k") {
+		t.Fatal("Delete of absent key returned true")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after delete", m.Len())
+	}
+}
+
+func TestGetOrCompute(t *testing.T) {
+	m := New[int]()
+	calls := 0
+	f := func() int { calls++; return 42 }
+	if v := m.GetOrCompute("k", f); v != 42 {
+		t.Fatalf("GetOrCompute = %d", v)
+	}
+	if v := m.GetOrCompute("k", f); v != 42 {
+		t.Fatalf("GetOrCompute (cached) = %d", v)
+	}
+	if calls != 1 {
+		t.Fatalf("compute called %d times, want 1", calls)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	m := New[int]()
+	inc := func(old int, _ bool) int { return old + 1 }
+	for i := 0; i < 5; i++ {
+		m.Update("counter", inc)
+	}
+	if v, _ := m.Get("counter"); v != 5 {
+		t.Fatalf("counter = %d, want 5", v)
+	}
+}
+
+func TestRangeVisitsAll(t *testing.T) {
+	m := New[int]()
+	for i := 0; i < 100; i++ {
+		m.Put(fmt.Sprintf("k%03d", i), i)
+	}
+	seen := map[string]bool{}
+	m.Range(func(k string, v int) bool {
+		if seen[k] {
+			t.Fatalf("key %q visited twice", k)
+		}
+		seen[k] = true
+		return true
+	})
+	if len(seen) != 100 {
+		t.Fatalf("visited %d keys, want 100", len(seen))
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	m := New[int]()
+	for i := 0; i < 50; i++ {
+		m.Put(fmt.Sprintf("k%d", i), i)
+	}
+	visits := 0
+	m.Range(func(string, int) bool {
+		visits++
+		return visits < 5
+	})
+	if visits != 5 {
+		t.Fatalf("visits = %d, want 5", visits)
+	}
+}
+
+func TestKeysSnapshot(t *testing.T) {
+	m := New[int]()
+	want := []string{"a", "b", "c"}
+	for i, k := range want {
+		m.Put(k, i)
+	}
+	got := m.Keys()
+	sort.Strings(got)
+	if len(got) != len(want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	m := New[int]()
+	for i := 0; i < 10; i++ {
+		m.Put(fmt.Sprintf("k%d", i), i)
+	}
+	m.Clear()
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after Clear", m.Len())
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	m := New[int]()
+	const workers, perWorker = 16, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := fmt.Sprintf("k%d", i%7)
+				m.Update(key, func(old int, _ bool) int { return old + 1 })
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	m.Range(func(_ string, v int) bool { total += v; return true })
+	if total != workers*perWorker {
+		t.Fatalf("total = %d, want %d", total, workers*perWorker)
+	}
+}
+
+func TestConcurrentPutIfAbsentSingleWinner(t *testing.T) {
+	m := New[int]()
+	const workers = 32
+	var wg sync.WaitGroup
+	wins := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, stored := m.PutIfAbsent("once", w); stored {
+				wins <- w
+			}
+		}()
+	}
+	wg.Wait()
+	close(wins)
+	count := 0
+	for range wins {
+		count++
+	}
+	if count != 1 {
+		t.Fatalf("%d winners for PutIfAbsent, want exactly 1", count)
+	}
+}
+
+// Property: a Map behaves like a plain map under any sequence of Put and
+// Delete operations.
+func TestQuickMatchesPlainMap(t *testing.T) {
+	type op struct {
+		Key    string
+		Value  int
+		Delete bool
+	}
+	f := func(ops []op) bool {
+		m := New[int]()
+		ref := map[string]int{}
+		for _, o := range ops {
+			if o.Delete {
+				m.Delete(o.Key)
+				delete(ref, o.Key)
+			} else {
+				m.Put(o.Key, o.Value)
+				ref[o.Key] = o.Value
+			}
+		}
+		if m.Len() != len(ref) {
+			return false
+		}
+		for k, want := range ref {
+			if got, ok := m.Get(k); !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,353 @@
+// Package core composes the paper's components into the deployable
+// WS-Dispatcher: "a complete firewall for Web Services with specialized
+// functions like P.O Mailbox, message security inspection, and Registry
+// service" (§4.4).
+//
+// A core.Server mounts, on separate ports of one host:
+//
+//	RPCPort    POST /rpc/<logical>   RPC-Dispatcher forwarding
+//	           GET  /registry       browseable service directory
+//	           GET  /wsdl/<name>    per-service WSDL metadata
+//	           POST /login          single-sign-on token issue (optional)
+//	MsgPort    POST /msg            MSG-Dispatcher asynchronous forwarding
+//	MsgBoxPort POST /mbox[...]      co-located WS-MsgBox (optional)
+//
+// The same Server runs over the netsim virtual network (experiments) and
+// over real TCP (cmd/wsd) — the difference is only the Listener/Dialer
+// pair supplied in Config.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/clock"
+	"repro/internal/dispatch/msgdisp"
+	"repro/internal/dispatch/rpcdisp"
+	"repro/internal/httpx"
+	"repro/internal/msgbox"
+	"repro/internal/registry"
+	"repro/internal/soap"
+)
+
+// Config assembles a WS-Dispatcher deployment.
+type Config struct {
+	// Clock drives every timeout in the stack.
+	Clock clock.Clock
+	// HostName is the dispatcher's externally routable name, used to
+	// mint its own URLs (e.g. "wsd").
+	HostName string
+	// Listen opens listeners on the dispatcher's host (netsim.Host's
+	// Listen or a real TCP helper).
+	Listen func(port int) (net.Listener, error)
+	// Dialer opens outbound connections from the dispatcher's host.
+	Dialer httpx.Dialer
+
+	// RPCPort serves the RPC-Dispatcher (0 disables).
+	RPCPort int
+	// MsgPort serves the MSG-Dispatcher (0 disables).
+	MsgPort int
+	// MsgBoxPort serves a co-located WS-MsgBox (0 disables); the paper
+	// notes WS-MsgBox "can be co-located with MSG-Dispatcher or run as
+	// a separate service".
+	MsgBoxPort int
+
+	// Policy picks the registry balancing policy.
+	Policy registry.Policy
+	// RegistryFile, when set, seeds the registry from the text format.
+	RegistryFile string
+
+	// RPC tunes the RPC-Dispatcher (Clock is overwritten).
+	RPC rpcdisp.Config
+	// Msg tunes the MSG-Dispatcher (Clock/ReturnAddress overwritten).
+	Msg msgdisp.Config
+	// MsgBox tunes the mailbox service (Clock/BaseURL overwritten).
+	MsgBox msgbox.Config
+
+	// Authority, when set, enables single sign-on: POST /login issues
+	// tokens and every /rpc and /msg request must carry a valid one.
+	Authority *auth.Authority
+
+	// SweepEvery is the period of background state sweeps (pending
+	// reply routes). Default 30s.
+	SweepEvery time.Duration
+}
+
+// Server is a running WS-Dispatcher.
+type Server struct {
+	cfg Config
+
+	// Registry is the shared service registry.
+	Registry *registry.Registry
+	// RPC is the RPC-Dispatcher (nil when disabled).
+	RPC *rpcdisp.Dispatcher
+	// Msg is the MSG-Dispatcher (nil when disabled).
+	Msg *msgdisp.Dispatcher
+	// MsgBox is the co-located mailbox service (nil when disabled).
+	MsgBox *msgbox.Service
+
+	servers []*httpx.Server
+	sweeper *clock.Timer
+	stopped bool
+}
+
+// New validates the config and assembles (but does not start) a Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Wall
+	}
+	if cfg.HostName == "" {
+		return nil, errors.New("core: HostName required")
+	}
+	if cfg.Listen == nil || cfg.Dialer == nil {
+		return nil, errors.New("core: Listen and Dialer required")
+	}
+	if cfg.RPCPort == 0 && cfg.MsgPort == 0 && cfg.MsgBoxPort == 0 {
+		return nil, errors.New("core: all services disabled")
+	}
+	if cfg.SweepEvery <= 0 {
+		cfg.SweepEvery = 30 * time.Second
+	}
+
+	s := &Server{cfg: cfg}
+	s.Registry = registry.New(cfg.Policy, cfg.Clock)
+	if cfg.RegistryFile != "" {
+		if err := s.Registry.LoadFile(cfg.RegistryFile); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+
+	if cfg.RPCPort != 0 {
+		rc := cfg.RPC
+		rc.Clock = cfg.Clock
+		// The forwarding proxy must hold persistent connections to
+		// the services it fronts: with a small idle pool it would
+		// churn dials against the service's connection table under
+		// load and collapse where direct clients still progress —
+		// the opposite of the paper's "little negative impact".
+		client := httpx.NewClient(cfg.Dialer, httpx.ClientConfig{
+			Clock:          cfg.Clock,
+			MaxIdlePerHost: 512,
+		})
+		s.RPC = rpcdisp.New(s.Registry, client, rc)
+	}
+	if cfg.MsgPort != 0 {
+		mc := cfg.Msg
+		mc.Clock = cfg.Clock
+		mc.ReturnAddress = fmt.Sprintf("http://%s:%d/msg", cfg.HostName, cfg.MsgPort)
+		client := httpx.NewClient(cfg.Dialer, httpx.ClientConfig{Clock: cfg.Clock})
+		s.Msg = msgdisp.New(s.Registry, client, mc)
+	}
+	if cfg.MsgBoxPort != 0 {
+		bc := cfg.MsgBox
+		bc.Clock = cfg.Clock
+		bc.BaseURL = fmt.Sprintf("http://%s:%d", cfg.HostName, cfg.MsgBoxPort)
+		s.MsgBox = msgbox.New(bc)
+	}
+	return s, nil
+}
+
+// RPCURL returns the RPC-Dispatcher base URL ("" when disabled).
+func (s *Server) RPCURL() string {
+	if s.cfg.RPCPort == 0 {
+		return ""
+	}
+	return fmt.Sprintf("http://%s:%d", s.cfg.HostName, s.cfg.RPCPort)
+}
+
+// MsgURL returns the MSG-Dispatcher message endpoint ("" when disabled).
+func (s *Server) MsgURL() string {
+	if s.cfg.MsgPort == 0 {
+		return ""
+	}
+	return fmt.Sprintf("http://%s:%d/msg", s.cfg.HostName, s.cfg.MsgPort)
+}
+
+// MsgBoxURL returns the mailbox management endpoint ("" when disabled).
+func (s *Server) MsgBoxURL() string {
+	if s.cfg.MsgBoxPort == 0 {
+		return ""
+	}
+	return fmt.Sprintf("http://%s:%d/mbox", s.cfg.HostName, s.cfg.MsgBoxPort)
+}
+
+// Start opens all listeners and launches background sweeps.
+func (s *Server) Start() error {
+	if s.RPC != nil {
+		if err := s.serve(s.cfg.RPCPort, s.rpcMux()); err != nil {
+			return err
+		}
+	}
+	if s.Msg != nil {
+		if err := s.Msg.Start(); err != nil {
+			return err
+		}
+		if err := s.serve(s.cfg.MsgPort, s.msgMux()); err != nil {
+			return err
+		}
+	}
+	if s.MsgBox != nil {
+		if err := s.MsgBox.Start(); err != nil {
+			return err
+		}
+		if err := s.serve(s.cfg.MsgBoxPort, s.MsgBox); err != nil {
+			return err
+		}
+	}
+	s.scheduleSweep()
+	return nil
+}
+
+// Stop closes all listeners and pools.
+func (s *Server) Stop() {
+	s.stopped = true
+	if s.sweeper != nil {
+		s.sweeper.Stop()
+	}
+	for _, srv := range s.servers {
+		srv.Close()
+	}
+	if s.Msg != nil {
+		s.Msg.Stop()
+	}
+	if s.MsgBox != nil {
+		s.MsgBox.Stop()
+	}
+}
+
+func (s *Server) serve(port int, h httpx.Handler) error {
+	ln, err := s.cfg.Listen(port)
+	if err != nil {
+		return fmt.Errorf("core: listen %d: %w", port, err)
+	}
+	srv := httpx.NewServer(h, httpx.ServerConfig{Clock: s.cfg.Clock})
+	srv.Start(ln)
+	s.servers = append(s.servers, srv)
+	return nil
+}
+
+func (s *Server) scheduleSweep() {
+	if s.stopped {
+		return
+	}
+	s.sweeper = s.cfg.Clock.AfterFunc(s.cfg.SweepEvery, func() {
+		if s.Msg != nil {
+			s.Msg.SweepPending()
+		}
+		s.scheduleSweep()
+	})
+}
+
+// rpcMux routes the RPC port: /rpc/* to the dispatcher (behind SSO when
+// enabled), /registry and /wsdl/* to the directory, /login to the token
+// service.
+func (s *Server) rpcMux() httpx.Handler {
+	return httpx.HandlerFunc(func(req *httpx.Request) *httpx.Response {
+		switch {
+		case strings.HasPrefix(req.Path, "/rpc/"):
+			if resp := s.checkToken(req); resp != nil {
+				return resp
+			}
+			return s.RPC.Serve(req)
+		case req.Path == "/registry":
+			resp := httpx.NewResponse(httpx.StatusOK, rpcdisp.DirectoryPage(s.Registry))
+			resp.Header.Set("Content-Type", "text/xml; charset=utf-8")
+			return resp
+		case strings.HasPrefix(req.Path, "/wsdl/"):
+			return s.serveWSDL(strings.TrimPrefix(req.Path, "/wsdl/"))
+		case req.Path == "/login" && s.cfg.Authority != nil:
+			return s.serveLogin(req)
+		default:
+			return httpx.NewResponse(httpx.StatusNotFound, []byte("unknown path "+req.Path))
+		}
+	})
+}
+
+// msgMux routes the message port. SSO applies to /msg when enabled.
+func (s *Server) msgMux() httpx.Handler {
+	return httpx.HandlerFunc(func(req *httpx.Request) *httpx.Response {
+		if req.Path != "/msg" {
+			return httpx.NewResponse(httpx.StatusNotFound, []byte("unknown path "+req.Path))
+		}
+		if resp := s.checkToken(req); resp != nil {
+			return resp
+		}
+		return s.Msg.Serve(req)
+	})
+}
+
+// checkToken enforces SSO when an Authority is configured. It returns a
+// 401 response to send, or nil when the request may proceed.
+func (s *Server) checkToken(req *httpx.Request) *httpx.Response {
+	if s.cfg.Authority == nil {
+		return nil
+	}
+	if _, err := s.cfg.Authority.Verify(req.Header.Get(auth.HeaderName)); err != nil {
+		f := &soap.Fault{Code: soap.FaultClient, Reason: "authentication required: " + err.Error()}
+		body, merr := f.Envelope(soap.V11).Marshal()
+		if merr != nil {
+			body = []byte(f.Reason)
+		}
+		resp := httpx.NewResponse(httpx.StatusUnauthorized, body)
+		resp.Header.Set("Content-Type", soap.V11.ContentType())
+		return resp
+	}
+	return nil
+}
+
+// serveLogin implements the SSO token service as SOAP-RPC:
+// login(principal, secret) -> token.
+func (s *Server) serveLogin(req *httpx.Request) *httpx.Response {
+	env, err := soap.Parse(req.Body)
+	if err != nil {
+		return httpx.NewResponse(httpx.StatusBadRequest, []byte(err.Error()))
+	}
+	call, err := soap.ParseRPC(env)
+	if err != nil {
+		return httpx.NewResponse(httpx.StatusBadRequest, []byte(err.Error()))
+	}
+	principal, _ := call.Param("principal")
+	secret, _ := call.Param("secret")
+	token, err := s.cfg.Authority.Login(principal, secret)
+	if err != nil {
+		f := &soap.Fault{Code: soap.FaultClient, Reason: err.Error()}
+		body, merr := f.Envelope(env.Version).Marshal()
+		if merr != nil {
+			body = []byte(err.Error())
+		}
+		resp := httpx.NewResponse(httpx.StatusUnauthorized, body)
+		resp.Header.Set("Content-Type", env.Version.ContentType())
+		return resp
+	}
+	body, err := soap.RPCResponse(env.Version, "urn:wsd:auth", "login",
+		soap.Param{Name: "token", Value: token}).Marshal()
+	if err != nil {
+		return httpx.NewResponse(httpx.StatusInternalServerError, []byte(err.Error()))
+	}
+	resp := httpx.NewResponse(httpx.StatusOK, body)
+	resp.Header.Set("Content-Type", env.Version.ContentType())
+	return resp
+}
+
+// serveWSDL renders registered WSDL metadata for one logical service.
+func (s *Server) serveWSDL(name string) *httpx.Response {
+	entry, ok := s.Registry.Lookup(name)
+	if !ok || entry.Doc == nil {
+		return httpx.NewResponse(httpx.StatusNotFound, []byte("no WSDL for "+name))
+	}
+	doc := *entry.Doc
+	if doc.Endpoint == "" && s.cfg.RPCPort != 0 {
+		doc.Endpoint = s.RPCURL() + "/rpc/" + name
+	}
+	body, err := doc.Marshal()
+	if err != nil {
+		return httpx.NewResponse(httpx.StatusInternalServerError, []byte(err.Error()))
+	}
+	resp := httpx.NewResponse(httpx.StatusOK, body)
+	resp.Header.Set("Content-Type", "text/xml; charset=utf-8")
+	return resp
+}

@@ -1,0 +1,105 @@
+package msgdisp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/echoservice"
+	"repro/internal/httpx"
+	"repro/internal/netsim"
+	"repro/internal/registry"
+	"repro/internal/reliable"
+	"repro/internal/soap"
+	"repro/internal/store"
+	"repro/internal/wsa"
+	"repro/internal/xmlsoap"
+)
+
+// TestCourierRedeliversAfterServiceOutage wires the reliable Courier into
+// the MSG-Dispatcher (the paper's WS-ReliableMessaging future work): a
+// message forwarded while the service is down is held, retried, and
+// delivered once the service comes back.
+func TestCourierRedeliversAfterServiceOutage(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	defer clk.Stop()
+	nw := netsim.New(clk, 51)
+	wsd := nw.AddHost("wsd", netsim.ProfileLAN())
+	ws := nw.AddHost("ws", netsim.ProfileLAN())
+	cli := nw.AddHost("cli", netsim.ProfileLAN())
+
+	// The courier shares the dispatcher's host for outbound deliveries.
+	st := store.New(clk)
+	courierClient := httpx.NewClient(wsd, httpx.ClientConfig{Clock: clk})
+	courier := reliable.New(st, courierClient, reliable.Config{
+		Clock:          clk,
+		InitialBackoff: 2 * time.Second,
+		MaxBackoff:     5 * time.Second,
+		AttemptTimeout: 2 * time.Second,
+		DefaultTTL:     5 * time.Minute,
+	})
+	courier.Start()
+	defer courier.Stop()
+
+	reg := registry.New(registry.PolicyFirst, clk)
+	reg.Register("echo", "http://ws:81/msg")
+	dispClient := httpx.NewClient(wsd, httpx.ClientConfig{Clock: clk})
+	disp := New(reg, dispClient, Config{
+		Clock:           clk,
+		ReturnAddress:   "http://wsd:9100/msg",
+		DeliveryTimeout: 2 * time.Second,
+		Courier:         courier,
+	})
+	if err := disp.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer disp.Stop()
+	lnD, _ := wsd.Listen(9100)
+	srvD := httpx.NewServer(disp, httpx.ServerConfig{Clock: clk})
+	srvD.Start(lnD)
+	defer srvD.Close()
+
+	// Send while the service is DOWN (no listener on ws:81).
+	client := httpx.NewClient(cli, httpx.ClientConfig{Clock: clk, RequestTimeout: 10 * time.Second})
+	env := soap.New(soap.V11).SetBody(xmlsoap.NewText(echoservice.EchoNS, "echo", "survivor"))
+	(&wsa.Headers{
+		To:        LogicalScheme + "echo",
+		Action:    echoservice.EchoNS + ":echo",
+		MessageID: wsa.NewMessageID(),
+	}).Apply(env)
+	raw, err := env.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httpx.NewRequest("POST", "/msg", raw)
+	req.Header.Set("Content-Type", soap.V11.ContentType())
+	resp, err := client.Do("wsd:9100", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != httpx.StatusAccepted {
+		t.Fatalf("send status = %d", resp.Status)
+	}
+
+	// The immediate delivery fails and lands in the courier's store.
+	waitFor(t, func() bool { return disp.HandedToCourier.Value() == 1 })
+	if courier.Pending() != 1 {
+		t.Fatalf("courier pending = %d", courier.Pending())
+	}
+
+	// Bring the service up; the retry must land.
+	wsClient := httpx.NewClient(ws, httpx.ClientConfig{Clock: clk})
+	echo := echoservice.NewAsync(clk, wsClient, 0)
+	ln, _ := ws.Listen(81)
+	srvWS := httpx.NewServer(echo, httpx.ServerConfig{Clock: clk})
+	srvWS.Start(ln)
+	defer srvWS.Close()
+
+	waitFor(t, func() bool { return courier.Delivered.Value() == 1 })
+	if echo.Accepted.Value() != 1 {
+		t.Fatalf("service accepted = %d", echo.Accepted.Value())
+	}
+	if courier.Pending() != 0 {
+		t.Fatalf("courier still holds %d messages", courier.Pending())
+	}
+}

@@ -1,0 +1,409 @@
+// Package msgdisp implements the MSG-Dispatcher: the asynchronous,
+// store-and-forward half of the WS-Dispatcher (paper §4.1–4.2, Figure 3).
+//
+// Architecture, mirroring the paper:
+//
+//   - Incoming requests are handed to a bounded pool of CxThreads whose
+//     job is "to map logical address with physical address of the WS and
+//     parse the WS-Addressing message of the request to modify client's
+//     information with MSG-Dispatcher's return address".
+//   - Each destination has a FIFO queue drained by a WsThread that "has an
+//     open connection for a predefined time with a specified WS" and
+//     delivers queued messages over it — multiple messages per connection,
+//     "which is more efficient than opening multiple short lived
+//     connections".
+//   - "Responses from WSs are also treated like requests from clients":
+//     a message whose RelatesTo matches a remembered MessageID is routed
+//     to the original sender's ReplyTo — the real client endpoint, or its
+//     WS-MsgBox mailbox.
+//
+// The WsThread pool is a *shared, bounded* set of workers. That bound is
+// load-bearing for Figure 6: when replies must be delivered to firewalled
+// clients, each delivery attempt stalls a WsThread for the full dial
+// timeout, starving forward traffic — which is why the paper measures
+// plain MSG-Dispatcher as the slowest configuration and MSG-Dispatcher +
+// WS-MsgBox as the fastest.
+package msgdisp
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/cmap"
+	"repro/internal/httpx"
+	"repro/internal/pool"
+	"repro/internal/registry"
+	"repro/internal/soap"
+	"repro/internal/stats"
+	"repro/internal/wsa"
+)
+
+// LogicalScheme prefixes WS-Addressing To values that name a registry
+// entry rather than a physical URL, e.g. "logical:echo".
+const LogicalScheme = "logical:"
+
+// Config tunes a Dispatcher.
+type Config struct {
+	// Clock drives hold-open timers and timeouts.
+	Clock clock.Clock
+	// ReturnAddress is this dispatcher's own message endpoint; it is
+	// written into forwarded messages' ReplyTo so services answer
+	// through the dispatcher. Required.
+	ReturnAddress string
+	// CxWorkers sizes the first thread pool (incoming processing).
+	// Default 8.
+	CxWorkers int
+	// CxBacklog bounds queued unprocessed requests. Default 256.
+	CxBacklog int
+	// WsWorkers sizes the second pool: the maximum number of
+	// destinations being delivered to concurrently. Default 16.
+	WsWorkers int
+	// QueueCap bounds each destination's FIFO. Default 1024.
+	QueueCap int
+	// HoldOpen is how long an idle WsThread stays bound to its
+	// destination (connection held) before releasing its pool slot.
+	// Default 5s.
+	HoldOpen time.Duration
+	// DeliveryTimeout bounds one delivery attempt. Default 21s — the
+	// TCP connect timeout a firewalled destination consumes in full.
+	DeliveryTimeout time.Duration
+	// BatchMax caps messages sent per queue drain pass. Default 16.
+	BatchMax int
+	// PendingTTL is how long reply-routing state (MessageID → original
+	// ReplyTo) is retained. Default 5m.
+	PendingTTL time.Duration
+	// AnonymousWait bounds how long a request whose ReplyTo is the
+	// WS-Addressing anonymous URI holds its HTTP connection open
+	// waiting for the correlated reply (Table 1 quadrant 2: an RPC
+	// client calling a messaging service — "may not work at all if
+	// message reply comes too late"). Default 25s.
+	AnonymousWait time.Duration
+	// Courier, when set, receives messages whose immediate delivery
+	// failed for store-backed hold/retry with expiration — the paper's
+	// WS-ReliableMessaging-flavoured future work ("adding hold/retry
+	// on delivery ... with messages stored in DB with expiration
+	// time"). Nil drops failed deliveries after counting them.
+	Courier DeliveryFallback
+}
+
+// DeliveryFallback is the hook the reliable.Courier satisfies.
+type DeliveryFallback interface {
+	SendPayload(destURL, id string, payload []byte) (string, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = clock.Wall
+	}
+	if c.CxWorkers <= 0 {
+		c.CxWorkers = 8
+	}
+	if c.CxBacklog <= 0 {
+		c.CxBacklog = 256
+	}
+	if c.WsWorkers <= 0 {
+		c.WsWorkers = 16
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 1024
+	}
+	if c.HoldOpen <= 0 {
+		c.HoldOpen = 5 * time.Second
+	}
+	if c.DeliveryTimeout <= 0 {
+		c.DeliveryTimeout = 21 * time.Second
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 16
+	}
+	if c.PendingTTL <= 0 {
+		c.PendingTTL = 5 * time.Minute
+	}
+	if c.AnonymousWait <= 0 {
+		c.AnonymousWait = 25 * time.Second
+	}
+	return c
+}
+
+// Dispatcher is the asynchronous message router. It implements
+// httpx.Handler for its message endpoint.
+type Dispatcher struct {
+	cfg      Config
+	registry *registry.Registry
+	client   *httpx.Client
+
+	cx      *pool.Pool
+	dests   *cmap.Map[*destQueue]
+	wsSlots chan struct{}
+	pending *cmap.Map[pendingReply]
+
+	stopMu  sync.Mutex
+	stopped bool
+
+	// Counters for the evaluation harness.
+	Accepted         stats.Counter // messages admitted (202)
+	Rejected         stats.Counter // malformed / unroutable / overloaded
+	ForwardedToWS    stats.Counter // deliveries to services that succeeded
+	RepliesRouted    stats.Counter // responses matched to a pending request
+	RepliesDelivered stats.Counter // responses that reached their ReplyTo
+	DeliveryFailures stats.Counter // deliveries that failed (any direction)
+	UnmatchedReplies stats.Counter // responses with unknown RelatesTo
+	QueueDrops       stats.Counter // messages dropped at full queues
+	HandedToCourier  stats.Counter // failed deliveries given to hold/retry
+	DeliveryLatency  stats.Histogram
+}
+
+type pendingReply struct {
+	replyTo *wsa.EPR
+	// waiter, when non-nil, is an RPC-style caller blocked on its HTTP
+	// connection; the reply is handed over the channel instead of
+	// being forwarded.
+	waiter  chan *soap.Envelope
+	expires time.Time
+}
+
+// New builds a MSG-Dispatcher. client must dial from the dispatcher's
+// host; reg resolves logical names.
+func New(reg *registry.Registry, client *httpx.Client, cfg Config) *Dispatcher {
+	cfg = cfg.withDefaults()
+	d := &Dispatcher{
+		cfg:      cfg,
+		registry: reg,
+		client:   client,
+		cx:       pool.New(pool.Config{Core: cfg.CxWorkers, Backlog: cfg.CxBacklog}),
+		dests:    cmap.New[*destQueue](),
+		wsSlots:  make(chan struct{}, cfg.WsWorkers),
+		pending:  cmap.New[pendingReply](),
+	}
+	return d
+}
+
+// Start launches the CxThread pool.
+func (d *Dispatcher) Start() error { return d.cx.Start() }
+
+// Stop drains the CxThread pool and closes destination queues. In-flight
+// deliveries finish; queued undelivered messages are dropped.
+func (d *Dispatcher) Stop() {
+	d.stopMu.Lock()
+	if d.stopped {
+		d.stopMu.Unlock()
+		return
+	}
+	d.stopped = true
+	d.stopMu.Unlock()
+	d.cx.Stop()
+	d.dests.Range(func(_ string, dq *destQueue) bool {
+		dq.close()
+		return true
+	})
+}
+
+// Serve implements httpx.Handler. The HTTP goroutine hands the message to
+// a CxThread and relays its verdict: 202 Accepted on admission, a fault
+// otherwise.
+func (d *Dispatcher) Serve(req *httpx.Request) *httpx.Response {
+	result := make(chan *httpx.Response, 1)
+	body := req.Body
+	err := d.cx.TrySubmit(func() { result <- d.route(body) })
+	if err != nil {
+		d.Rejected.Inc()
+		return faultResponse(httpx.StatusServiceUnavailable, soap.FaultServer,
+			"dispatcher overloaded: "+err.Error())
+	}
+	return <-result
+}
+
+// route is the CxThread body: parse, classify (request vs response),
+// resolve, rewrite, enqueue.
+func (d *Dispatcher) route(body []byte) *httpx.Response {
+	env, err := soap.Parse(body)
+	if err != nil {
+		d.Rejected.Inc()
+		return faultResponse(httpx.StatusBadRequest, soap.FaultClient, "invalid SOAP: "+err.Error())
+	}
+	h, err := wsa.FromEnvelope(env)
+	if err != nil {
+		d.Rejected.Inc()
+		return faultResponse(httpx.StatusBadRequest, soap.FaultClient, "invalid WS-Addressing: "+err.Error())
+	}
+
+	// "Responses from WSs are also treated like requests from clients."
+	if h.RelatesTo != "" {
+		if entry, ok := d.pending.Get(h.RelatesTo); ok {
+			d.pending.Delete(h.RelatesTo)
+			if entry.expires.Before(d.cfg.Clock.Now()) {
+				d.Rejected.Inc()
+				return faultResponse(httpx.StatusBadRequest, soap.FaultClient,
+					"reply arrived after pending state expired")
+			}
+			return d.routeReply(env, h, entry)
+		}
+		d.UnmatchedReplies.Inc()
+		// Fall through: a RelatesTo we never saw may still carry a
+		// routable To (peer-managed conversation state).
+	}
+	return d.routeRequest(env, h)
+}
+
+// routeRequest forwards a client message toward the destination service.
+func (d *Dispatcher) routeRequest(env *soap.Envelope, h *wsa.Headers) *httpx.Response {
+	destURL := h.To
+	if logical, ok := strings.CutPrefix(h.To, LogicalScheme); ok {
+		ep, err := d.registry.Resolve(logical)
+		if err != nil {
+			d.Rejected.Inc()
+			return faultResponse(httpx.StatusNotFound, soap.FaultClient, err.Error())
+		}
+		destURL = ep.URL
+	}
+	// A message addressed to the dispatcher itself with no matching
+	// pending state would loop through the forwarder forever; refuse it.
+	if destURL == d.cfg.ReturnAddress {
+		d.Rejected.Inc()
+		return faultResponse(httpx.StatusBadRequest, soap.FaultClient,
+			"message addressed to the dispatcher itself has no routable correlation")
+	}
+
+	// Remember where the real answer should go, then rewrite ReplyTo to
+	// ourselves so the service replies through the dispatcher. When the
+	// sender expects no reply, tell the service so (the None address)
+	// instead of volunteering to receive replies we cannot route. An
+	// anonymous ReplyTo means the caller is RPC-style: it waits on its
+	// open HTTP connection for the correlated reply.
+	expectReply := h.MessageID != "" && h.ReplyTo != nil &&
+		h.ReplyTo.Address != "" && h.ReplyTo.Address != wsa.None
+	anonymous := expectReply && h.ReplyTo.Address == wsa.Anonymous
+	var waiter chan *soap.Envelope
+	rewritten := h.Clone()
+	rewritten.To = destURL
+	if expectReply {
+		if anonymous {
+			waiter = make(chan *soap.Envelope, 1)
+		}
+		d.pending.Put(h.MessageID, pendingReply{
+			replyTo: h.ReplyTo.Clone(),
+			waiter:  waiter,
+			expires: d.cfg.Clock.Now().Add(d.cfg.PendingTTL),
+		})
+		rewritten.ReplyTo = &wsa.EPR{Address: d.cfg.ReturnAddress}
+	} else {
+		rewritten.ReplyTo = &wsa.EPR{Address: wsa.None}
+	}
+	rewritten.Apply(env)
+
+	raw, err := env.Marshal()
+	if err != nil {
+		d.Rejected.Inc()
+		return faultResponse(httpx.StatusInternalServerError, soap.FaultServer, err.Error())
+	}
+	if !d.enqueue(outbound{
+		payload:       raw,
+		version:       env.Version,
+		toService:     true,
+		origMessageID: h.MessageID,
+	}, destURL) {
+		if expectReply {
+			d.pending.Delete(h.MessageID)
+		}
+		d.QueueDrops.Inc()
+		d.Rejected.Inc()
+		return faultResponse(httpx.StatusServiceUnavailable, soap.FaultServer,
+			"destination queue full: "+destURL)
+	}
+	d.Accepted.Inc()
+	if anonymous {
+		return d.awaitAnonymous(h.MessageID, waiter)
+	}
+	return httpx.NewResponse(httpx.StatusAccepted, nil)
+}
+
+// awaitAnonymous holds the caller's connection until its reply arrives or
+// the wait budget expires. This is Table 1's quadrant (2): it works only
+// when the messaging service answers before the RPC-side timeout, and it
+// ties up a CxThread for the whole wait — the "very limited" interaction.
+func (d *Dispatcher) awaitAnonymous(msgID string, waiter chan *soap.Envelope) *httpx.Response {
+	t := d.cfg.Clock.NewTimer(d.cfg.AnonymousWait)
+	defer t.Stop()
+	select {
+	case env := <-waiter:
+		raw, err := env.Marshal()
+		if err != nil {
+			return faultResponse(httpx.StatusInternalServerError, soap.FaultServer, err.Error())
+		}
+		resp := httpx.NewResponse(httpx.StatusOK, raw)
+		resp.Header.Set("Content-Type", env.Version.ContentType())
+		return resp
+	case <-t.C:
+		d.pending.Delete(msgID)
+		d.DeliveryFailures.Inc()
+		return faultResponse(httpx.StatusGatewayTimeout, soap.FaultServer,
+			"no reply within the anonymous-response window")
+	}
+}
+
+// routeReply forwards a service response to the original requester's
+// ReplyTo (client endpoint or mailbox), or hands it to a blocked
+// anonymous-RPC waiter.
+func (d *Dispatcher) routeReply(env *soap.Envelope, h *wsa.Headers, entry pendingReply) *httpx.Response {
+	d.RepliesRouted.Inc()
+	if entry.waiter != nil {
+		select {
+		case entry.waiter <- env.Clone():
+			d.RepliesDelivered.Inc()
+		default:
+			// The waiter gave up (timeout); the reply is dropped
+			// exactly as a late RPC response would be.
+			d.DeliveryFailures.Inc()
+		}
+		return httpx.NewResponse(httpx.StatusAccepted, nil)
+	}
+	rewritten := h.Clone()
+	rewritten.To = entry.replyTo.Address
+	rewritten.Apply(env)
+	raw, err := env.Marshal()
+	if err != nil {
+		d.Rejected.Inc()
+		return faultResponse(httpx.StatusInternalServerError, soap.FaultServer, err.Error())
+	}
+	if !d.enqueue(outbound{payload: raw, version: env.Version}, entry.replyTo.Address) {
+		d.QueueDrops.Inc()
+		d.Rejected.Inc()
+		return faultResponse(httpx.StatusServiceUnavailable, soap.FaultServer,
+			"reply queue full: "+entry.replyTo.Address)
+	}
+	d.Accepted.Inc()
+	return httpx.NewResponse(httpx.StatusAccepted, nil)
+}
+
+// SweepPending drops expired reply-routing entries and returns how many
+// were removed. The core server calls it periodically.
+func (d *Dispatcher) SweepPending() int {
+	now := d.cfg.Clock.Now()
+	var dead []string
+	d.pending.Range(func(id string, p pendingReply) bool {
+		if p.expires.Before(now) {
+			dead = append(dead, id)
+		}
+		return true
+	})
+	for _, id := range dead {
+		d.pending.Delete(id)
+	}
+	return len(dead)
+}
+
+// PendingLen reports retained reply-routing entries (for tests/metrics).
+func (d *Dispatcher) PendingLen() int { return d.pending.Len() }
+
+func faultResponse(status int, code, reason string) *httpx.Response {
+	f := &soap.Fault{Code: code, Reason: reason}
+	body, err := f.Envelope(soap.V11).Marshal()
+	if err != nil {
+		body = []byte(reason)
+	}
+	resp := httpx.NewResponse(status, body)
+	resp.Header.Set("Content-Type", soap.V11.ContentType())
+	return resp
+}

@@ -1,0 +1,177 @@
+package msgdisp
+
+import (
+	"sync"
+
+	"repro/internal/httpx"
+	"repro/internal/soap"
+	"repro/internal/wsa"
+)
+
+// outbound is one message scheduled for delivery.
+type outbound struct {
+	payload   []byte
+	version   soap.Version
+	toService bool // true when heading to a WS, false for reply legs
+	// origMessageID, for service-bound messages, is the request's
+	// MessageID: when an RPC-style service answers synchronously on
+	// the delivery connection (Table 1 quadrant 3 — "translation of
+	// semantics from messaging to RPC"), the response body is wrapped
+	// as a reply relating to this ID and routed back.
+	origMessageID string
+}
+
+// destQueue is the per-destination FIFO of Figure 3. A WsThread binds to
+// the queue while it has work (and for HoldOpen afterwards), sending
+// messages over one kept-alive connection.
+type destQueue struct {
+	url string
+
+	mu     sync.Mutex
+	ch     chan outbound
+	queued int
+	active bool
+	closed bool
+}
+
+// enqueue adds a message to the destination's queue, spinning up a
+// WsThread if none is bound. It reports false when the queue is full or
+// closed.
+func (d *Dispatcher) enqueue(msg outbound, destURL string) bool {
+	dq := d.dests.GetOrCompute(destURL, func() *destQueue {
+		return &destQueue{url: destURL, ch: make(chan outbound, d.cfg.QueueCap)}
+	})
+	dq.mu.Lock()
+	if dq.closed || dq.queued >= d.cfg.QueueCap {
+		dq.mu.Unlock()
+		return false
+	}
+	dq.queued++
+	spawn := !dq.active
+	if spawn {
+		dq.active = true
+	}
+	dq.mu.Unlock()
+
+	// Space is guaranteed: queued is incremented under the same lock
+	// that bounds it by QueueCap == cap(ch).
+	dq.ch <- msg
+	if spawn {
+		go d.wsThread(dq)
+	}
+	return true
+}
+
+func (dq *destQueue) close() {
+	dq.mu.Lock()
+	dq.closed = true
+	dq.mu.Unlock()
+}
+
+// wsThread drains one destination's queue. The destination binding (and
+// the kept-alive connection the httpx client pools) lasts until the queue
+// stays empty for HoldOpen, but each individual delivery must hold one of
+// the WsWorkers pool slots while it is on the wire.
+//
+// The per-delivery slot is the paper's bounded second thread pool: a
+// delivery stalled against a firewalled destination occupies its slot for
+// the full connect timeout, starving every other destination — including
+// forwards toward services. That contention is exactly why the paper
+// measures plain MSG-Dispatcher as the slowest Figure 6 configuration
+// while MSG-Dispatcher + WS-MsgBox (whose reply deliveries are fast) is
+// the fastest.
+func (d *Dispatcher) wsThread(dq *destQueue) {
+	for {
+		select {
+		case msg := <-dq.ch:
+			dq.mu.Lock()
+			dq.queued--
+			dq.mu.Unlock()
+			d.wsSlots <- struct{}{}
+			d.deliver(dq.url, msg)
+			<-d.wsSlots
+		case <-d.cfg.Clock.After(d.cfg.HoldOpen):
+			// Idle: release the destination binding if the queue
+			// is (still) empty; otherwise keep draining.
+			dq.mu.Lock()
+			if dq.queued == 0 || dq.closed {
+				dq.active = false
+				dq.mu.Unlock()
+				return
+			}
+			dq.mu.Unlock()
+		}
+	}
+}
+
+// deliver posts one message to its destination and records the outcome.
+// A synchronous SOAP response from an RPC-style destination is bridged
+// back into the message flow.
+func (d *Dispatcher) deliver(destURL string, msg outbound) {
+	start := d.cfg.Clock.Now()
+	addr, path, err := httpx.SplitURL(destURL)
+	if err != nil {
+		d.DeliveryFailures.Inc()
+		return
+	}
+	req := httpx.NewRequest("POST", path, msg.payload)
+	req.Header.Set("Content-Type", msg.version.ContentType())
+	resp, err := d.client.DoTimeout(addr, req, d.cfg.DeliveryTimeout)
+	if err != nil || resp.Status >= 300 {
+		d.DeliveryFailures.Inc()
+		if d.cfg.Courier != nil {
+			if _, cerr := d.cfg.Courier.SendPayload(destURL, msg.origMessageID, msg.payload); cerr == nil {
+				d.HandedToCourier.Inc()
+			}
+		}
+		return
+	}
+	d.DeliveryLatency.Observe(d.cfg.Clock.Since(start))
+	if msg.toService {
+		d.ForwardedToWS.Inc()
+		if resp.Status == httpx.StatusOK && len(resp.Body) > 0 {
+			d.bridgeRPCResponse(msg, resp.Body)
+		}
+	} else {
+		d.RepliesDelivered.Inc()
+	}
+}
+
+// bridgeRPCResponse handles a destination that answered on the delivery
+// connection instead of posting a separate reply message: an RPC-based
+// service behind the MSG-Dispatcher (Table 1 quadrant 3). The response
+// envelope is stamped with RelatesTo = the original MessageID and pushed
+// back through normal routing so it reaches the requester's ReplyTo or a
+// blocked anonymous waiter.
+func (d *Dispatcher) bridgeRPCResponse(msg outbound, body []byte) {
+	if msg.origMessageID == "" {
+		return
+	}
+	if _, waiting := d.pending.Get(msg.origMessageID); !waiting {
+		return // nobody expects a reply; discard like any one-way ack
+	}
+	env, err := soap.Parse(body)
+	if err != nil {
+		return // not a SOAP payload; plain 200 ack
+	}
+	h, err := wsa.FromEnvelope(env)
+	if err != nil || h.RelatesTo == "" {
+		// Plain RPC response without addressing: synthesize reply
+		// headers around its body.
+		reply := soap.New(env.Version).SetBody(env.Body...)
+		(&wsa.Headers{
+			To:        d.cfg.ReturnAddress,
+			MessageID: wsa.NewMessageID(),
+			RelatesTo: msg.origMessageID,
+		}).Apply(reply)
+		raw, merr := reply.Marshal()
+		if merr != nil {
+			return
+		}
+		d.route(raw)
+		return
+	}
+	// Already a fully addressed reply: route it as if it had been
+	// posted to us.
+	d.route(body)
+}

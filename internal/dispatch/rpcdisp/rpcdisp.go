@@ -1,0 +1,204 @@
+// Package rpcdisp implements the RPC-Dispatcher: the first of the paper's
+// two WS-Dispatcher variants, a SOAP-aware forwarding HTTP proxy.
+//
+// Per §4.2, it is deliberately simple: "It uses one thread to parse the
+// HTTP header, copy the XML message from the request to a new XML document
+// that is then used in the RPC invocation between RPC-Dispatcher and the
+// target WS. After the RPC-Dispatcher receives the result from the WS [it]
+// copies it to the response for the client and sends it back on the same
+// connection." The dispatcher therefore holds two connections per in-flight
+// call — one to the client, one to the service — which is exactly the
+// scalability limit Table 1 row (1) and Figures 4–5 measure.
+//
+// Request URLs take the form  POST /rpc/<logical-name> ; the logical name
+// is resolved through the shared Registry.
+package rpcdisp
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/httpx"
+	"repro/internal/registry"
+	"repro/internal/soap"
+	"repro/internal/stats"
+	"repro/internal/xmlsoap"
+)
+
+// Config tunes a Dispatcher.
+type Config struct {
+	// Clock drives timeouts; defaults to the wall clock.
+	Clock clock.Clock
+	// ForwardTimeout bounds the dispatcher→service exchange. 0 means
+	// 25s — slightly under the conventional 30s client budget so the
+	// dispatcher can still report 504 on the original connection.
+	ForwardTimeout time.Duration
+	// PathPrefix is the URL prefix carrying the logical name.
+	// Defaults to "/rpc/".
+	PathPrefix string
+	// Validate enables SOAP envelope inspection before forwarding (a
+	// standard HTTP proxy "will not be able to do any inspection of
+	// the SOAP traffic"; the WSD can). Malformed envelopes are refused
+	// with a Client fault instead of burdening the service.
+	Validate bool
+	// MarkDeadOnError flags endpoints dead in the registry after a
+	// forwarding failure so subsequent calls fail over.
+	MarkDeadOnError bool
+}
+
+// Dispatcher is the RPC forwarding proxy. It implements httpx.Handler.
+type Dispatcher struct {
+	cfg      Config
+	registry *registry.Registry
+	client   *httpx.Client
+
+	// Forwarded counts successfully proxied calls; LookupFailures,
+	// BadRequests and ForwardFailures classify refusals.
+	Forwarded       stats.Counter
+	LookupFailures  stats.Counter
+	BadRequests     stats.Counter
+	ForwardFailures stats.Counter
+	// Latency records end-to-end proxy time per forwarded call.
+	Latency stats.Histogram
+}
+
+// New builds a dispatcher forwarding through client (which carries the
+// dialer bound to the dispatcher's host) and resolving names in reg.
+func New(reg *registry.Registry, client *httpx.Client, cfg Config) *Dispatcher {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Wall
+	}
+	if cfg.ForwardTimeout == 0 {
+		cfg.ForwardTimeout = 25 * time.Second
+	}
+	if cfg.PathPrefix == "" {
+		cfg.PathPrefix = "/rpc/"
+	}
+	return &Dispatcher{cfg: cfg, registry: reg, client: client}
+}
+
+// Serve implements httpx.Handler: resolve, forward, relay.
+func (d *Dispatcher) Serve(req *httpx.Request) *httpx.Response {
+	start := d.cfg.Clock.Now()
+
+	logical, ok := strings.CutPrefix(req.Path, d.cfg.PathPrefix)
+	if !ok || logical == "" || strings.Contains(logical, "/") {
+		d.BadRequests.Inc()
+		return faultResponse(httpx.StatusNotFound, soap.FaultClient,
+			"request path must be "+d.cfg.PathPrefix+"<logical-service-name>")
+	}
+
+	if d.cfg.Validate {
+		if resp := d.validate(req.Body); resp != nil {
+			d.BadRequests.Inc()
+			return resp
+		}
+	}
+
+	ep, err := d.registry.Resolve(logical)
+	if err != nil {
+		d.LookupFailures.Inc()
+		return faultResponse(httpx.StatusNotFound, soap.FaultClient,
+			"unknown logical service "+logical+": "+err.Error())
+	}
+	addr, path, err := httpx.SplitURL(ep.URL)
+	if err != nil {
+		d.LookupFailures.Inc()
+		return faultResponse(httpx.StatusInternalServerError, soap.FaultServer,
+			"registry holds invalid endpoint "+ep.URL)
+	}
+
+	// Copy the XML message into a fresh request (the paper's "copy the
+	// XML message from the request to a new XML document"): hop-by-hop
+	// headers must not leak through a proxy.
+	fwd := httpx.NewRequest("POST", path, req.Body)
+	if ct := req.Header.Get("Content-Type"); ct != "" {
+		fwd.Header.Set("Content-Type", ct)
+	}
+	if sa := req.Header.Get("SOAPAction"); sa != "" {
+		fwd.Header.Set("SOAPAction", sa)
+	}
+
+	d.registry.Acquire(ep)
+	resp, err := d.client.DoTimeout(addr, fwd, d.cfg.ForwardTimeout)
+	d.registry.Release(ep)
+	if err != nil {
+		d.ForwardFailures.Inc()
+		if d.cfg.MarkDeadOnError {
+			d.registry.MarkDead(logical, ep.URL)
+		}
+		return faultResponse(httpx.StatusBadGateway, soap.FaultServer,
+			"forward to "+ep.URL+" failed: "+err.Error())
+	}
+
+	// Relay the service's answer on the original connection.
+	out := httpx.NewResponse(resp.Status, resp.Body)
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		out.Header.Set("Content-Type", ct)
+	}
+	d.Forwarded.Inc()
+	d.Latency.Observe(d.cfg.Clock.Since(start))
+	return out
+}
+
+// validate checks the body parses as SOAP and carries no mustUnderstand
+// header block the dispatcher would silently violate. It returns a fault
+// response to send, or nil when the message is acceptable.
+func (d *Dispatcher) validate(body []byte) *httpx.Response {
+	env, err := soap.Parse(body)
+	if err != nil {
+		return faultResponse(httpx.StatusBadRequest, soap.FaultClient,
+			"invalid SOAP envelope: "+err.Error())
+	}
+	// The RPC dispatcher understands no header blocks itself; it only
+	// relays. Blocks targeted at intermediaries with mustUnderstand
+	// would be silently ignored, so refuse them.
+	if v := env.MustUnderstandViolation(); v != nil {
+		return faultResponse(httpx.StatusBadRequest, soap.FaultMustUnderstand,
+			"header block "+v.Name.String()+" not understood by intermediary")
+	}
+	return nil
+}
+
+// faultResponse wraps a SOAP 1.1 fault in an HTTP response.
+func faultResponse(status int, code, reason string) *httpx.Response {
+	f := &soap.Fault{Code: code, Reason: reason}
+	body, err := f.Envelope(soap.V11).Marshal()
+	if err != nil {
+		body = []byte(reason)
+	}
+	resp := httpx.NewResponse(status, body)
+	resp.Header.Set("Content-Type", soap.V11.ContentType())
+	return resp
+}
+
+// WSDLFor returns a WSDL-ish directory page: the browseable service list
+// the paper imagines for the registry ("a simple browseable list of WSDL
+// files with metadata"). Mounted by the core server at /registry.
+func DirectoryPage(reg *registry.Registry) []byte {
+	root := xmlsoap.New("urn:wsd:registry", "services")
+	for _, name := range reg.Services() {
+		entry, ok := reg.Lookup(name)
+		if !ok {
+			continue
+		}
+		svc := xmlsoap.New("urn:wsd:registry", "service").SetAttr("", "name", name)
+		for _, ep := range entry.Endpoints {
+			e := xmlsoap.NewText("urn:wsd:registry", "endpoint", ep.URL)
+			if !ep.Alive() {
+				e.SetAttr("", "alive", "false")
+			}
+			svc.Add(e)
+		}
+		if entry.Doc != nil {
+			svc.Add(xmlsoap.NewText("urn:wsd:registry", "documentation", entry.Doc.Documentation))
+		}
+		root.Add(svc)
+	}
+	out, err := xmlsoap.MarshalDoc(root)
+	if err != nil {
+		return []byte("<services/>")
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// The tests here run scaled-down versions of every experiment and assert
+// the *shapes* the paper reports, not absolute numbers. Full-length runs
+// live behind cmd/experiments and the top-level benchmarks.
+
+func TestTable1Matrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full interaction matrix in -short mode")
+	}
+	cells := RunTable1(Table1Options{})
+	byQ := map[int]Table1Cell{}
+	for _, c := range cells {
+		byQ[c.Quadrant] = c
+	}
+
+	// Quadrant 1: forwarding RPC works, but a response slower than the
+	// HTTP/TCP timeout kills it ("Limited but very popular").
+	if !byQ[1].FastOK {
+		t.Errorf("Q1 fast failed: %s", byQ[1].FastDetail)
+	}
+	if byQ[1].SlowOK {
+		t.Error("Q1 slow succeeded; RPC should die on slow responses")
+	}
+	// Quadrant 2: works only when the reply beats the RPC window
+	// ("Very limited").
+	if !byQ[2].FastOK {
+		t.Errorf("Q2 fast failed: %s", byQ[2].FastDetail)
+	}
+	if byQ[2].SlowOK {
+		t.Error("Q2 slow succeeded; late replies must miss the window")
+	}
+	// Quadrant 3: semantics translation works; the RPC server remains
+	// the bottleneck (slow responses still fail).
+	if !byQ[3].FastOK {
+		t.Errorf("Q3 fast failed: %s", byQ[3].FastDetail)
+	}
+	if byQ[3].SlowOK {
+		t.Error("Q3 slow succeeded; the RPC leg should still time out")
+	}
+	// Quadrant 4: "Unlimited" — even the slow service completes.
+	if !byQ[4].FastOK {
+		t.Errorf("Q4 fast failed: %s", byQ[4].FastDetail)
+	}
+	if !byQ[4].SlowOK {
+		t.Errorf("Q4 slow failed: %s — messaging must tolerate slow responses", byQ[4].SlowDetail)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig4 sweep in -short mode")
+	}
+	rows := RunFig4(Fig4Options{
+		Clients:  []int{10, 200, 1000},
+		Duration: 15 * time.Second,
+	})
+	small, mid, big := rows[0], rows[1], rows[2]
+
+	// No (or almost no) loss at 10 clients.
+	if small.Direct.LossRatio() > 0.05 {
+		t.Errorf("10 clients: direct loss = %.2f, want ~0", small.Direct.LossRatio())
+	}
+	// Massive loss at 1000 clients: far more lost than transmitted.
+	if big.Direct.NotSent < big.Direct.Transmitted {
+		t.Errorf("1000 clients: not_sent=%d < transmitted=%d, want loss to dominate",
+			big.Direct.NotSent, big.Direct.Transmitted)
+	}
+	// Transmitted throughput saturates: 1000 clients deliver no more
+	// than ~2x what 200 clients do (the 288kbps uplink is the wall).
+	if big.Direct.Transmitted > 2*mid.Direct.Transmitted+100 {
+		t.Errorf("transmitted kept scaling: mid=%d big=%d",
+			mid.Direct.Transmitted, big.Direct.Transmitted)
+	}
+	// The dispatcher has "little negative impact": within 2x on the
+	// saturated plateau.
+	if mid.Dispatcher.Transmitted*2 < mid.Direct.Transmitted {
+		t.Errorf("dispatcher collapsed: direct=%d dispatcher=%d",
+			mid.Direct.Transmitted, mid.Dispatcher.Transmitted)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig5 sweep in -short mode")
+	}
+	rows := RunFig5(Fig5Options{
+		Clients:  []int{25, 200, 300},
+		Duration: 15 * time.Second,
+	})
+	low, plateau, high := rows[0], rows[1], rows[2]
+
+	// No lost packets in good conditions.
+	for _, r := range rows {
+		if r.Direct.NotSent > 0 || r.Dispatcher.NotSent > 0 {
+			t.Errorf("%d clients: lost packets in good conditions (%d/%d)",
+				r.Clients, r.Direct.NotSent, r.Dispatcher.NotSent)
+		}
+	}
+	// Throughput rises from 25 to 200 clients...
+	if plateau.Direct.PerMinute() < 1.5*low.Direct.PerMinute() {
+		t.Errorf("no rise: 25 clients %.0f/min vs 200 clients %.0f/min",
+			low.Direct.PerMinute(), plateau.Direct.PerMinute())
+	}
+	// ...then flattens: 300 clients is not meaningfully better than 200.
+	if high.Direct.PerMinute() > 1.25*plateau.Direct.PerMinute() {
+		t.Errorf("no plateau: 200 clients %.0f/min vs 300 clients %.0f/min",
+			plateau.Direct.PerMinute(), high.Direct.PerMinute())
+	}
+	// Dispatcher ≈ direct (within 25% on the plateau).
+	ratio := plateau.Dispatcher.PerMinute() / plateau.Direct.PerMinute()
+	if ratio < 0.75 || ratio > 1.25 {
+		t.Errorf("dispatcher deviates: ratio = %.2f", ratio)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig6 sweep in -short mode")
+	}
+	opt := Fig6Options{Duration: 20 * time.Second}
+
+	// At 5 clients the three configurations are comparable (within 3x).
+	small5 := Fig6Row{
+		Clients:       5,
+		OneWay:        RunFig6Point(opt, 5, SeriesOneWay),
+		MsgDispatcher: RunFig6Point(opt, 5, SeriesMsgDispatcher),
+		MsgBox:        RunFig6Point(opt, 5, SeriesMsgBox),
+	}
+	if small5.MsgBox.PerMinute() > 3*small5.OneWay.PerMinute()+60 {
+		t.Errorf("5 clients: msgbox %.0f vs oneway %.0f — should be comparable",
+			small5.MsgBox.PerMinute(), small5.OneWay.PerMinute())
+	}
+
+	// At 40 clients MsgBox is clearly the best (paper: best above 10).
+	big := Fig6Row{
+		Clients:       40,
+		OneWay:        RunFig6Point(opt, 40, SeriesOneWay),
+		MsgDispatcher: RunFig6Point(opt, 40, SeriesMsgDispatcher),
+		MsgBox:        RunFig6Point(opt, 40, SeriesMsgBox),
+	}
+	if big.MsgBox.PerMinute() <= big.OneWay.PerMinute() {
+		t.Errorf("40 clients: msgbox %.0f <= oneway %.0f",
+			big.MsgBox.PerMinute(), big.OneWay.PerMinute())
+	}
+	if big.MsgBox.PerMinute() <= big.MsgDispatcher.PerMinute() {
+		t.Errorf("40 clients: msgbox %.0f <= msgdisp %.0f",
+			big.MsgBox.PerMinute(), big.MsgDispatcher.PerMinute())
+	}
+	// Plain MSG-Dispatcher (replies blocked) is the slowest of the
+	// three at scale, as the paper reports.
+	if big.MsgDispatcher.PerMinute() > big.OneWay.PerMinute() {
+		t.Errorf("40 clients: msgdisp %.0f > oneway %.0f — paper has msgdisp slowest",
+			big.MsgDispatcher.PerMinute(), big.OneWay.PerMinute())
+	}
+}
+
+func TestFig6BugCliff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig6bug sweep in -short mode")
+	}
+	rows := RunFig6Bug(Fig6BugOptions{
+		Clients:  []int{20, 80},
+		Duration: 20 * time.Second,
+	})
+	low, high := rows[0], rows[1]
+
+	// Below the cliff the buggy mailbox survives.
+	if low.BuggyOOMs != 0 {
+		t.Errorf("20 clients: buggy mailbox OOMed %d times", low.BuggyOOMs)
+	}
+	// Above the cliff it throws OutOfMemoryError...
+	if high.BuggyOOMs == 0 {
+		t.Error("80 clients: buggy mailbox never OOMed")
+	}
+	// ...while the fixed design stores everything without incident.
+	if high.FixedStored == 0 {
+		t.Error("fixed mailbox stored nothing")
+	}
+	if high.BuggyStored >= high.FixedStored {
+		t.Errorf("buggy stored %d >= fixed %d at 80 clients",
+			high.BuggyStored, high.FixedStored)
+	}
+}

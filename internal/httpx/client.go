@@ -1,0 +1,203 @@
+package httpx
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Dialer opens connections by "host:port" address. netsim.Host implements
+// it directly; NetDialer adapts the real network.
+type Dialer interface {
+	DialTimeout(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+// NetDialer is the real-TCP Dialer used by the cmd/ daemons.
+type NetDialer struct{}
+
+// DialTimeout implements Dialer over net.DialTimeout.
+func (NetDialer) DialTimeout(addr string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
+// ClientConfig tunes a Client.
+type ClientConfig struct {
+	// Clock drives deadlines; defaults to the wall clock.
+	Clock clock.Clock
+	// DialTimeout bounds connection establishment. 0 means 21s (the
+	// classic TCP connect timeout the paper's firewalled sends hit).
+	DialTimeout time.Duration
+	// RequestTimeout bounds one full request/response exchange. 0
+	// means 30s, the HTTP/TCP timeout the paper cites as the limit on
+	// RPC interactions.
+	RequestTimeout time.Duration
+	// MaxIdlePerHost caps pooled keep-alive connections per target.
+	// 0 means 4.
+	MaxIdlePerHost int
+	// DisableKeepAlive forces one connection per exchange (ablation:
+	// the paper argues batching over held connections beats short-lived
+	// ones).
+	DisableKeepAlive bool
+}
+
+// DefaultRequestTimeout is the end-to-end exchange budget; the paper's
+// discussion of RPC through intermediaries revolves around responses that
+// outlive this kind of limit.
+const DefaultRequestTimeout = 30 * time.Second
+
+// Client is a pooling HTTP/1.1 client over an arbitrary Dialer.
+type Client struct {
+	dialer Dialer
+	cfg    ClientConfig
+
+	mu     sync.Mutex
+	idle   map[string][]*persistConn
+	closed bool
+}
+
+type persistConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// NewClient builds a client using dialer.
+func NewClient(dialer Dialer, cfg ClientConfig) *Client {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Wall
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 21 * time.Second
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.MaxIdlePerHost == 0 {
+		cfg.MaxIdlePerHost = 4
+	}
+	return &Client{dialer: dialer, cfg: cfg, idle: make(map[string][]*persistConn)}
+}
+
+// Do sends req to addr ("host:port") and returns the response. Pooled
+// connections are reused; a stale pooled connection is retried once on a
+// fresh dial. The whole exchange is bounded by RequestTimeout (overridable
+// per call with DoTimeout).
+func (c *Client) Do(addr string, req *Request) (*Response, error) {
+	return c.DoTimeout(addr, req, c.cfg.RequestTimeout)
+}
+
+// DoTimeout is Do with an explicit exchange budget.
+func (c *Client) DoTimeout(addr string, req *Request, timeout time.Duration) (*Response, error) {
+	deadline := c.cfg.Clock.Now().Add(timeout)
+
+	// First try a pooled connection; it may have been closed by the
+	// server's idle timeout, in which case retry on a fresh dial.
+	if pc := c.takeIdle(addr); pc != nil {
+		resp, err := c.exchange(pc, addr, req, deadline)
+		if err == nil {
+			return resp, nil
+		}
+		pc.conn.Close()
+	}
+
+	dialBudget := c.cfg.DialTimeout
+	if remaining := deadline.Sub(c.cfg.Clock.Now()); remaining < dialBudget {
+		dialBudget = remaining
+	}
+	if dialBudget <= 0 {
+		return nil, &clientTimeoutError{addr: addr}
+	}
+	conn, err := c.dialer.DialTimeout(addr, dialBudget)
+	if err != nil {
+		return nil, fmt.Errorf("httpx: dial %s: %w", addr, err)
+	}
+	pc := &persistConn{conn: conn, br: bufio.NewReader(conn)}
+	resp, err := c.exchange(pc, addr, req, deadline)
+	if err != nil {
+		pc.conn.Close()
+		return nil, err
+	}
+	return resp, nil
+}
+
+// exchange performs one request/response on pc and returns it to the pool
+// on success.
+func (c *Client) exchange(pc *persistConn, addr string, req *Request, deadline time.Time) (*Response, error) {
+	pc.conn.SetDeadline(deadline)
+	r := *req
+	if r.Header == nil {
+		r.Header = Header{}
+	} else {
+		r.Header = r.Header.Clone()
+	}
+	if !r.Header.Has("Host") {
+		r.Header.Set("Host", addr)
+	}
+	if c.cfg.DisableKeepAlive {
+		r.Header.Set("Connection", "close")
+	}
+	if err := r.Encode(pc.conn); err != nil {
+		return nil, fmt.Errorf("httpx: write to %s: %w", addr, err)
+	}
+	resp, err := ReadResponse(pc.br)
+	if err != nil {
+		return nil, fmt.Errorf("httpx: read from %s: %w", addr, err)
+	}
+	if c.cfg.DisableKeepAlive || wantsClose(resp.Proto, resp.Header) {
+		pc.conn.Close()
+	} else {
+		pc.conn.SetDeadline(time.Time{})
+		c.putIdle(addr, pc)
+	}
+	return resp, nil
+}
+
+func (c *Client) takeIdle(addr string) *persistConn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	list := c.idle[addr]
+	if len(list) == 0 {
+		return nil
+	}
+	pc := list[len(list)-1]
+	c.idle[addr] = list[:len(list)-1]
+	return pc
+}
+
+func (c *Client) putIdle(addr string, pc *persistConn) {
+	c.mu.Lock()
+	drop := c.closed || len(c.idle[addr]) >= c.cfg.MaxIdlePerHost
+	if !drop {
+		c.idle[addr] = append(c.idle[addr], pc)
+	}
+	c.mu.Unlock()
+	if drop {
+		pc.conn.Close()
+	}
+}
+
+// Close drops all pooled connections. In-flight exchanges are unaffected.
+func (c *Client) Close() {
+	c.mu.Lock()
+	c.closed = true
+	var all []*persistConn
+	for _, list := range c.idle {
+		all = append(all, list...)
+	}
+	c.idle = make(map[string][]*persistConn)
+	c.mu.Unlock()
+	for _, pc := range all {
+		pc.conn.Close()
+	}
+}
+
+// clientTimeoutError is returned when the exchange budget is exhausted
+// before the request could even be sent.
+type clientTimeoutError struct{ addr string }
+
+func (e *clientTimeoutError) Error() string   { return "httpx: request to " + e.addr + " timed out" }
+func (e *clientTimeoutError) Timeout() bool   { return true }
+func (e *clientTimeoutError) Temporary() bool { return true }

@@ -1,0 +1,87 @@
+// Package httpx is a compact HTTP/1.1 implementation — client, server, and
+// message codec — written directly against net.Conn.
+//
+// The paper's stack (XSUL) ships its own HTTP transport rather than using a
+// servlet container, because the dispatcher needs precise control over the
+// connection lifecycle: the RPC-Dispatcher holds one upstream and one
+// downstream connection per in-flight call, the MSG-Dispatcher keeps
+// connections to destination services "open for a predefined time" to batch
+// messages, and the evaluation hinges on TCP-level timeouts. Re-implementing
+// HTTP/1.1 here (instead of using net/http) keeps those knobs explicit and
+// lets the same code run over real TCP and over the netsim virtual network,
+// whose Conn carries the bandwidth/latency model.
+//
+// Scope: HTTP/1.0 and 1.1, Content-Length and chunked bodies, persistent
+// connections, and the handful of headers SOAP messaging needs. It is not a
+// general-purpose web server.
+package httpx
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Header holds HTTP headers as single-valued canonical-case keys. SOAP
+// traffic never needs repeated header fields, so a flat map keeps the codec
+// small; the last write wins on duplicates.
+type Header map[string]string
+
+// CanonicalKey converts k to HTTP canonical form (Content-Type,
+// SOAPAction → Soapaction is avoided by special-casing known mixed-case
+// names).
+func CanonicalKey(k string) string {
+	// Known names whose conventional spelling is not dash-canonical.
+	switch strings.ToLower(k) {
+	case "soapaction":
+		return "SOAPAction"
+	case "www-authenticate":
+		return "WWW-Authenticate"
+	}
+	parts := strings.Split(k, "-")
+	for i, p := range parts {
+		if p == "" {
+			continue
+		}
+		parts[i] = strings.ToUpper(p[:1]) + strings.ToLower(p[1:])
+	}
+	return strings.Join(parts, "-")
+}
+
+// Set stores value under the canonical form of key.
+func (h Header) Set(key, value string) { h[CanonicalKey(key)] = value }
+
+// Get returns the value stored under the canonical form of key, or "".
+func (h Header) Get(key string) string { return h[CanonicalKey(key)] }
+
+// Del removes key.
+func (h Header) Del(key string) { delete(h, CanonicalKey(key)) }
+
+// Has reports whether key is present.
+func (h Header) Has(key string) bool {
+	_, ok := h[CanonicalKey(key)]
+	return ok
+}
+
+// Clone returns a deep copy.
+func (h Header) Clone() Header {
+	c := make(Header, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// writeTo renders headers in sorted order (deterministic wire output makes
+// tests and traces stable) followed by the blank line.
+func (h Header) writeTo(b *strings.Builder) {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, "%s: %s\r\n", k, h[k])
+	}
+	b.WriteString("\r\n")
+}

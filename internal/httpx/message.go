@@ -1,0 +1,274 @@
+package httpx
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// maxHeaderBytes bounds header section size to keep a malicious or broken
+// peer from ballooning memory.
+const maxHeaderBytes = 64 << 10
+
+// maxBodyBytes bounds message bodies. SOAP envelopes in this system are a
+// few hundred bytes; 8 MiB leaves generous room for WSDL documents and
+// batched mailbox downloads.
+const maxBodyBytes = 8 << 20
+
+// Request is an HTTP request with a fully buffered body.
+type Request struct {
+	Method string
+	// Path is the request-URI as sent on the wire, e.g. "/wsd/echo".
+	Path   string
+	Proto  string // "HTTP/1.1" unless overridden
+	Header Header
+	Body   []byte
+
+	// RemoteAddr is filled by the server with the peer address.
+	RemoteAddr string
+}
+
+// NewRequest builds a request with sensible defaults for this stack:
+// HTTP/1.1, Content-Length set from body.
+func NewRequest(method, path string, body []byte) *Request {
+	return &Request{Method: method, Path: path, Proto: "HTTP/1.1", Header: Header{}, Body: body}
+}
+
+// Response is an HTTP response with a fully buffered body.
+type Response struct {
+	Status int
+	Reason string
+	Proto  string
+	Header Header
+	Body   []byte
+}
+
+// NewResponse builds a response with status code and body.
+func NewResponse(status int, body []byte) *Response {
+	return &Response{Status: status, Reason: StatusText(status), Proto: "HTTP/1.1", Header: Header{}, Body: body}
+}
+
+// errors surfaced by the codec.
+var (
+	ErrMalformed    = errors.New("httpx: malformed message")
+	ErrHeaderTooBig = errors.New("httpx: header section too large")
+	ErrBodyTooBig   = errors.New("httpx: body exceeds limit")
+)
+
+// Encode serializes the request to w with Content-Length framing.
+func (r *Request) Encode(w io.Writer) error {
+	proto := r.Proto
+	if proto == "" {
+		proto = "HTTP/1.1"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s %s\r\n", r.Method, r.Path, proto)
+	h := r.Header
+	if h == nil {
+		h = Header{}
+	}
+	h = h.Clone()
+	h.Set("Content-Length", strconv.Itoa(len(r.Body)))
+	h.writeTo(&b)
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	if len(r.Body) > 0 {
+		if _, err := w.Write(r.Body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Encode serializes the response to w with Content-Length framing.
+func (r *Response) Encode(w io.Writer) error {
+	proto := r.Proto
+	if proto == "" {
+		proto = "HTTP/1.1"
+	}
+	reason := r.Reason
+	if reason == "" {
+		reason = StatusText(r.Status)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %d %s\r\n", proto, r.Status, reason)
+	h := r.Header
+	if h == nil {
+		h = Header{}
+	}
+	h = h.Clone()
+	h.Set("Content-Length", strconv.Itoa(len(r.Body)))
+	h.writeTo(&b)
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	if len(r.Body) > 0 {
+		if _, err := w.Write(r.Body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadRequest parses one request from br.
+func ReadRequest(br *bufio.Reader) (*Request, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+		return nil, fmt.Errorf("%w: bad request line %q", ErrMalformed, line)
+	}
+	req := &Request{Method: parts[0], Path: parts[1], Proto: parts[2]}
+	req.Header, err = readHeaders(br)
+	if err != nil {
+		return nil, err
+	}
+	req.Body, err = readBody(br, req.Header)
+	if err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// ReadResponse parses one response from br.
+func ReadResponse(br *bufio.Reader) (*Response, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return nil, fmt.Errorf("%w: bad status line %q", ErrMalformed, line)
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad status code %q", ErrMalformed, parts[1])
+	}
+	resp := &Response{Proto: parts[0], Status: status}
+	if len(parts) == 3 {
+		resp.Reason = parts[2]
+	}
+	resp.Header, err = readHeaders(br)
+	if err != nil {
+		return nil, err
+	}
+	resp.Body, err = readBody(br, resp.Header)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// wantsClose reports whether the message's Connection header asks to drop
+// the connection after this exchange, honouring HTTP/1.0 defaults.
+func wantsClose(proto string, h Header) bool {
+	c := strings.ToLower(h.Get("Connection"))
+	if proto == "HTTP/1.0" {
+		return c != "keep-alive"
+	}
+	return c == "close"
+}
+
+func readLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	if len(line) > maxHeaderBytes {
+		return "", ErrHeaderTooBig
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func readHeaders(br *bufio.Reader) (Header, error) {
+	h := Header{}
+	total := 0
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			return nil, err
+		}
+		if line == "" {
+			return h, nil
+		}
+		total += len(line)
+		if total > maxHeaderBytes {
+			return nil, ErrHeaderTooBig
+		}
+		i := strings.IndexByte(line, ':')
+		if i <= 0 {
+			return nil, fmt.Errorf("%w: bad header line %q", ErrMalformed, line)
+		}
+		h.Set(strings.TrimSpace(line[:i]), strings.TrimSpace(line[i+1:]))
+	}
+}
+
+func readBody(br *bufio.Reader, h Header) ([]byte, error) {
+	if strings.EqualFold(h.Get("Transfer-Encoding"), "chunked") {
+		return readChunked(br)
+	}
+	cl := h.Get("Content-Length")
+	if cl == "" {
+		return nil, nil
+	}
+	n, err := strconv.Atoi(cl)
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("%w: bad Content-Length %q", ErrMalformed, cl)
+	}
+	if n > maxBodyBytes {
+		return nil, ErrBodyTooBig
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+func readChunked(br *bufio.Reader) ([]byte, error) {
+	var body []byte
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			return nil, err
+		}
+		// Ignore chunk extensions.
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		size, err := strconv.ParseInt(strings.TrimSpace(line), 16, 32)
+		if err != nil || size < 0 {
+			return nil, fmt.Errorf("%w: bad chunk size %q", ErrMalformed, line)
+		}
+		if size == 0 {
+			// Trailer section: read until blank line.
+			for {
+				t, err := readLine(br)
+				if err != nil {
+					return nil, err
+				}
+				if t == "" {
+					return body, nil
+				}
+			}
+		}
+		if len(body)+int(size) > maxBodyBytes {
+			return nil, ErrBodyTooBig
+		}
+		chunk := make([]byte, size)
+		if _, err := io.ReadFull(br, chunk); err != nil {
+			return nil, err
+		}
+		body = append(body, chunk...)
+		// Trailing CRLF after each chunk.
+		if _, err := readLine(br); err != nil {
+			return nil, err
+		}
+	}
+}

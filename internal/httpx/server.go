@@ -1,0 +1,204 @@
+package httpx
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/stats"
+)
+
+// Handler processes one request and returns the response to send. A nil
+// response produces 500.
+type Handler interface {
+	Serve(req *Request) *Response
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(req *Request) *Response
+
+// Serve implements Handler.
+func (f HandlerFunc) Serve(req *Request) *Response { return f(req) }
+
+// ServerConfig tunes a Server.
+type ServerConfig struct {
+	// Clock drives deadlines; defaults to the wall clock.
+	Clock clock.Clock
+	// ReadTimeout bounds reading one full request; 0 disables.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing one full response; 0 disables.
+	WriteTimeout time.Duration
+	// IdleTimeout closes keep-alive connections with no next request.
+	// 0 means DefaultIdleTimeout.
+	IdleTimeout time.Duration
+	// MaxHandlers caps concurrently running handlers; 0 = unlimited
+	// (goroutine per connection, like XSUL's thread-per-connection).
+	MaxHandlers int
+}
+
+// DefaultIdleTimeout matches a conservative 2004 servlet-container
+// keep-alive timeout.
+const DefaultIdleTimeout = 30 * time.Second
+
+// Server accepts connections from a net.Listener and serves HTTP/1.1 with
+// keep-alive. One goroutine per connection.
+type Server struct {
+	handler Handler
+	cfg     ServerConfig
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	handlers chan struct{} // semaphore when MaxHandlers > 0
+
+	// Requests counts requests fully parsed; Errors counts failed
+	// reads/writes (client gave up, malformed, timeout).
+	Requests stats.Counter
+	Errors   stats.Counter
+	// ActiveConns tracks open connections (peak gives "concurrent
+	// connections survived", used in scalability reports).
+	ActiveConns stats.Gauge
+}
+
+// NewServer builds a server around handler.
+func NewServer(handler Handler, cfg ServerConfig) *Server {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Wall
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = DefaultIdleTimeout
+	}
+	s := &Server{handler: handler, cfg: cfg, conns: make(map[net.Conn]struct{})}
+	if cfg.MaxHandlers > 0 {
+		s.handlers = make(chan struct{}, cfg.MaxHandlers)
+	}
+	return s
+}
+
+// Serve accepts connections until the listener fails or Close is called.
+// It always returns a non-nil error; after Close it returns ErrServerClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.track(conn, true)
+		go s.serveConn(conn)
+	}
+}
+
+// Start runs Serve on its own goroutine and returns immediately.
+func (s *Server) Start(ln net.Listener) {
+	go func() { _ = s.Serve(ln) }()
+}
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("httpx: server closed")
+
+// Close stops accepting and closes all open connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return nil
+}
+
+func (s *Server) track(c net.Conn, add bool) {
+	s.mu.Lock()
+	if add {
+		s.conns[c] = struct{}{}
+		s.ActiveConns.Add(1)
+	} else {
+		delete(s.conns, c)
+		s.ActiveConns.Add(-1)
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	defer s.track(conn, false)
+	clk := s.cfg.Clock
+	br := bufio.NewReader(conn)
+	for {
+		// Idle / read deadline for the next request.
+		wait := s.cfg.IdleTimeout
+		if s.cfg.ReadTimeout > 0 && s.cfg.ReadTimeout < wait {
+			wait = s.cfg.ReadTimeout
+		}
+		conn.SetReadDeadline(clk.Now().Add(wait))
+
+		req, err := ReadRequest(br)
+		if err != nil {
+			if err != io.EOF {
+				s.Errors.Inc()
+			}
+			return
+		}
+		s.Requests.Inc()
+		req.RemoteAddr = conn.RemoteAddr().String()
+
+		resp := s.dispatch(req)
+		if resp == nil {
+			resp = NewResponse(StatusInternalServerError, nil)
+		}
+
+		if s.cfg.WriteTimeout > 0 {
+			conn.SetWriteDeadline(clk.Now().Add(s.cfg.WriteTimeout))
+		}
+		if err := resp.Encode(conn); err != nil {
+			s.Errors.Inc()
+			return
+		}
+		if wantsClose(req.Proto, req.Header) || wantsClose(resp.Proto, resp.Header) {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req *Request) *Response {
+	if s.handlers != nil {
+		s.handlers <- struct{}{}
+		defer func() { <-s.handlers }()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			s.Errors.Inc()
+		}
+	}()
+	return s.handler.Serve(req)
+}

@@ -1,0 +1,46 @@
+package httpx
+
+// Status codes used by the dispatcher stack.
+const (
+	StatusOK                  = 200
+	StatusAccepted            = 202
+	StatusBadRequest          = 400
+	StatusUnauthorized        = 401
+	StatusForbidden           = 403
+	StatusNotFound            = 404
+	StatusRequestTimeout      = 408
+	StatusInternalServerError = 500
+	StatusBadGateway          = 502
+	StatusServiceUnavailable  = 503
+	StatusGatewayTimeout      = 504
+)
+
+// StatusText returns the reason phrase for code, or "Status <code>".
+func StatusText(code int) string {
+	switch code {
+	case StatusOK:
+		return "OK"
+	case StatusAccepted:
+		return "Accepted"
+	case StatusBadRequest:
+		return "Bad Request"
+	case StatusUnauthorized:
+		return "Unauthorized"
+	case StatusForbidden:
+		return "Forbidden"
+	case StatusNotFound:
+		return "Not Found"
+	case StatusRequestTimeout:
+		return "Request Timeout"
+	case StatusInternalServerError:
+		return "Internal Server Error"
+	case StatusBadGateway:
+		return "Bad Gateway"
+	case StatusServiceUnavailable:
+		return "Service Unavailable"
+	case StatusGatewayTimeout:
+		return "Gateway Timeout"
+	default:
+		return "Status"
+	}
+}

@@ -1,0 +1,42 @@
+package httpx
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SplitURL decomposes a service URL of the form "http://host:port/path"
+// into the dial address ("host:port") and the request path ("/path",
+// defaulting to "/"). Only the http scheme is supported — the paper's
+// endpoints are all plain HTTP — and the scheme prefix is optional so bare
+// "host:port/path" addresses from registry files also work.
+func SplitURL(raw string) (addr, path string, err error) {
+	s := raw
+	if i := strings.Index(s, "://"); i >= 0 {
+		scheme := s[:i]
+		if scheme != "http" {
+			return "", "", fmt.Errorf("httpx: unsupported scheme %q in %q", scheme, raw)
+		}
+		s = s[i+3:]
+	}
+	if s == "" {
+		return "", "", fmt.Errorf("httpx: empty URL")
+	}
+	path = "/"
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		path = s[i:]
+		s = s[:i]
+	}
+	if s == "" || !strings.Contains(s, ":") {
+		return "", "", fmt.Errorf("httpx: URL %q missing host:port", raw)
+	}
+	return s, path, nil
+}
+
+// JoinURL builds "http://addr" + path.
+func JoinURL(addr, path string) string {
+	if !strings.HasPrefix(path, "/") {
+		path = "/" + path
+	}
+	return "http://" + addr + path
+}

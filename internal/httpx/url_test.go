@@ -1,0 +1,46 @@
+package httpx
+
+import "testing"
+
+func TestSplitURL(t *testing.T) {
+	cases := []struct {
+		in   string
+		addr string
+		path string
+		ok   bool
+	}{
+		{"http://host:80/svc/echo", "host:80", "/svc/echo", true},
+		{"http://host:9000", "host:9000", "/", true},
+		{"host:9000/x", "host:9000", "/x", true},
+		{"host:9000", "host:9000", "/", true},
+		{"https://host:443/x", "", "", false},
+		{"http://hostonly/x", "", "", false},
+		{"", "", "", false},
+		{"http://", "", "", false},
+	}
+	for _, c := range cases {
+		addr, path, err := SplitURL(c.in)
+		if c.ok && err != nil {
+			t.Errorf("SplitURL(%q) error: %v", c.in, err)
+			continue
+		}
+		if !c.ok {
+			if err == nil {
+				t.Errorf("SplitURL(%q) succeeded: %q %q", c.in, addr, path)
+			}
+			continue
+		}
+		if addr != c.addr || path != c.path {
+			t.Errorf("SplitURL(%q) = %q, %q; want %q, %q", c.in, addr, path, c.addr, c.path)
+		}
+	}
+}
+
+func TestJoinURL(t *testing.T) {
+	if got := JoinURL("h:80", "svc"); got != "http://h:80/svc" {
+		t.Fatalf("JoinURL = %q", got)
+	}
+	if got := JoinURL("h:80", "/svc"); got != "http://h:80/svc" {
+		t.Fatalf("JoinURL = %q", got)
+	}
+}

@@ -1,0 +1,139 @@
+package loadgen
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func TestAllSuccessesCounted(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	defer clk.Stop()
+	report := Run(Config{
+		Clock:     clk,
+		Clients:   4,
+		Duration:  10 * time.Second,
+		ThinkTime: time.Second,
+		Series:    "ok",
+	}, func(clientID, seq int) error {
+		clk.Sleep(10 * time.Millisecond)
+		return nil
+	})
+	if report.NotSent != 0 {
+		t.Fatalf("NotSent = %d", report.NotSent)
+	}
+	// Each client: ~10s / (10ms + 1s) ≈ 9-10 calls, 4 clients.
+	if report.Transmitted < 20 || report.Transmitted > 50 {
+		t.Fatalf("Transmitted = %d, want ≈ 36-40", report.Transmitted)
+	}
+	if report.Clients != 4 || report.Series != "ok" {
+		t.Fatalf("report = %+v", report)
+	}
+	if report.MeanRTT < 10*time.Millisecond {
+		t.Fatalf("MeanRTT = %v", report.MeanRTT)
+	}
+}
+
+func TestFailuresCountAsNotSent(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	defer clk.Stop()
+	boom := errors.New("boom")
+	report := Run(Config{
+		Clock:          clk,
+		Clients:        2,
+		Duration:       5 * time.Second,
+		FailureBackoff: 500 * time.Millisecond,
+		Series:         "fail",
+	}, func(clientID, seq int) error { return boom })
+	if report.Transmitted != 0 {
+		t.Fatalf("Transmitted = %d", report.Transmitted)
+	}
+	// Each failure costs ~500ms backoff: ≈10 per client over 5s.
+	if report.NotSent < 10 || report.NotSent > 30 {
+		t.Fatalf("NotSent = %d, want ≈ 20", report.NotSent)
+	}
+	if report.LossRatio() != 1 {
+		t.Fatalf("LossRatio = %v", report.LossRatio())
+	}
+}
+
+func TestMixedOutcomes(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	defer clk.Stop()
+	var n atomic.Int64
+	report := Run(Config{
+		Clock:          clk,
+		Clients:        1,
+		Duration:       4 * time.Second,
+		ThinkTime:      100 * time.Millisecond,
+		FailureBackoff: 100 * time.Millisecond,
+	}, func(clientID, seq int) error {
+		if n.Add(1)%2 == 0 {
+			return errors.New("every other call fails")
+		}
+		return nil
+	})
+	if report.Transmitted == 0 || report.NotSent == 0 {
+		t.Fatalf("report = %+v", report)
+	}
+	diff := report.Transmitted - report.NotSent
+	if diff < -2 || diff > 2 {
+		t.Fatalf("transmitted=%d notSent=%d, want ≈ equal", report.Transmitted, report.NotSent)
+	}
+}
+
+func TestClientIDsDistinct(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	defer clk.Stop()
+	seen := make([]atomic.Int64, 8)
+	Run(Config{Clock: clk, Clients: 8, Duration: time.Second, ThinkTime: 100 * time.Millisecond},
+		func(clientID, seq int) error {
+			seen[clientID].Add(1)
+			return nil
+		})
+	for i := range seen {
+		if seen[i].Load() == 0 {
+			t.Fatalf("client %d never ran", i)
+		}
+	}
+}
+
+func TestRampStaggersStarts(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	defer clk.Stop()
+	start := clk.Now()
+	var maxStart atomic.Int64
+	Run(Config{
+		Clock:    clk,
+		Clients:  10,
+		Duration: 2 * time.Second,
+		Ramp:     time.Second,
+	}, func(clientID, seq int) error {
+		if seq == 0 {
+			off := clk.Since(start)
+			for {
+				cur := maxStart.Load()
+				if int64(off) <= cur || maxStart.CompareAndSwap(cur, int64(off)) {
+					break
+				}
+			}
+		}
+		clk.Sleep(50 * time.Millisecond)
+		return nil
+	})
+	if time.Duration(maxStart.Load()) < 500*time.Millisecond {
+		t.Fatalf("latest first-call at %v, want ramped beyond 500ms", time.Duration(maxStart.Load()))
+	}
+}
+
+func TestZeroClients(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	defer clk.Stop()
+	report := Run(Config{Clock: clk, Clients: 0, Duration: time.Second}, func(int, int) error { return nil })
+	if report.Transmitted != 0 || report.NotSent != 0 {
+		t.Fatalf("report = %+v", report)
+	}
+}

@@ -1,0 +1,396 @@
+// Package msgbox implements WS-MsgBox, the paper's "P.O. Mailbox" service
+// (§3, Figure 2): Web Service clients with no accessible network endpoint
+// create a mailbox, hand out its address as their WS-Addressing ReplyTo,
+// and later download accumulated messages over plain RPC — which "is
+// typically well supported from a client behind firewalls".
+//
+// Two delivery-processing modes are provided:
+//
+//   - ModeFixed: incoming messages are stored by a small bounded worker
+//     pool (the redesign the paper says it is working on);
+//   - ModeBuggy: the original design the paper's scalability test
+//     exposed — "WS-MsgBox server creates a new thread for each message
+//     and each thread tries to send a reply message. Possibly thousands of
+//     threads are created ... That leads to OutOfMemoryExceptions as each
+//     thread has local stack allocated in memory." The pool.Ledger models
+//     the JVM stack budget so the failure cliff reproduces safely.
+//
+// Security (paper future work §4.4): "currently the message box has unique
+// hard to guess address but that is the only protection". Here mailbox IDs
+// are unguessable *and* take/destroy additionally require the capability
+// token returned at creation.
+package msgbox
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/cmap"
+	"repro/internal/httpx"
+	"repro/internal/pool"
+	"repro/internal/queue"
+	"repro/internal/soap"
+	"repro/internal/stats"
+)
+
+// ServiceNS is the RPC namespace of the mailbox management operations.
+const ServiceNS = "urn:wsd:msgbox"
+
+// RPC operation names.
+const (
+	OpCreate  = "createMsgBox"
+	OpTake    = "takeMessages"
+	OpPeek    = "peekCount"
+	OpDestroy = "destroyMsgBox"
+)
+
+// Mode selects the delivery-processing design.
+type Mode int
+
+const (
+	// ModeFixed stores messages via a bounded worker pool.
+	ModeFixed Mode = iota
+	// ModeBuggy spawns a ledger-accounted thread per message,
+	// reproducing §4.3.2's OutOfMemoryError beyond ~50 busy clients.
+	ModeBuggy
+)
+
+// Config tunes the service.
+type Config struct {
+	// Clock drives timestamps and the buggy mode's thread lifetime.
+	Clock clock.Clock
+	// BaseURL is this service's externally visible address, used to
+	// mint mailbox addresses, e.g. "http://postoffice:9200".
+	BaseURL string
+	// Mode selects fixed vs buggy processing.
+	Mode Mode
+	// Ledger models the thread-stack budget (buggy mode). Defaults to
+	// a 2004-JVM-like ledger.
+	Ledger *pool.Ledger
+	// ThreadLinger is how long each buggy-mode thread lives after
+	// storing its message ("trying to send a reply message" over the
+	// slow path). Default 2s.
+	ThreadLinger time.Duration
+	// StoreWorkers sizes the fixed-mode pool. Default 8.
+	StoreWorkers int
+	// StoreBacklog bounds fixed-mode queued stores. Default 1024.
+	StoreBacklog int
+	// BoxCap bounds messages retained per mailbox. Default 4096.
+	BoxCap int
+	// PathPrefix is the HTTP mount point. Default "/mbox".
+	PathPrefix string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = clock.Wall
+	}
+	if c.Ledger == nil {
+		c.Ledger = pool.NewLedger(0, 0)
+	}
+	if c.ThreadLinger <= 0 {
+		c.ThreadLinger = 2 * time.Second
+	}
+	if c.StoreWorkers <= 0 {
+		c.StoreWorkers = 8
+	}
+	if c.StoreBacklog <= 0 {
+		c.StoreBacklog = 1024
+	}
+	if c.BoxCap <= 0 {
+		c.BoxCap = 4096
+	}
+	if c.PathPrefix == "" {
+		c.PathPrefix = "/mbox"
+	}
+	return c
+}
+
+// Mailbox is one client's message box.
+type Mailbox struct {
+	// ID is the unguessable mailbox identifier (part of its address).
+	ID string
+	// Token is the capability required for take/destroy.
+	Token string
+	// Created is the creation timestamp.
+	Created time.Time
+
+	msgs *queue.FIFO[[]byte]
+}
+
+// Service is the WS-MsgBox server. It implements httpx.Handler for both
+// the management RPC endpoint (POST <prefix>) and the delivery endpoint
+// (POST <prefix>/<box-id>).
+type Service struct {
+	cfg   Config
+	boxes *cmap.Map[*Mailbox]
+	store *pool.Pool // fixed mode
+
+	// Counters for the evaluation harness.
+	Created       stats.Counter
+	Destroyed     stats.Counter
+	Stored        stats.Counter
+	StoreFailures stats.Counter // full boxes, unknown boxes
+	OOMEvents     stats.Counter // buggy-mode thread creation failures
+	Taken         stats.Counter
+	AuthFailures  stats.Counter
+	// LiveThreads tracks buggy-mode threads (peak shows the explosion).
+	LiveThreads stats.Gauge
+}
+
+// New builds the service. Call Start before serving, Stop when done.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{cfg: cfg, boxes: cmap.New[*Mailbox]()}
+	if cfg.Mode == ModeFixed {
+		s.store = pool.New(pool.Config{Core: cfg.StoreWorkers, Backlog: cfg.StoreBacklog})
+	}
+	return s
+}
+
+// Start launches the fixed-mode store pool (no-op in buggy mode).
+func (s *Service) Start() error {
+	if s.store != nil {
+		return s.store.Start()
+	}
+	return nil
+}
+
+// Stop drains workers and closes all mailboxes.
+func (s *Service) Stop() {
+	if s.store != nil {
+		s.store.Stop()
+	}
+	s.boxes.Range(func(_ string, mb *Mailbox) bool {
+		mb.msgs.Close()
+		return true
+	})
+}
+
+// Boxes returns the number of live mailboxes.
+func (s *Service) Boxes() int { return s.boxes.Len() }
+
+// AddressOf returns the delivery address for a mailbox ID.
+func (s *Service) AddressOf(id string) string {
+	return s.cfg.BaseURL + s.cfg.PathPrefix + "/" + id
+}
+
+// Serve implements httpx.Handler.
+func (s *Service) Serve(req *httpx.Request) *httpx.Response {
+	rest, ok := strings.CutPrefix(req.Path, s.cfg.PathPrefix)
+	if !ok {
+		return faultResponse(httpx.StatusNotFound, soap.FaultClient, "not a mailbox path: "+req.Path)
+	}
+	switch {
+	case rest == "" || rest == "/":
+		return s.serveRPC(req)
+	case strings.HasPrefix(rest, "/"):
+		return s.serveDeliver(strings.TrimPrefix(rest, "/"), req)
+	default:
+		return faultResponse(httpx.StatusNotFound, soap.FaultClient, "not a mailbox path: "+req.Path)
+	}
+}
+
+// --- delivery path (step 2 in Figure 2) ---
+
+// serveDeliver stores one incoming message into the addressed mailbox.
+func (s *Service) serveDeliver(boxID string, req *httpx.Request) *httpx.Response {
+	mb, ok := s.boxes.Get(boxID)
+	if !ok {
+		s.StoreFailures.Inc()
+		return faultResponse(httpx.StatusNotFound, soap.FaultClient, "no such mailbox")
+	}
+	payload := make([]byte, len(req.Body))
+	copy(payload, req.Body)
+
+	switch s.cfg.Mode {
+	case ModeBuggy:
+		return s.deliverBuggy(mb, payload)
+	default:
+		return s.deliverFixed(mb, payload)
+	}
+}
+
+// deliverFixed hands the store to the bounded pool: the redesign.
+func (s *Service) deliverFixed(mb *Mailbox, payload []byte) *httpx.Response {
+	err := s.store.TrySubmit(func() { s.storeMessage(mb, payload) })
+	if err != nil {
+		s.StoreFailures.Inc()
+		return faultResponse(httpx.StatusServiceUnavailable, soap.FaultServer, "mailbox store overloaded")
+	}
+	return httpx.NewResponse(httpx.StatusAccepted, nil)
+}
+
+// deliverBuggy reproduces the paper's original design: one thread per
+// message, each lingering while it "tries to send a reply message". The
+// thread stack is charged to the ledger; exhaustion is the
+// OutOfMemoryError of §4.3.2.
+func (s *Service) deliverBuggy(mb *Mailbox, payload []byte) *httpx.Response {
+	if err := s.cfg.Ledger.SpawnThread(); err != nil {
+		s.OOMEvents.Inc()
+		s.StoreFailures.Inc()
+		return faultResponse(httpx.StatusInternalServerError, soap.FaultServer,
+			"OutOfMemoryError: unable to create new native thread")
+	}
+	s.LiveThreads.Add(1)
+	go func() {
+		defer func() {
+			s.LiveThreads.Add(-1)
+			s.cfg.Ledger.ReleaseThread()
+		}()
+		s.storeMessage(mb, payload)
+		// The thread lives on, attempting its reply notification.
+		s.cfg.Clock.Sleep(s.cfg.ThreadLinger)
+	}()
+	return httpx.NewResponse(httpx.StatusAccepted, nil)
+}
+
+func (s *Service) storeMessage(mb *Mailbox, payload []byte) {
+	if err := mb.msgs.TryPut(payload); err != nil {
+		s.StoreFailures.Inc()
+		return
+	}
+	s.Stored.Inc()
+}
+
+// --- management RPC path (steps 1, 3, 4 in Figure 2) ---
+
+func (s *Service) serveRPC(req *httpx.Request) *httpx.Response {
+	env, err := soap.Parse(req.Body)
+	if err != nil {
+		return faultResponse(httpx.StatusBadRequest, soap.FaultClient, "bad envelope: "+err.Error())
+	}
+	call, err := soap.ParseRPC(env)
+	if err != nil {
+		return faultResponse(httpx.StatusBadRequest, soap.FaultClient, "bad call: "+err.Error())
+	}
+	if call.ServiceNS != ServiceNS {
+		return faultResponse(httpx.StatusBadRequest, soap.FaultClient,
+			"unknown service namespace "+call.ServiceNS)
+	}
+	switch call.Operation {
+	case OpCreate:
+		return s.rpcCreate(env.Version)
+	case OpTake:
+		return s.rpcTake(env.Version, call)
+	case OpPeek:
+		return s.rpcPeek(env.Version, call)
+	case OpDestroy:
+		return s.rpcDestroy(env.Version, call)
+	default:
+		return faultResponse(httpx.StatusBadRequest, soap.FaultClient,
+			"unknown operation "+call.Operation)
+	}
+}
+
+func (s *Service) rpcCreate(v soap.Version) *httpx.Response {
+	mb := &Mailbox{
+		ID:      randomID(16),
+		Token:   randomID(16),
+		Created: s.cfg.Clock.Now(),
+		msgs:    queue.New[[]byte](s.cfg.BoxCap),
+	}
+	s.boxes.Put(mb.ID, mb)
+	s.Created.Inc()
+	return rpcOK(v, OpCreate,
+		soap.Param{Name: "boxId", Value: mb.ID},
+		soap.Param{Name: "token", Value: mb.Token},
+		soap.Param{Name: "address", Value: s.AddressOf(mb.ID)},
+	)
+}
+
+// authorize resolves the mailbox and checks the capability token.
+func (s *Service) authorize(call *soap.Call) (*Mailbox, *httpx.Response) {
+	boxID, _ := call.Param("boxId")
+	token, _ := call.Param("token")
+	mb, ok := s.boxes.Get(boxID)
+	if !ok {
+		return nil, faultResponse(httpx.StatusNotFound, soap.FaultClient, "no such mailbox")
+	}
+	if mb.Token != token {
+		s.AuthFailures.Inc()
+		return nil, faultResponse(httpx.StatusForbidden, soap.FaultClient, "bad mailbox token")
+	}
+	return mb, nil
+}
+
+func (s *Service) rpcTake(v soap.Version, call *soap.Call) *httpx.Response {
+	mb, failure := s.authorize(call)
+	if failure != nil {
+		return failure
+	}
+	max := 16
+	if m, ok := call.Param("max"); ok {
+		if n, err := strconv.Atoi(m); err == nil && n > 0 {
+			max = n
+		}
+	}
+	params := []soap.Param{{Name: "count", Value: ""}}
+	n := 0
+	for n < max {
+		payload, ok := mb.msgs.TryTake()
+		if !ok {
+			break
+		}
+		n++
+		params = append(params, soap.Param{Name: fmt.Sprintf("msg%d", n), Value: string(payload)})
+	}
+	params[0].Value = strconv.Itoa(n)
+	s.Taken.Add(int64(n))
+	return rpcOK(v, OpTake, params...)
+}
+
+func (s *Service) rpcPeek(v soap.Version, call *soap.Call) *httpx.Response {
+	mb, failure := s.authorize(call)
+	if failure != nil {
+		return failure
+	}
+	return rpcOK(v, OpPeek, soap.Param{Name: "count", Value: strconv.Itoa(mb.msgs.Len())})
+}
+
+func (s *Service) rpcDestroy(v soap.Version, call *soap.Call) *httpx.Response {
+	mb, failure := s.authorize(call)
+	if failure != nil {
+		return failure
+	}
+	mb.msgs.Close()
+	s.boxes.Delete(mb.ID)
+	s.Destroyed.Inc()
+	return rpcOK(v, OpDestroy, soap.Param{Name: "destroyed", Value: "true"})
+}
+
+func rpcOK(v soap.Version, op string, params ...soap.Param) *httpx.Response {
+	body, err := soap.RPCResponse(v, ServiceNS, op, params...).Marshal()
+	if err != nil {
+		return faultResponse(httpx.StatusInternalServerError, soap.FaultServer, err.Error())
+	}
+	resp := httpx.NewResponse(httpx.StatusOK, body)
+	resp.Header.Set("Content-Type", v.ContentType())
+	return resp
+}
+
+func faultResponse(status int, code, reason string) *httpx.Response {
+	f := &soap.Fault{Code: code, Reason: reason}
+	body, err := f.Envelope(soap.V11).Marshal()
+	if err != nil {
+		body = []byte(reason)
+	}
+	resp := httpx.NewResponse(status, body)
+	resp.Header.Set("Content-Type", soap.V11.ContentType())
+	return resp
+}
+
+// randomID returns n bytes of entropy, hex-encoded: the "unique hard to
+// guess address" of the paper plus capability tokens.
+func randomID(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		panic(fmt.Sprintf("msgbox: entropy unavailable: %v", err))
+	}
+	return hex.EncodeToString(b)
+}

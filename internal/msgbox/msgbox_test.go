@@ -1,0 +1,314 @@
+package msgbox
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/httpx"
+	"repro/internal/netsim"
+	"repro/internal/pool"
+	"repro/internal/soap"
+	"repro/internal/xmlsoap"
+)
+
+// rig runs a WS-MsgBox on host "po" and a client on host "cli".
+type rig struct {
+	clk    *clock.Virtual
+	svc    *Service
+	client *httpx.Client
+}
+
+func newRig(t *testing.T, cfg Config) *rig {
+	t.Helper()
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	t.Cleanup(clk.Stop)
+	nw := netsim.New(clk, 31)
+	po := nw.AddHost("po", netsim.ProfileLAN())
+	cli := nw.AddHost("cli", netsim.ProfileLAN())
+
+	cfg.Clock = clk
+	if cfg.BaseURL == "" {
+		cfg.BaseURL = "http://po:9200"
+	}
+	svc := New(cfg)
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Stop)
+	ln, _ := po.Listen(9200)
+	srv := httpx.NewServer(svc, httpx.ServerConfig{Clock: clk})
+	srv.Start(ln)
+	t.Cleanup(func() { srv.Close() })
+
+	client := httpx.NewClient(cli, httpx.ClientConfig{Clock: clk, RequestTimeout: 10 * time.Second})
+	t.Cleanup(client.Close)
+	return &rig{clk: clk, svc: svc, client: client}
+}
+
+// rpc invokes a mailbox management operation and returns the results.
+func (r *rig) rpc(t *testing.T, op string, params ...soap.Param) ([]soap.Param, *httpx.Response) {
+	t.Helper()
+	body, _ := soap.RPCRequest(soap.V11, ServiceNS, op, params...).Marshal()
+	req := httpx.NewRequest("POST", "/mbox", body)
+	req.Header.Set("Content-Type", soap.V11.ContentType())
+	resp, err := r.client.Do("po:9200", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != httpx.StatusOK {
+		return nil, resp
+	}
+	env, err := soap.Parse(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := soap.ParseRPCResponse(env, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results, resp
+}
+
+func (r *rig) create(t *testing.T) (id, token, address string) {
+	t.Helper()
+	results, resp := r.rpc(t, OpCreate)
+	if results == nil {
+		t.Fatalf("create failed: %d %s", resp.Status, resp.Body)
+	}
+	for _, p := range results {
+		switch p.Name {
+		case "boxId":
+			id = p.Value
+		case "token":
+			token = p.Value
+		case "address":
+			address = p.Value
+		}
+	}
+	return id, token, address
+}
+
+// deliver POSTs an envelope to the mailbox's delivery address.
+func (r *rig) deliver(t *testing.T, id, text string) *httpx.Response {
+	t.Helper()
+	env := soap.New(soap.V11).SetBody(xmlsoap.NewText("urn:x", "stored", text))
+	raw, _ := env.Marshal()
+	resp, err := r.client.Do("po:9200", httpx.NewRequest("POST", "/mbox/"+id, raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestCreateDeliverTakeDestroy(t *testing.T) {
+	r := newRig(t, Config{Mode: ModeFixed})
+	id, token, address := r.create(t)
+	if id == "" || token == "" || !strings.HasSuffix(address, "/mbox/"+id) {
+		t.Fatalf("create = %q %q %q", id, token, address)
+	}
+	if r.svc.Boxes() != 1 {
+		t.Fatalf("Boxes = %d", r.svc.Boxes())
+	}
+
+	for i := 0; i < 3; i++ {
+		if resp := r.deliver(t, id, fmt.Sprintf("msg-%d", i)); resp.Status != httpx.StatusAccepted {
+			t.Fatalf("deliver status = %d", resp.Status)
+		}
+	}
+	waitFor(t, func() bool { return r.svc.Stored.Value() == 3 })
+
+	results, _ := r.rpc(t, OpTake,
+		soap.Param{Name: "boxId", Value: id},
+		soap.Param{Name: "token", Value: token},
+		soap.Param{Name: "max", Value: "10"})
+	var got []string
+	for _, p := range results {
+		if strings.HasPrefix(p.Name, "msg") {
+			env, err := soap.Parse([]byte(p.Value))
+			if err != nil {
+				t.Fatalf("stored message unparseable: %v", err)
+			}
+			got = append(got, env.BodyElement().Text)
+		}
+	}
+	if len(got) != 3 || got[0] != "msg-0" || got[2] != "msg-2" {
+		t.Fatalf("taken = %v", got)
+	}
+
+	if _, resp := r.rpc(t, OpDestroy,
+		soap.Param{Name: "boxId", Value: id},
+		soap.Param{Name: "token", Value: token}); resp.Status != httpx.StatusOK {
+		t.Fatalf("destroy status = %d", resp.Status)
+	}
+	if r.svc.Boxes() != 0 {
+		t.Fatalf("Boxes after destroy = %d", r.svc.Boxes())
+	}
+}
+
+func TestTakeRequiresToken(t *testing.T) {
+	r := newRig(t, Config{Mode: ModeFixed})
+	id, _, _ := r.create(t)
+	_, resp := r.rpc(t, OpTake,
+		soap.Param{Name: "boxId", Value: id},
+		soap.Param{Name: "token", Value: "wrong"})
+	if resp.Status != httpx.StatusForbidden {
+		t.Fatalf("status = %d", resp.Status)
+	}
+	if r.svc.AuthFailures.Value() != 1 {
+		t.Fatalf("AuthFailures = %d", r.svc.AuthFailures.Value())
+	}
+}
+
+func TestPeekCount(t *testing.T) {
+	r := newRig(t, Config{Mode: ModeFixed})
+	id, token, _ := r.create(t)
+	r.deliver(t, id, "a")
+	r.deliver(t, id, "b")
+	waitFor(t, func() bool { return r.svc.Stored.Value() == 2 })
+	results, _ := r.rpc(t, OpPeek,
+		soap.Param{Name: "boxId", Value: id},
+		soap.Param{Name: "token", Value: token})
+	if len(results) != 1 || results[0].Value != "2" {
+		t.Fatalf("peek = %+v", results)
+	}
+}
+
+func TestDeliverToUnknownBox404(t *testing.T) {
+	r := newRig(t, Config{Mode: ModeFixed})
+	resp := r.deliver(t, "deadbeef", "x")
+	if resp.Status != httpx.StatusNotFound {
+		t.Fatalf("status = %d", resp.Status)
+	}
+}
+
+func TestUnknownOperationFaults(t *testing.T) {
+	r := newRig(t, Config{Mode: ModeFixed})
+	_, resp := r.rpc(t, "frobnicate")
+	if resp.Status != httpx.StatusBadRequest {
+		t.Fatalf("status = %d", resp.Status)
+	}
+}
+
+func TestWrongNamespaceRejected(t *testing.T) {
+	r := newRig(t, Config{Mode: ModeFixed})
+	body, _ := soap.RPCRequest(soap.V11, "urn:other", OpCreate).Marshal()
+	resp, err := r.client.Do("po:9200", httpx.NewRequest("POST", "/mbox", body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != httpx.StatusBadRequest {
+		t.Fatalf("status = %d", resp.Status)
+	}
+}
+
+func TestBoxCapDropsOverflow(t *testing.T) {
+	r := newRig(t, Config{Mode: ModeFixed, BoxCap: 2})
+	id, token, _ := r.create(t)
+	for i := 0; i < 5; i++ {
+		r.deliver(t, id, fmt.Sprintf("m%d", i))
+	}
+	waitFor(t, func() bool { return r.svc.Stored.Value()+r.svc.StoreFailures.Value() >= 5 })
+	if r.svc.Stored.Value() != 2 {
+		t.Fatalf("Stored = %d, want 2 (cap)", r.svc.Stored.Value())
+	}
+	if r.svc.StoreFailures.Value() != 3 {
+		t.Fatalf("StoreFailures = %d", r.svc.StoreFailures.Value())
+	}
+	results, _ := r.rpc(t, OpPeek,
+		soap.Param{Name: "boxId", Value: id},
+		soap.Param{Name: "token", Value: token})
+	if results[0].Value != "2" {
+		t.Fatalf("peek = %v", results)
+	}
+}
+
+func TestBuggyModeExplodesThreads(t *testing.T) {
+	// Budget for only 8 concurrent "threads"; each lingers 10s while the
+	// deliveries arrive back-to-back — §4.3.2's OutOfMemoryError.
+	ledger := pool.NewLedger(1024, 8*1024)
+	r := newRig(t, Config{
+		Mode:         ModeBuggy,
+		Ledger:       ledger,
+		ThreadLinger: 10 * time.Second,
+	})
+	id, _, _ := r.create(t)
+
+	var oomSeen bool
+	for i := 0; i < 20; i++ {
+		resp := r.deliver(t, id, fmt.Sprintf("m%d", i))
+		if resp.Status == httpx.StatusInternalServerError {
+			oomSeen = true
+			env, _ := soap.Parse(resp.Body)
+			if f, ok := soap.AsFault(env); !ok || !strings.Contains(f.Reason, "OutOfMemoryError") {
+				t.Fatalf("fault = %+v", f)
+			}
+			break
+		}
+	}
+	if !oomSeen {
+		t.Fatal("buggy mode never hit OutOfMemoryError")
+	}
+	if r.svc.OOMEvents.Value() == 0 {
+		t.Fatal("OOM not counted")
+	}
+	if peak := r.svc.LiveThreads.Peak(); peak != 8 {
+		t.Fatalf("peak threads = %d, want ledger capacity 8", peak)
+	}
+}
+
+func TestFixedModeSurvivesSameBurst(t *testing.T) {
+	// Identical burst, fixed design: everything is stored, no OOM.
+	ledger := pool.NewLedger(1024, 8*1024)
+	r := newRig(t, Config{Mode: ModeFixed, Ledger: ledger})
+	id, _, _ := r.create(t)
+	for i := 0; i < 20; i++ {
+		if resp := r.deliver(t, id, fmt.Sprintf("m%d", i)); resp.Status != httpx.StatusAccepted {
+			t.Fatalf("deliver %d status = %d", i, resp.Status)
+		}
+	}
+	waitFor(t, func() bool { return r.svc.Stored.Value() == 20 })
+	if r.svc.OOMEvents.Value() != 0 {
+		t.Fatalf("OOMEvents = %d", r.svc.OOMEvents.Value())
+	}
+}
+
+func TestConcurrentDeliveries(t *testing.T) {
+	r := newRig(t, Config{Mode: ModeFixed})
+	id, token, _ := r.create(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				env := soap.New(soap.V11).SetBody(xmlsoap.NewText("urn:x", "m", fmt.Sprintf("%d-%d", g, i)))
+				raw, _ := env.Marshal()
+				r.client.Do("po:9200", httpx.NewRequest("POST", "/mbox/"+id, raw))
+			}
+		}(g)
+	}
+	wg.Wait()
+	waitFor(t, func() bool { return r.svc.Stored.Value() == 80 })
+	results, _ := r.rpc(t, OpPeek,
+		soap.Param{Name: "boxId", Value: id},
+		soap.Param{Name: "token", Value: token})
+	if results[0].Value != "80" {
+		t.Fatalf("peek = %v", results)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached")
+}

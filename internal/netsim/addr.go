@@ -1,0 +1,87 @@
+// Package netsim is an in-process virtual network used in place of the
+// paper's physical testbed (INRIA Sophia Antipolis ↔ Indiana University,
+// with a home cable modem and institutional firewalls).
+//
+// The evaluation in the paper is driven by four network mechanisms, all of
+// which netsim reproduces while exposing the standard net.Conn and
+// net.Listener interfaces so dispatcher and client code is identical over
+// real TCP and the simulator:
+//
+//   - access-link bandwidth (asymmetric for the cable modem: 2333 kbps
+//     down / 288 kbps up), modeled as per-host token buckets that serialize
+//     every byte written;
+//   - propagation delay (trans-Atlantic RTT), modeled as per-host one-way
+//     latency added to segment arrival times;
+//   - firewalls that admit only outgoing connections, modeled as silent
+//     SYN drops (the dialer times out, exactly the behaviour that motivates
+//     WS-MsgBox);
+//   - finite connection capacity (file descriptors, NAT table entries,
+//     accept backlogs), modeled as per-host connection caps and per-listener
+//     backlogs that refuse excess dials.
+//
+// All blocking operations run on a clock.Clock, so a full one-minute
+// paper experiment executes in milliseconds of wall time on a Virtual
+// clock while keeping event ordering.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is a simulated network address, "host:port". It implements net.Addr.
+type Addr struct {
+	Host string
+	Port int
+}
+
+// Network implements net.Addr.
+func (Addr) Network() string { return "sim" }
+
+// String implements net.Addr.
+func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.Host, a.Port) }
+
+// ParseAddr splits "host:port" into an Addr.
+func ParseAddr(s string) (Addr, error) {
+	i := strings.LastIndexByte(s, ':')
+	if i <= 0 || i == len(s)-1 {
+		return Addr{}, fmt.Errorf("netsim: invalid address %q (want host:port)", s)
+	}
+	port, err := strconv.Atoi(s[i+1:])
+	if err != nil || port <= 0 || port > 65535 {
+		return Addr{}, fmt.Errorf("netsim: invalid port in address %q", s)
+	}
+	return Addr{Host: s[:i], Port: port}, nil
+}
+
+// Errors returned by dial and connection operations. Timeout-flavoured
+// errors implement net.Error with Timeout() == true, mirroring how a real
+// firewall (silent SYN drop) differs from an RST (connection refused).
+var (
+	// ErrRefused corresponds to TCP RST: no listener, full backlog, or
+	// the target host is out of connection slots.
+	ErrRefused = errors.New("netsim: connection refused")
+	// ErrNoHost means the target name does not exist in the network.
+	ErrNoHost = errors.New("netsim: no such host")
+	// ErrTooManyConns means the *local* host has exhausted its
+	// connection slots (EMFILE-like, fails immediately).
+	ErrTooManyConns = errors.New("netsim: too many open connections")
+	// ErrClosed is returned by operations on closed conns/listeners.
+	ErrClosed = errors.New("netsim: use of closed connection")
+)
+
+// timeoutError is the net.Error returned when a SYN is silently dropped
+// (firewalled or unroutable target) or a deadline expires.
+type timeoutError struct{ op string }
+
+func (e *timeoutError) Error() string   { return "netsim: " + e.op + " timed out" }
+func (e *timeoutError) Timeout() bool   { return true }
+func (e *timeoutError) Temporary() bool { return true }
+
+// IsTimeout reports whether err is a timeout in the net.Error sense.
+func IsTimeout(err error) bool {
+	var t interface{ Timeout() bool }
+	return errors.As(err, &t) && t.Timeout()
+}

@@ -1,0 +1,69 @@
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket serializes byte transmissions over a fixed-rate link using
+// virtual-time reservations. Each transmission of n bytes reserves the
+// interval [max(now, nextFree), max(now, nextFree) + n/rate); the link is a
+// single queue, so concurrent writers naturally experience the queueing
+// delay that saturates the paper's 288 kbps cable uplink in Figure 4.
+//
+// A maximum queue depth caps how far ahead reservations may extend; beyond
+// it the transmission is refused, modeling bounded device/socket buffers
+// (without the cap, virtual queueing delay would grow without limit and
+// every message would eventually "arrive").
+type tokenBucket struct {
+	mu           sync.Mutex
+	bytesPerSec  float64
+	maxQueueTime time.Duration // 0 = unbounded
+	nextFree     time.Time
+}
+
+// newTokenBucket builds a bucket from a rate in kilobits per second.
+// kbps <= 0 means infinite bandwidth (zero serialization delay).
+func newTokenBucket(kbps float64, maxQueue time.Duration) *tokenBucket {
+	var bps float64
+	if kbps > 0 {
+		bps = kbps * 1000 / 8
+	}
+	return &tokenBucket{bytesPerSec: bps, maxQueueTime: maxQueue}
+}
+
+// reserve books transmission of n bytes starting no earlier than now and
+// returns the time the last byte leaves the link. ok is false when the
+// device queue is full, in which case nothing is booked.
+func (tb *tokenBucket) reserve(now time.Time, n int) (end time.Time, ok bool) {
+	if tb == nil || tb.bytesPerSec == 0 {
+		return now, true
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	start := now
+	if tb.nextFree.After(start) {
+		start = tb.nextFree
+	}
+	if tb.maxQueueTime > 0 && start.Sub(now) > tb.maxQueueTime {
+		return time.Time{}, false
+	}
+	dur := time.Duration(float64(n) / tb.bytesPerSec * float64(time.Second))
+	end = start.Add(dur)
+	tb.nextFree = end
+	return end, true
+}
+
+// queueDelay reports how long a transmission starting now would wait before
+// its first byte is serialized. Used by tests and diagnostics.
+func (tb *tokenBucket) queueDelay(now time.Time) time.Duration {
+	if tb == nil || tb.bytesPerSec == 0 {
+		return 0
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if tb.nextFree.After(now) {
+		return tb.nextFree.Sub(now)
+	}
+	return 0
+}

@@ -1,0 +1,312 @@
+package netsim
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// mss is the segment size writes are chunked into, so large bodies stream
+// through the bandwidth model instead of arriving as one burst.
+const mss = 1460
+
+// Conn is one endpoint of a simulated TCP connection. It implements
+// net.Conn. Writes are paced by the sender's up-link token bucket (the
+// writer blocks for the serialization time, so a saturated 288 kbps uplink
+// back-pressures exactly like a real socket send buffer); delivered
+// segments become readable at sender-serialization + receiver-serialization
+// + propagation (+ loss retransmission penalty).
+type Conn struct {
+	network    *Network
+	localHost  *Host
+	remoteHost *Host
+	localAddr  Addr
+	remoteAddr Addr
+
+	rd   *pipeDir // segments arriving at this endpoint
+	peer *Conn
+
+	wmu       sync.Mutex // serializes writers
+	closeOnce sync.Once
+	closed    atomic.Bool
+
+	rdl deadlineVar
+	wdl deadlineVar
+}
+
+// newConnPair wires two endpoints of an established connection.
+func newConnPair(nw *Network, dialer, acceptor *Host, dialerAddr, acceptorAddr Addr) (*Conn, *Conn) {
+	a := &Conn{
+		network: nw, localHost: dialer, remoteHost: acceptor,
+		localAddr: dialerAddr, remoteAddr: acceptorAddr,
+		rd: newPipeDir(),
+	}
+	b := &Conn{
+		network: nw, localHost: acceptor, remoteHost: dialer,
+		localAddr: acceptorAddr, remoteAddr: dialerAddr,
+		rd: newPipeDir(),
+	}
+	a.peer = b
+	b.peer = a
+	return a, b
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.localAddr }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.remoteAddr }
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.rdl.set(t)
+	c.wdl.set(t)
+	c.rd.wake()
+	return nil
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.rdl.set(t)
+	c.rd.wake()
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.wdl.set(t)
+	return nil
+}
+
+// Read implements net.Conn. It blocks until in-flight data arrives (per
+// the simulated schedule), the peer closes (io.EOF after draining), the
+// read deadline expires, or the connection is closed locally.
+func (c *Conn) Read(b []byte) (int, error) {
+	if len(b) == 0 {
+		return 0, nil
+	}
+	clk := c.network.clk
+	for {
+		if c.closed.Load() {
+			return 0, ErrClosed
+		}
+		now := clk.Now()
+		if dl := c.rdl.get(); !dl.IsZero() && !now.Before(dl) {
+			return 0, &timeoutError{op: "read from " + c.remoteAddr.String()}
+		}
+
+		n, eof, nextArrival, sig := c.rd.pop(b, now)
+		if n > 0 {
+			return n, nil
+		}
+		if eof {
+			return 0, io.EOF
+		}
+
+		// Nothing readable yet: wait for the earliest of new-data
+		// signal, scheduled arrival, or read deadline.
+		waitUntil := nextArrival
+		if dl := c.rdl.get(); !dl.IsZero() && (waitUntil.IsZero() || dl.Before(waitUntil)) {
+			waitUntil = dl
+		}
+		if waitUntil.IsZero() {
+			<-sig
+			continue
+		}
+		t := clk.NewTimer(waitUntil.Sub(now))
+		select {
+		case <-sig:
+			t.Stop()
+		case <-t.C:
+		}
+	}
+}
+
+// Write implements net.Conn. The call returns once the last byte has been
+// serialized onto the local up-link; it fails fast when the link's device
+// queue is full or the write deadline would expire before serialization.
+func (c *Conn) Write(b []byte) (int, error) {
+	if c.closed.Load() {
+		return 0, ErrClosed
+	}
+	if c.peer.closed.Load() {
+		return 0, fmt.Errorf("write to %s: broken pipe", c.remoteAddr)
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+
+	clk := c.network.clk
+	oneWay := c.localHost.profile.Latency + c.remoteHost.profile.Latency
+	written := 0
+	for written < len(b) {
+		if c.closed.Load() {
+			return written, ErrClosed
+		}
+		end := written + mss
+		if end > len(b) {
+			end = len(b)
+		}
+		chunk := b[written:end]
+
+		now := clk.Now()
+		if dl := c.wdl.get(); !dl.IsZero() && !now.Before(dl) {
+			return written, &timeoutError{op: "write to " + c.remoteAddr.String()}
+		}
+
+		sendDone, ok := c.localHost.up.reserve(now, len(chunk))
+		if !ok {
+			return written, fmt.Errorf("write to %s: %w", c.remoteAddr, errDeviceQueueFull)
+		}
+		if dl := c.wdl.get(); !dl.IsZero() && sendDone.After(dl) {
+			// The bytes are booked onto the link but the caller
+			// will not wait for them; report a timeout like a
+			// socket send blocking past SO_SNDTIMEO.
+			return written, &timeoutError{op: "write to " + c.remoteAddr.String()}
+		}
+		recvDone, ok := c.remoteHost.down.reserve(sendDone, len(chunk))
+		if !ok {
+			return written, fmt.Errorf("write to %s: %w", c.remoteAddr, errDeviceQueueFull)
+		}
+		arrival := recvDone.Add(oneWay + c.network.lose(c.localHost, c.remoteHost))
+
+		data := make([]byte, len(chunk))
+		copy(data, chunk)
+		c.peer.rd.deliver(segment{arrival: arrival, data: data})
+
+		// Sender pacing: block until the up-link has drained this
+		// chunk. This is what makes concurrent clients share (and
+		// saturate) the cable modem in Figure 4.
+		if d := sendDone.Sub(now); d > 0 {
+			clk.Sleep(d)
+		}
+		written = end
+	}
+	return written, nil
+}
+
+// Close implements net.Conn. It releases the local connection-table slot
+// and sends FIN to the peer: the peer drains in-flight data, then reads
+// io.EOF.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.closed.Store(true)
+		c.rd.wake()
+		c.peer.rd.closeWrite()
+		c.localHost.releaseConn()
+	})
+	return nil
+}
+
+// errDeviceQueueFull models a full NIC/modem buffer: the message is
+// dropped locally before ever reaching the wire.
+var errDeviceQueueFull = &fullError{}
+
+type fullError struct{}
+
+func (*fullError) Error() string   { return "netsim: device queue full" }
+func (*fullError) Timeout() bool   { return false }
+func (*fullError) Temporary() bool { return true }
+
+// segment is a scheduled chunk of bytes in flight.
+type segment struct {
+	arrival time.Time
+	data    []byte
+	off     int
+}
+
+// pipeDir is the receive side of one direction of a connection: a queue of
+// scheduled segments plus a broadcast signal for state changes.
+type pipeDir struct {
+	mu     sync.Mutex
+	segs   []segment
+	head   int
+	closed bool // peer sent FIN
+	sig    chan struct{}
+}
+
+func newPipeDir() *pipeDir {
+	return &pipeDir{sig: make(chan struct{})}
+}
+
+// pop copies available (arrived) bytes into b. It returns the byte count,
+// whether the stream has ended (FIN received and fully drained), the
+// arrival time of the next pending segment (zero if none), and the signal
+// channel to wait on for state changes.
+func (p *pipeDir) pop(b []byte, now time.Time) (n int, eof bool, nextArrival time.Time, sig chan struct{}) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for n < len(b) && p.head < len(p.segs) {
+		seg := &p.segs[p.head]
+		if seg.arrival.After(now) {
+			break
+		}
+		copied := copy(b[n:], seg.data[seg.off:])
+		n += copied
+		seg.off += copied
+		if seg.off == len(seg.data) {
+			p.segs[p.head].data = nil
+			p.head++
+		}
+	}
+	if p.head > 64 && p.head*2 >= len(p.segs) {
+		m := copy(p.segs, p.segs[p.head:])
+		p.segs = p.segs[:m]
+		p.head = 0
+	}
+	if n > 0 {
+		return n, false, time.Time{}, nil
+	}
+	if p.head < len(p.segs) {
+		return 0, false, p.segs[p.head].arrival, p.sig
+	}
+	if p.closed {
+		return 0, true, time.Time{}, nil
+	}
+	return 0, false, time.Time{}, p.sig
+}
+
+func (p *pipeDir) deliver(seg segment) {
+	p.mu.Lock()
+	p.segs = append(p.segs, seg)
+	p.wakeLocked()
+	p.mu.Unlock()
+}
+
+func (p *pipeDir) closeWrite() {
+	p.mu.Lock()
+	p.closed = true
+	p.wakeLocked()
+	p.mu.Unlock()
+}
+
+func (p *pipeDir) wake() {
+	p.mu.Lock()
+	p.wakeLocked()
+	p.mu.Unlock()
+}
+
+func (p *pipeDir) wakeLocked() {
+	close(p.sig)
+	p.sig = make(chan struct{})
+}
+
+// deadlineVar is a concurrently settable time.Time.
+type deadlineVar struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (d *deadlineVar) set(t time.Time) {
+	d.mu.Lock()
+	d.t = t
+	d.mu.Unlock()
+}
+
+func (d *deadlineVar) get() time.Time {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.t
+}

@@ -1,0 +1,43 @@
+package netsim
+
+// Firewall is a per-host admission policy for *inbound* connections.
+// Outbound connections are always allowed — the paper's premise is
+// institutional firewalls that "allow only outgoing connections", which is
+// exactly why peers behind them need the WS-Dispatcher and WS-MsgBox.
+//
+// A blocked inbound SYN is dropped silently (the dialer times out) rather
+// than refused, matching default-deny firewall behaviour and producing the
+// long stalls seen in Figure 6's "response blocked" series.
+type Firewall struct {
+	// BlockInbound drops every inbound connection attempt unless the
+	// dialing host is named in AllowFrom.
+	BlockInbound bool
+	// AllowFrom lists peer host names exempt from BlockInbound (e.g. a
+	// DMZ dispatcher allowed to reach an internal service).
+	AllowFrom []string
+}
+
+// Open is the policy of a host with no inbound filtering.
+func Open() Firewall { return Firewall{} }
+
+// OutboundOnly is the paper's institutional firewall: nothing comes in.
+func OutboundOnly() Firewall { return Firewall{BlockInbound: true} }
+
+// OutboundOnlyExcept blocks inbound connections except from the named
+// hosts.
+func OutboundOnlyExcept(hosts ...string) Firewall {
+	return Firewall{BlockInbound: true, AllowFrom: hosts}
+}
+
+// admits reports whether an inbound connection from src passes the policy.
+func (f Firewall) admits(src string) bool {
+	if !f.BlockInbound {
+		return true
+	}
+	for _, h := range f.AllowFrom {
+		if h == src {
+			return true
+		}
+	}
+	return false
+}

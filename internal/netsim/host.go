@@ -1,0 +1,209 @@
+package netsim
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Host is a simulated machine: an access link (bandwidth + latency), a
+// firewall policy, a finite connection table, and a set of listeners.
+//
+// Host satisfies the transport dialer contract used by the HTTP layer, so
+// dispatchers, services, and clients bind to a Host exactly as they would
+// bind to a real network stack.
+type Host struct {
+	name     string
+	net      *Network
+	profile  Profile
+	fw       Firewall
+	maxConns int
+	private  bool
+	up       *tokenBucket
+	down     *tokenBucket
+
+	mu        sync.Mutex
+	conns     int
+	peakConns int
+	listeners map[int]*Listener
+	nextPort  int
+	refused   int64
+}
+
+// Name returns the host's network-unique name.
+func (h *Host) Name() string { return h.name }
+
+// Profile returns the host's access-link profile.
+func (h *Host) Profile() Profile { return h.profile }
+
+// OpenConns returns the number of currently open connection endpoints.
+func (h *Host) OpenConns() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.conns
+}
+
+// PeakConns returns the high-water mark of open connection endpoints.
+func (h *Host) PeakConns() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.peakConns
+}
+
+// Refused returns how many connection attempts this host has refused
+// because its connection table was full.
+func (h *Host) Refused() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.refused
+}
+
+// DefaultDialTimeout models the classic TCP connect timeout after SYN
+// retries (BSD-style 3 retransmissions ≈ 21 s).
+const DefaultDialTimeout = 21 * time.Second
+
+// Dial connects to addr ("host:port") with the default timeout.
+func (h *Host) Dial(addr string) (net.Conn, error) {
+	return h.DialTimeout(addr, DefaultDialTimeout)
+}
+
+// DialTimeout connects to addr, failing with a timeout error after at most
+// timeout. Firewalled or unroutable targets consume the full timeout
+// (silent SYN drop); refused connections fail after one round trip.
+func (h *Host) DialTimeout(addr string, timeout time.Duration) (net.Conn, error) {
+	a, err := ParseAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
+	}
+	clk := h.net.clk
+
+	// Local connection table (EMFILE-like): fails immediately.
+	if !h.reserveConn() {
+		return nil, fmt.Errorf("dial %s: %w", addr, ErrTooManyConns)
+	}
+	success := false
+	defer func() {
+		if !success {
+			h.releaseConn()
+		}
+	}()
+
+	target := h.net.Host(a.Host)
+	if target == nil {
+		// Name does not resolve anywhere: immediate error.
+		return nil, fmt.Errorf("dial %s: %w", addr, ErrNoHost)
+	}
+	if target.private || !target.fw.admits(h.name) {
+		// The SYN is silently dropped; the dialer gives up only
+		// after its full timeout. This stall is the firewall cost
+		// the paper's Figure 6 "response blocked" series pays.
+		clk.Sleep(timeout)
+		return nil, &timeoutError{op: "dial " + addr}
+	}
+
+	oneWay := h.profile.Latency + target.profile.Latency
+	rtt := 2 * oneWay
+	if rtt > timeout {
+		clk.Sleep(timeout)
+		return nil, &timeoutError{op: "dial " + addr}
+	}
+
+	if !target.reserveConn() {
+		target.countRefused()
+		clk.Sleep(rtt)
+		return nil, fmt.Errorf("dial %s: %w", addr, ErrRefused)
+	}
+	ln := target.listenerFor(a.Port)
+	if ln == nil {
+		target.releaseConn()
+		clk.Sleep(rtt)
+		return nil, fmt.Errorf("dial %s: %w", addr, ErrRefused)
+	}
+
+	// Three-way handshake: one round trip before the connection is
+	// usable by the application.
+	clk.Sleep(rtt)
+
+	local := Addr{Host: h.name, Port: h.allocPort()}
+	remote := Addr{Host: a.Host, Port: a.Port}
+	us, them := newConnPair(h.net, h, target, local, remote)
+	if err := ln.deliver(them); err != nil {
+		target.releaseConn()
+		return nil, fmt.Errorf("dial %s: %w", addr, ErrRefused)
+	}
+	success = true
+	return us, nil
+}
+
+// Listen opens a listener on the given port (0 picks an ephemeral port).
+func (h *Host) Listen(port int) (*Listener, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if port == 0 {
+		port = h.allocPortLocked()
+	}
+	if _, busy := h.listeners[port]; busy {
+		return nil, fmt.Errorf("netsim: listen %s:%d: address already in use", h.name, port)
+	}
+	ln := newListener(h, Addr{Host: h.name, Port: port})
+	h.listeners[port] = ln
+	return ln, nil
+}
+
+func (h *Host) listenerFor(port int) *Listener {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.listeners[port]
+}
+
+func (h *Host) dropListener(port int) {
+	h.mu.Lock()
+	delete(h.listeners, port)
+	h.mu.Unlock()
+}
+
+func (h *Host) reserveConn() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.conns >= h.maxConns {
+		return false
+	}
+	h.conns++
+	if h.conns > h.peakConns {
+		h.peakConns = h.conns
+	}
+	return true
+}
+
+func (h *Host) releaseConn() {
+	h.mu.Lock()
+	if h.conns > 0 {
+		h.conns--
+	}
+	h.mu.Unlock()
+}
+
+func (h *Host) countRefused() {
+	h.mu.Lock()
+	h.refused++
+	h.mu.Unlock()
+}
+
+func (h *Host) allocPort() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.allocPortLocked()
+}
+
+func (h *Host) allocPortLocked() int {
+	p := h.nextPort
+	h.nextPort++
+	if h.nextPort > 65535 {
+		h.nextPort = 49152
+	}
+	return p
+}

@@ -1,0 +1,52 @@
+package netsim
+
+import (
+	"fmt"
+	"net"
+
+	"repro/internal/queue"
+)
+
+// DefaultBacklog is the accept-queue depth, matching the classic
+// somaxconn default. Dials arriving at a full backlog are refused.
+const DefaultBacklog = 128
+
+// Listener implements net.Listener for a simulated host/port.
+type Listener struct {
+	host    *Host
+	addr    Addr
+	pending *queue.FIFO[*Conn]
+}
+
+func newListener(h *Host, addr Addr) *Listener {
+	return &Listener{host: h, addr: addr, pending: queue.New[*Conn](DefaultBacklog)}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.pending.Take()
+	if err != nil {
+		return nil, fmt.Errorf("accept %s: %w", l.addr, ErrClosed)
+	}
+	return c, nil
+}
+
+// Close implements net.Listener. Connections already accepted are
+// unaffected; handshakes still queued are torn down.
+func (l *Listener) Close() error {
+	l.host.dropListener(l.addr.Port)
+	l.pending.Close()
+	for _, c := range l.pending.Drain() {
+		c.Close()
+	}
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return l.addr }
+
+// deliver hands a completed handshake to Accept. It fails when the backlog
+// is full or the listener is closed.
+func (l *Listener) deliver(c *Conn) error {
+	return l.pending.TryPut(c)
+}

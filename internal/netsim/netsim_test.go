@@ -1,0 +1,599 @@
+package netsim
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// testNet builds a network on a virtual clock and returns a cleanup-managed
+// pair (network, clock).
+func testNet(t *testing.T) (*Network, *clock.Virtual) {
+	t.Helper()
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	t.Cleanup(clk.Stop)
+	return New(clk, 1), clk
+}
+
+// echoServer accepts connections and echoes bytes until EOF.
+func echoServer(t *testing.T, ln net.Listener) {
+	t.Helper()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				buf := make([]byte, 4096)
+				for {
+					n, err := c.Read(buf)
+					if n > 0 {
+						if _, werr := c.Write(buf[:n]); werr != nil {
+							return
+						}
+					}
+					if err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+}
+
+func TestParseAddr(t *testing.T) {
+	a, err := ParseAddr("inria:8080")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Host != "inria" || a.Port != 8080 {
+		t.Fatalf("ParseAddr = %+v", a)
+	}
+	for _, bad := range []string{"nohost", ":80", "h:", "h:notaport", "h:0", "h:70000"} {
+		if _, err := ParseAddr(bad); err == nil {
+			t.Fatalf("ParseAddr(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestDialAndEcho(t *testing.T) {
+	nw, _ := testNet(t)
+	server := nw.AddHost("server", ProfileLAN())
+	client := nw.AddHost("client", ProfileLAN())
+	ln, err := server.Listen(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	echoServer(t, ln)
+
+	conn, err := client.Dial("server:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("hello through the simulator")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("echo = %q", got)
+	}
+}
+
+func TestLatencyIsCharged(t *testing.T) {
+	nw, clk := testNet(t)
+	p := Profile{Latency: 50 * time.Millisecond}
+	server := nw.AddHost("server", p)
+	client := nw.AddHost("client", p)
+	ln, _ := server.Listen(80)
+	echoServer(t, ln)
+
+	start := clk.Now()
+	conn, err := client.Dial("server:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Handshake costs one RTT = 2 * (50+50)ms = 200ms.
+	if got := clk.Since(start); got < 200*time.Millisecond {
+		t.Fatalf("handshake took %v, want >= 200ms", got)
+	}
+
+	start = clk.Now()
+	conn.Write([]byte("x"))
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	// Echo round trip costs at least another RTT.
+	if got := clk.Since(start); got < 200*time.Millisecond {
+		t.Fatalf("echo RTT = %v, want >= 200ms", got)
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	nw, clk := testNet(t)
+	// 8 kbps = 1000 bytes/s: 2000 bytes should take ~2s to serialize.
+	server := nw.AddHost("server", Profile{})
+	client := nw.AddHost("client", Profile{UpKbps: 8})
+	ln, _ := server.Listen(80)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, c)
+	}()
+
+	conn, err := client.Dial("server:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := clk.Now()
+	if _, err := conn.Write(make([]byte, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := clk.Since(start)
+	if elapsed < 1900*time.Millisecond || elapsed > 2500*time.Millisecond {
+		t.Fatalf("2000B over 1000B/s took %v, want ~2s", elapsed)
+	}
+}
+
+func TestUplinkSharedAcrossConnections(t *testing.T) {
+	nw, clk := testNet(t)
+	server := nw.AddHost("server", Profile{})
+	client := nw.AddHost("client", Profile{UpKbps: 8}) // 1000 B/s shared
+	ln, _ := server.Listen(80)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, c)
+		}
+	}()
+
+	const writers = 4
+	var wg sync.WaitGroup
+	start := clk.Now()
+	for i := 0; i < writers; i++ {
+		conn, err := client.Dial("server:80")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		wg.Add(1)
+		go func(c net.Conn) {
+			defer wg.Done()
+			c.Write(make([]byte, 500))
+		}(conn)
+	}
+	wg.Wait()
+	// 4 x 500B = 2000B through a shared 1000B/s bucket: ~2s total.
+	if got := clk.Since(start); got < 1900*time.Millisecond {
+		t.Fatalf("shared uplink drained 2000B in %v, want ~2s", got)
+	}
+}
+
+func TestFirewallBlocksInboundWithTimeout(t *testing.T) {
+	nw, clk := testNet(t)
+	inside := nw.AddHost("inside", ProfileLAN(), WithFirewall(OutboundOnly()))
+	outside := nw.AddHost("outside", ProfileLAN())
+	ln, _ := inside.Listen(80)
+	echoServer(t, ln)
+
+	start := clk.Now()
+	_, err := outside.DialTimeout("inside:80", 3*time.Second)
+	if err == nil {
+		t.Fatal("dial through firewall succeeded")
+	}
+	if !IsTimeout(err) {
+		t.Fatalf("firewall dial error = %v, want timeout", err)
+	}
+	if got := clk.Since(start); got < 3*time.Second {
+		t.Fatalf("firewalled dial failed after %v, want full 3s timeout", got)
+	}
+
+	// Outbound from inside still works.
+	ln2, _ := outside.Listen(80)
+	echoServer(t, ln2)
+	if _, err := inside.Dial("outside:80"); err != nil {
+		t.Fatalf("outbound dial from firewalled host failed: %v", err)
+	}
+}
+
+func TestFirewallAllowFrom(t *testing.T) {
+	nw, _ := testNet(t)
+	inside := nw.AddHost("inside", ProfileLAN(), WithFirewall(OutboundOnlyExcept("dmz")))
+	dmz := nw.AddHost("dmz", ProfileLAN())
+	other := nw.AddHost("other", ProfileLAN())
+	ln, _ := inside.Listen(80)
+	echoServer(t, ln)
+
+	if _, err := dmz.Dial("inside:80"); err != nil {
+		t.Fatalf("allowed peer blocked: %v", err)
+	}
+	if _, err := other.DialTimeout("inside:80", 100*time.Millisecond); err == nil {
+		t.Fatal("non-allowlisted peer connected")
+	}
+}
+
+func TestPrivateHostUnroutable(t *testing.T) {
+	nw, _ := testNet(t)
+	applet := nw.AddHost("applet", ProfileLAN(), WithPrivateAddress())
+	server := nw.AddHost("server", ProfileLAN())
+	ln, _ := applet.Listen(80)
+	echoServer(t, ln)
+
+	if _, err := server.DialTimeout("applet:80", 50*time.Millisecond); !IsTimeout(err) {
+		t.Fatalf("dial to private host = %v, want timeout", err)
+	}
+	// Private host can still dial out.
+	ln2, _ := server.Listen(80)
+	echoServer(t, ln2)
+	if _, err := applet.Dial("server:80"); err != nil {
+		t.Fatalf("private host outbound dial failed: %v", err)
+	}
+}
+
+func TestDialUnknownHost(t *testing.T) {
+	nw, _ := testNet(t)
+	client := nw.AddHost("client", ProfileLAN())
+	if _, err := client.Dial("ghost:80"); !errors.Is(err, ErrNoHost) {
+		t.Fatalf("dial unknown host = %v, want ErrNoHost", err)
+	}
+}
+
+func TestDialNoListenerRefused(t *testing.T) {
+	nw, _ := testNet(t)
+	client := nw.AddHost("client", ProfileLAN())
+	nw.AddHost("server", ProfileLAN())
+	if _, err := client.Dial("server:9999"); !errors.Is(err, ErrRefused) {
+		t.Fatalf("dial closed port = %v, want ErrRefused", err)
+	}
+}
+
+func TestConnCapRefusesExcessDials(t *testing.T) {
+	nw, _ := testNet(t)
+	server := nw.AddHost("server", ProfileLAN(), WithMaxConns(3))
+	client := nw.AddHost("client", ProfileLAN())
+	ln, _ := server.Listen(80)
+	echoServer(t, ln)
+
+	var conns []net.Conn
+	for i := 0; i < 3; i++ {
+		c, err := client.Dial("server:80")
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		conns = append(conns, c)
+	}
+	if _, err := client.Dial("server:80"); !errors.Is(err, ErrRefused) {
+		t.Fatalf("4th dial = %v, want ErrRefused", err)
+	}
+	if server.Refused() != 1 {
+		t.Fatalf("Refused = %d, want 1", server.Refused())
+	}
+	// Closing a connection frees a slot on the accept side only after
+	// the server endpoint closes; the echo server closes on EOF.
+	conns[0].Close()
+	waitFor(t, func() bool { return server.OpenConns() < 3 })
+	if _, err := client.Dial("server:80"); err != nil {
+		t.Fatalf("dial after close failed: %v", err)
+	}
+	if server.PeakConns() != 3 {
+		t.Fatalf("PeakConns = %d, want 3", server.PeakConns())
+	}
+}
+
+func TestLocalConnCap(t *testing.T) {
+	nw, _ := testNet(t)
+	server := nw.AddHost("server", ProfileLAN())
+	client := nw.AddHost("client", ProfileLAN(), WithMaxConns(2))
+	ln, _ := server.Listen(80)
+	echoServer(t, ln)
+	for i := 0; i < 2; i++ {
+		if _, err := client.Dial("server:80"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := client.Dial("server:80"); !errors.Is(err, ErrTooManyConns) {
+		t.Fatalf("over-cap local dial = %v, want ErrTooManyConns", err)
+	}
+}
+
+func TestReadDeadline(t *testing.T) {
+	nw, clk := testNet(t)
+	server := nw.AddHost("server", ProfileLAN())
+	client := nw.AddHost("client", ProfileLAN())
+	ln, _ := server.Listen(80)
+	go ln.Accept() // accept but never write
+
+	conn, err := client.Dial("server:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(clk.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 1)
+	_, err = conn.Read(buf)
+	if !IsTimeout(err) {
+		t.Fatalf("Read past deadline = %v, want timeout", err)
+	}
+}
+
+func TestWriteDeadlineOnSaturatedLink(t *testing.T) {
+	nw, clk := testNet(t)
+	server := nw.AddHost("server", Profile{})
+	client := nw.AddHost("client", Profile{UpKbps: 8}) // 1000 B/s
+	ln, _ := server.Listen(80)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, c)
+	}()
+
+	conn, err := client.Dial("server:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SetWriteDeadline(clk.Now().Add(500 * time.Millisecond))
+	// 5000 bytes need 5s; the 500ms deadline must fire first.
+	n, err := conn.Write(make([]byte, 5000))
+	if !IsTimeout(err) {
+		t.Fatalf("Write = %d, %v; want timeout", n, err)
+	}
+	if n >= 5000 {
+		t.Fatalf("wrote all %d bytes despite deadline", n)
+	}
+}
+
+func TestDeviceQueueFull(t *testing.T) {
+	nw, _ := testNet(t)
+	server := nw.AddHost("server", Profile{})
+	// 1000 B/s with a 1s max queue: > ~1000 bytes of backlog refuses.
+	client := nw.AddHost("client", Profile{UpKbps: 8, MaxQueue: time.Second})
+	ln, _ := server.Listen(80)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, c)
+		}
+	}()
+	// A single writer self-clocks (it sleeps between chunks) and can
+	// never overflow the queue; concurrent writers all reserve before
+	// sleeping and push the bucket past its 1s depth (~1000 bytes).
+	const writers = 20
+	errs := make(chan error, writers)
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		conn, err := client.Dial("server:80")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		wg.Add(1)
+		go func(c net.Conn) {
+			defer wg.Done()
+			_, err := c.Write(make([]byte, 1000))
+			errs <- err
+		}(conn)
+	}
+	wg.Wait()
+	close(errs)
+	full := 0
+	for err := range errs {
+		if errors.Is(err, errDeviceQueueFull) {
+			full++
+		} else if err != nil {
+			t.Fatalf("unexpected write error: %v", err)
+		}
+	}
+	if full == 0 {
+		t.Fatal("no writer hit the device-queue-full refusal")
+	}
+}
+
+func TestCloseGivesEOFAfterDrain(t *testing.T) {
+	nw, _ := testNet(t)
+	server := nw.AddHost("server", Profile{Latency: 10 * time.Millisecond})
+	client := nw.AddHost("client", Profile{Latency: 10 * time.Millisecond})
+	ln, _ := server.Listen(80)
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	conn, err := client.Dial("server:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("last words"))
+	conn.Close()
+
+	srv := <-accepted
+	data, err := io.ReadAll(srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "last words" {
+		t.Fatalf("drained %q", data)
+	}
+}
+
+func TestReadAfterLocalClose(t *testing.T) {
+	nw, _ := testNet(t)
+	server := nw.AddHost("server", ProfileLAN())
+	client := nw.AddHost("client", ProfileLAN())
+	ln, _ := server.Listen(80)
+	echoServer(t, ln)
+	conn, _ := client.Dial("server:80")
+	conn.Close()
+	if _, err := conn.Read(make([]byte, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Read after Close = %v, want ErrClosed", err)
+	}
+	if _, err := conn.Write([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Write after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestWriteToClosedPeer(t *testing.T) {
+	nw, _ := testNet(t)
+	server := nw.AddHost("server", ProfileLAN())
+	client := nw.AddHost("client", ProfileLAN())
+	ln, _ := server.Listen(80)
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, _ := ln.Accept()
+		accepted <- c
+	}()
+	conn, _ := client.Dial("server:80")
+	srv := <-accepted
+	srv.Close()
+	waitFor(t, func() bool {
+		_, err := conn.Write([]byte("x"))
+		return err != nil
+	})
+}
+
+func TestListenerCloseUnblocksAccept(t *testing.T) {
+	nw, _ := testNet(t)
+	server := nw.AddHost("server", ProfileLAN())
+	ln, _ := server.Listen(80)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept()
+		errCh <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	ln.Close()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("Accept returned nil error after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Accept not unblocked by Close")
+	}
+}
+
+func TestListenEphemeralAndDuplicate(t *testing.T) {
+	nw, _ := testNet(t)
+	h := nw.AddHost("h", ProfileLAN())
+	ln, err := h.Listen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ln.Addr().(Addr).Port == 0 {
+		t.Fatal("ephemeral listen kept port 0")
+	}
+	if _, err := h.Listen(80); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Listen(80); err == nil {
+		t.Fatal("duplicate Listen succeeded")
+	}
+}
+
+func TestDuplicateHostPanics(t *testing.T) {
+	nw, _ := testNet(t)
+	nw.AddHost("dup", ProfileLAN())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddHost did not panic")
+		}
+	}()
+	nw.AddHost("dup", ProfileLAN())
+}
+
+func TestLossAddsRetransmitDelay(t *testing.T) {
+	nw, clk := testNet(t)
+	server := nw.AddHost("server", Profile{})
+	client := nw.AddHost("client", Profile{LossRate: 1.0, RetransmitDelay: 300 * time.Millisecond})
+	ln, _ := server.Listen(80)
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, _ := ln.Accept()
+		accepted <- c
+	}()
+	conn, err := client.Dial("server:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-accepted
+	start := clk.Now()
+	conn.Write([]byte("x"))
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(srv, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := clk.Since(start); got < 300*time.Millisecond {
+		t.Fatalf("lossy delivery took %v, want >= 300ms retransmit penalty", got)
+	}
+}
+
+func TestLargeTransferIntegrity(t *testing.T) {
+	nw, _ := testNet(t)
+	server := nw.AddHost("server", ProfileLAN())
+	client := nw.AddHost("client", ProfileLAN())
+	ln, _ := server.Listen(80)
+	echoServer(t, ln)
+	conn, err := client.Dial("server:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	payload := make([]byte, 64*1024)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	go conn.Write(payload)
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Fatalf("corruption at byte %d: got %d want %d", i, got[i], payload[i])
+		}
+	}
+}
+
+func TestAddrStrings(t *testing.T) {
+	a := Addr{Host: "h", Port: 80}
+	if a.String() != "h:80" || a.Network() != "sim" {
+		t.Fatalf("Addr = %q / %q", a.String(), a.Network())
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}

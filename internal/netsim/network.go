@@ -1,0 +1,113 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Network is a collection of simulated hosts sharing one clock. It is safe
+// for concurrent use.
+type Network struct {
+	clk clock.Clock
+
+	mu    sync.Mutex
+	hosts map[string]*Host
+	rng   *rand.Rand
+}
+
+// New creates an empty network driven by clk. seed feeds the deterministic
+// loss model; runs with equal seeds and workloads see identical drops.
+func New(clk clock.Clock, seed int64) *Network {
+	return &Network{
+		clk:   clk,
+		hosts: make(map[string]*Host),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Clock returns the clock driving this network.
+func (n *Network) Clock() clock.Clock { return n.clk }
+
+// HostOption configures a host at creation.
+type HostOption func(*Host)
+
+// WithFirewall installs a firewall policy on the host.
+func WithFirewall(fw Firewall) HostOption {
+	return func(h *Host) { h.fw = fw }
+}
+
+// WithMaxConns caps the number of simultaneously open connections (dials
+// plus accepted) the host supports. 0 keeps DefaultMaxConns.
+func WithMaxConns(n int) HostOption {
+	return func(h *Host) {
+		if n > 0 {
+			h.maxConns = n
+		}
+	}
+}
+
+// WithPrivateAddress marks the host unroutable: inbound dials time out no
+// matter the firewall, as for a NATed applet client with no network
+// endpoint. Outbound connections still work.
+func WithPrivateAddress() HostOption {
+	return func(h *Host) { h.private = true }
+}
+
+// DefaultMaxConns is the per-host connection cap unless overridden: the
+// classic default file-descriptor limit on 2004-era Linux.
+const DefaultMaxConns = 1024
+
+// AddHost creates and registers a host. It panics on duplicate names —
+// topology construction bugs should fail loudly at setup time.
+func (n *Network) AddHost(name string, p Profile, opts ...HostOption) *Host {
+	p = p.withDefaults()
+	h := &Host{
+		name:      name,
+		net:       n,
+		profile:   p,
+		maxConns:  DefaultMaxConns,
+		up:        newTokenBucket(p.UpKbps, p.MaxQueue),
+		down:      newTokenBucket(p.DownKbps, p.MaxQueue),
+		listeners: make(map[int]*Listener),
+		nextPort:  49152,
+	}
+	for _, o := range opts {
+		o(h)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.hosts[name]; dup {
+		panic(fmt.Sprintf("netsim: duplicate host %q", name))
+	}
+	n.hosts[name] = h
+	return h
+}
+
+// Host returns the named host, or nil if absent.
+func (n *Network) Host(name string) *Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.hosts[name]
+}
+
+// lose samples the loss model for one segment traversing the two hosts'
+// access links and returns the extra retransmission delay to charge.
+func (n *Network) lose(src, dst *Host) time.Duration {
+	var extra time.Duration
+	for _, h := range [2]*Host{src, dst} {
+		if h.profile.LossRate <= 0 {
+			continue
+		}
+		n.mu.Lock()
+		hit := n.rng.Float64() < h.profile.LossRate
+		n.mu.Unlock()
+		if hit {
+			extra += h.profile.RetransmitDelay
+		}
+	}
+	return extra
+}

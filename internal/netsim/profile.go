@@ -1,0 +1,70 @@
+package netsim
+
+import "time"
+
+// Profile describes a host's access link: asymmetric bandwidth and one-way
+// latency from the host to the simulated backbone. The end-to-end one-way
+// delay between two hosts is the sum of their latencies; serialization goes
+// through the sender's up-link bucket and the receiver's down-link bucket.
+type Profile struct {
+	// DownKbps and UpKbps are access-link bandwidths in kilobits per
+	// second; 0 means unlimited.
+	DownKbps float64
+	UpKbps   float64
+	// Latency is the one-way propagation delay between this host and
+	// the backbone.
+	Latency time.Duration
+	// LossRate is the probability that a segment needs a TCP-style
+	// retransmission; each loss adds RetransmitDelay to that segment's
+	// arrival. 0 disables.
+	LossRate float64
+	// RetransmitDelay is the extra arrival delay charged per lost
+	// segment (a coarse RTO model). Defaults to 200ms when LossRate > 0.
+	RetransmitDelay time.Duration
+	// MaxQueue bounds the access link's device queue, expressed as
+	// maximum queueing time. Defaults to 30s (a deep 2004 modem buffer)
+	// when bandwidth is finite.
+	MaxQueue time.Duration
+}
+
+func (p Profile) withDefaults() Profile {
+	if p.LossRate > 0 && p.RetransmitDelay == 0 {
+		p.RetransmitDelay = 200 * time.Millisecond
+	}
+	if p.MaxQueue == 0 {
+		p.MaxQueue = 30 * time.Second
+	}
+	return p
+}
+
+// The measured endpoints from §4.3 of the paper. Bandwidths are the
+// paper's broadbandreports.com numbers; latencies are set so that the
+// France↔US round-trip is ≈120 ms and Indiana↔Indiana is a few ms.
+
+// ProfileINRIA is the INRIA Sophia Antipolis institutional connection:
+// download 1335 kbps, upload 1262 kbps, behind the institute firewall.
+func ProfileINRIA() Profile {
+	return Profile{DownKbps: 1335, UpKbps: 1262, Latency: 50 * time.Millisecond}
+}
+
+// ProfileIUHigh is the Indiana University backbone connection:
+// download 3655 kbps, upload 2739 kbps ("iuHight" in the paper).
+func ProfileIUHigh() Profile {
+	return Profile{DownKbps: 3655, UpKbps: 2739, Latency: 10 * time.Millisecond}
+}
+
+// ProfileIULow is the Bloomington home cable modem: download 2333 kbps,
+// upload 288 kbps — the asymmetric "bad conditions" link of Figure 4.
+func ProfileIULow() Profile {
+	return Profile{DownKbps: 2333, UpKbps: 288, Latency: 15 * time.Millisecond}
+}
+
+// ProfileLAN is a fast local link for co-located services (e.g. the
+// dispatcher and the registry on one machine room network).
+func ProfileLAN() Profile {
+	return Profile{DownKbps: 100_000, UpKbps: 100_000, Latency: 200 * time.Microsecond}
+}
+
+// ProfileUnlimited has no bandwidth or latency constraints; unit tests use
+// it when they only care about plumbing.
+func ProfileUnlimited() Profile { return Profile{} }

@@ -1,0 +1,89 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPaperProfilesCarryMeasuredBandwidths(t *testing.T) {
+	// §4.3: the three broadbandreports.com measurements.
+	cases := []struct {
+		name     string
+		p        Profile
+		down, up float64
+	}{
+		{"iuLow", ProfileIULow(), 2333, 288},
+		{"iuHigh", ProfileIUHigh(), 3655, 2739},
+		{"inria", ProfileINRIA(), 1335, 1262},
+	}
+	for _, c := range cases {
+		if c.p.DownKbps != c.down || c.p.UpKbps != c.up {
+			t.Errorf("%s = %v/%v kbps, want %v/%v",
+				c.name, c.p.DownKbps, c.p.UpKbps, c.down, c.up)
+		}
+		if c.p.Latency <= 0 {
+			t.Errorf("%s has no latency", c.name)
+		}
+	}
+}
+
+func TestProfileDefaults(t *testing.T) {
+	p := Profile{LossRate: 0.1}.withDefaults()
+	if p.RetransmitDelay != 200*time.Millisecond {
+		t.Fatalf("RetransmitDelay default = %v", p.RetransmitDelay)
+	}
+	if p.MaxQueue != 30*time.Second {
+		t.Fatalf("MaxQueue default = %v", p.MaxQueue)
+	}
+	q := Profile{RetransmitDelay: time.Second, MaxQueue: time.Minute}.withDefaults()
+	if q.RetransmitDelay != time.Second || q.MaxQueue != time.Minute {
+		t.Fatal("explicit values overridden")
+	}
+}
+
+func TestUnlimitedProfileHasNoSerializationDelay(t *testing.T) {
+	tb := newTokenBucket(0, 0)
+	now := time.Unix(100, 0)
+	end, ok := tb.reserve(now, 1<<20)
+	if !ok || !end.Equal(now) {
+		t.Fatalf("unlimited reserve = %v, %v", end, ok)
+	}
+	if tb.queueDelay(now) != 0 {
+		t.Fatal("unlimited bucket reports queue delay")
+	}
+}
+
+func TestTokenBucketQueueDelayGrows(t *testing.T) {
+	tb := newTokenBucket(8, 0) // 1000 B/s
+	now := time.Unix(0, 0)
+	tb.reserve(now, 1000) // 1s of work
+	if d := tb.queueDelay(now); d != time.Second {
+		t.Fatalf("queueDelay = %v, want 1s", d)
+	}
+	// After the backlog drains, no delay.
+	if d := tb.queueDelay(now.Add(2 * time.Second)); d != 0 {
+		t.Fatalf("queueDelay after drain = %v", d)
+	}
+}
+
+func TestTokenBucketRefusalLeavesStateClean(t *testing.T) {
+	tb := newTokenBucket(8, time.Second) // 1000 B/s, 1s queue
+	now := time.Unix(0, 0)
+	if _, ok := tb.reserve(now, 900); !ok {
+		t.Fatal("first reservation refused")
+	}
+	// Next reservation starts 0.9s in the future — within the queue
+	// bound — and is accepted.
+	if _, ok := tb.reserve(now, 500); !ok {
+		t.Fatal("second reservation refused")
+	}
+	// Now the queue extends 1.4s ahead: refused, and the bucket must
+	// not have booked anything for the failed attempt.
+	before := tb.nextFree
+	if _, ok := tb.reserve(now, 100); ok {
+		t.Fatal("over-bound reservation accepted")
+	}
+	if !tb.nextFree.Equal(before) {
+		t.Fatal("refused reservation mutated the bucket")
+	}
+}

@@ -1,0 +1,106 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrOutOfMemory models the JVM's OutOfMemoryError: "unable to create new
+// native thread". The paper's first WS-MsgBox "was spawning too many
+// threads ... each thread has local stack allocated in memory and it is
+// known Java limitation"; beyond roughly a thousand threads the 2004-era
+// JVM died. Ledger reproduces that failure mode by accounting, not by
+// actually exhausting the host.
+var ErrOutOfMemory = errors.New("pool: OutOfMemoryError: unable to create new native thread")
+
+// Ledger is a shared memory budget charged one stack per live thread.
+//
+// Defaults approximate a 2004 JVM on a lab machine: 512 KiB native stack
+// per thread and a 256 MiB budget for thread stacks, i.e. an effective cap
+// of 512 concurrent threads before thread creation throws.
+type Ledger struct {
+	mu         sync.Mutex
+	stackBytes int64
+	budget     int64
+	inUse      int64
+	live       int
+	peak       int
+	oomEvents  int
+}
+
+// DefaultStackBytes is the modeled per-thread native stack reservation.
+const DefaultStackBytes = 512 << 10
+
+// DefaultBudgetBytes is the modeled memory available for thread stacks.
+const DefaultBudgetBytes = 256 << 20
+
+// NewLedger returns a Ledger with the given per-thread stack size and total
+// budget; zero or negative arguments select the defaults.
+func NewLedger(stackBytes, budgetBytes int64) *Ledger {
+	if stackBytes <= 0 {
+		stackBytes = DefaultStackBytes
+	}
+	if budgetBytes <= 0 {
+		budgetBytes = DefaultBudgetBytes
+	}
+	return &Ledger{stackBytes: stackBytes, budget: budgetBytes}
+}
+
+// SpawnThread reserves one thread stack. It returns ErrOutOfMemory (wrapped
+// with the live-thread count) when the budget is exhausted.
+func (l *Ledger) SpawnThread() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inUse+l.stackBytes > l.budget {
+		l.oomEvents++
+		return fmt.Errorf("%w (live threads: %d, stack %d KiB, budget %d MiB)",
+			ErrOutOfMemory, l.live, l.stackBytes>>10, l.budget>>20)
+	}
+	l.inUse += l.stackBytes
+	l.live++
+	if l.live > l.peak {
+		l.peak = l.live
+	}
+	return nil
+}
+
+// ReleaseThread returns one thread stack to the budget. Releasing below
+// zero is a programming error and panics.
+func (l *Ledger) ReleaseThread() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.live == 0 {
+		panic("pool: ReleaseThread without matching SpawnThread")
+	}
+	l.live--
+	l.inUse -= l.stackBytes
+}
+
+// Live returns the number of currently reserved threads.
+func (l *Ledger) Live() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.live
+}
+
+// Peak returns the high-water mark of concurrently reserved threads.
+func (l *Ledger) Peak() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.peak
+}
+
+// OOMEvents returns how many SpawnThread calls have failed.
+func (l *Ledger) OOMEvents() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.oomEvents
+}
+
+// Capacity returns the maximum number of threads the budget allows.
+func (l *Ledger) Capacity() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int(l.budget / l.stackBytes)
+}

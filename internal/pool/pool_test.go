@@ -1,0 +1,215 @@
+package pool
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/queue"
+)
+
+func TestPoolExecutesTasks(t *testing.T) {
+	p := New(Config{Core: 4})
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		if err := p.Submit(func() { n.Add(1); wg.Done() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	p.Stop()
+	if n.Load() != 100 {
+		t.Fatalf("executed %d tasks, want 100", n.Load())
+	}
+	if s := p.Stats(); s.Executed != 100 {
+		t.Fatalf("Stats.Executed = %d", s.Executed)
+	}
+}
+
+func TestSubmitWait(t *testing.T) {
+	p := New(Config{Core: 1})
+	p.Start()
+	defer p.Stop()
+	ran := false
+	if err := p.SubmitWait(func() { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("SubmitWait returned before task ran")
+	}
+}
+
+func TestStopDrainsQueuedTasks(t *testing.T) {
+	p := New(Config{Core: 1})
+	p.Start()
+	var n atomic.Int64
+	release := make(chan struct{})
+	p.Submit(func() { <-release })
+	for i := 0; i < 10; i++ {
+		p.Submit(func() { n.Add(1) })
+	}
+	close(release)
+	p.Stop()
+	if n.Load() != 10 {
+		t.Fatalf("drained %d tasks, want 10", n.Load())
+	}
+}
+
+func TestSubmitAfterStop(t *testing.T) {
+	p := New(Config{Core: 1})
+	p.Start()
+	p.Stop()
+	if err := p.Submit(func() {}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Submit after Stop = %v, want ErrStopped", err)
+	}
+	if err := p.TrySubmit(func() {}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("TrySubmit after Stop = %v, want ErrStopped", err)
+	}
+}
+
+func TestTrySubmitFullBacklog(t *testing.T) {
+	p := New(Config{Core: 1, Backlog: 1})
+	p.Start()
+	defer p.Stop()
+	release := make(chan struct{})
+	defer close(release)
+	p.Submit(func() { <-release }) // occupy the worker
+	waitUntil(t, func() bool { return p.Stats().Busy == 1 })
+	if err := p.TrySubmit(func() {}); err != nil {
+		t.Fatalf("first queued TrySubmit = %v", err)
+	}
+	if err := p.TrySubmit(func() {}); !errors.Is(err, queue.ErrFull) {
+		t.Fatalf("TrySubmit on full backlog = %v, want ErrFull", err)
+	}
+	if p.Stats().Rejected == 0 {
+		t.Fatal("rejected counter not incremented")
+	}
+}
+
+func TestPoolGrowsToMax(t *testing.T) {
+	p := New(Config{Core: 1, Max: 4})
+	p.Start()
+	defer p.Stop()
+	release := make(chan struct{})
+	defer close(release) // must run before Stop so blocked tasks finish
+	var started atomic.Int64
+	for i := 0; i < 4; i++ {
+		p.Submit(func() {
+			started.Add(1)
+			<-release
+		})
+	}
+	waitUntil(t, func() bool { return started.Load() >= 2 })
+	if w := p.Stats().Workers; w < 2 || w > 4 {
+		t.Fatalf("workers = %d, want between 2 and 4", w)
+	}
+}
+
+func TestSurgeWorkersDestroyedWhenIdle(t *testing.T) {
+	p := New(Config{Core: 1, Max: 8})
+	p.Start()
+	defer p.Stop()
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		p.Submit(func() {
+			time.Sleep(time.Millisecond)
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	waitUntil(t, func() bool { return p.Stats().Workers == 1 })
+}
+
+func TestLedgerCapsWorkers(t *testing.T) {
+	// Budget for exactly 2 threads.
+	l := NewLedger(1024, 2048)
+	p := New(Config{Core: 4, Ledger: l})
+	if err := p.Start(); err == nil {
+		t.Fatal("Start with insufficient ledger budget should fail")
+	} else if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("Start error = %v, want ErrOutOfMemory", err)
+	}
+	p.Stop()
+}
+
+func TestLedgerAccounting(t *testing.T) {
+	l := NewLedger(100, 1000)
+	if l.Capacity() != 10 {
+		t.Fatalf("Capacity = %d, want 10", l.Capacity())
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.SpawnThread(); err != nil {
+			t.Fatalf("spawn %d: %v", i, err)
+		}
+	}
+	if err := l.SpawnThread(); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("11th spawn = %v, want ErrOutOfMemory", err)
+	}
+	if l.Live() != 10 || l.Peak() != 10 || l.OOMEvents() != 1 {
+		t.Fatalf("Live=%d Peak=%d OOM=%d", l.Live(), l.Peak(), l.OOMEvents())
+	}
+	l.ReleaseThread()
+	if err := l.SpawnThread(); err != nil {
+		t.Fatalf("spawn after release: %v", err)
+	}
+	if l.Peak() != 10 {
+		t.Fatalf("Peak = %d after release/respawn, want 10", l.Peak())
+	}
+}
+
+func TestLedgerReleaseUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ReleaseThread underflow did not panic")
+		}
+	}()
+	NewLedger(0, 0).ReleaseThread()
+}
+
+func TestLedgerDefaults(t *testing.T) {
+	l := NewLedger(0, 0)
+	if got := l.Capacity(); got != DefaultBudgetBytes/DefaultStackBytes {
+		t.Fatalf("default Capacity = %d", got)
+	}
+}
+
+func TestConcurrentSubmitters(t *testing.T) {
+	p := New(Config{Core: 4, Max: 8})
+	p.Start()
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				p.Submit(func() { n.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	p.Stop()
+	if n.Load() != 2000 {
+		t.Fatalf("executed %d, want 2000", n.Load())
+	}
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}

@@ -1,0 +1,296 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	q := New[int](0)
+	for i := 0; i < 100; i++ {
+		if err := q.Put(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		v, err := q.Take()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != i {
+			t.Fatalf("Take = %d, want %d", v, i)
+		}
+	}
+}
+
+func TestTryTakeEmpty(t *testing.T) {
+	q := New[string](0)
+	if _, ok := q.TryTake(); ok {
+		t.Fatal("TryTake on empty queue returned ok")
+	}
+}
+
+func TestBoundedTryPut(t *testing.T) {
+	q := New[int](2)
+	if err := q.TryPut(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.TryPut(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.TryPut(3); err != ErrFull {
+		t.Fatalf("TryPut on full queue = %v, want ErrFull", err)
+	}
+	q.TryTake()
+	if err := q.TryPut(3); err != nil {
+		t.Fatalf("TryPut after drain = %v", err)
+	}
+}
+
+func TestBoundedPutBlocksUntilTake(t *testing.T) {
+	q := New[int](1)
+	if err := q.Put(1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- q.Put(2) }()
+	select {
+	case <-done:
+		t.Fatal("Put on full bounded queue returned before space freed")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if _, err := q.Take(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Put never completed after Take")
+	}
+}
+
+func TestTakeBlocksUntilPut(t *testing.T) {
+	q := New[int](0)
+	got := make(chan int, 1)
+	go func() {
+		v, err := q.Take()
+		if err != nil {
+			t.Error(err)
+		}
+		got <- v
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := q.Put(7); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-got:
+		if v != 7 {
+			t.Fatalf("Take = %d, want 7", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Take never unblocked")
+	}
+}
+
+func TestCloseDrainsThenErrClosed(t *testing.T) {
+	q := New[int](0)
+	q.Put(1)
+	q.Put(2)
+	q.Close()
+	if err := q.Put(3); err != ErrClosed {
+		t.Fatalf("Put after Close = %v, want ErrClosed", err)
+	}
+	if v, err := q.Take(); err != nil || v != 1 {
+		t.Fatalf("Take = %d, %v", v, err)
+	}
+	if v, err := q.Take(); err != nil || v != 2 {
+		t.Fatalf("Take = %d, %v", v, err)
+	}
+	if _, err := q.Take(); err != ErrClosed {
+		t.Fatalf("Take on drained closed queue = %v, want ErrClosed", err)
+	}
+}
+
+func TestCloseUnblocksTakers(t *testing.T) {
+	q := New[int](0)
+	errs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			_, err := q.Take()
+			errs <- err
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-errs:
+			if err != ErrClosed {
+				t.Fatalf("Take = %v, want ErrClosed", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("blocked Take not released by Close")
+		}
+	}
+}
+
+func TestTakeBatch(t *testing.T) {
+	q := New[int](0)
+	for i := 0; i < 10; i++ {
+		q.Put(i)
+	}
+	batch, err := q.TakeBatch(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 4 {
+		t.Fatalf("batch len = %d, want 4", len(batch))
+	}
+	for i, v := range batch {
+		if v != i {
+			t.Fatalf("batch[%d] = %d", i, v)
+		}
+	}
+	rest, err := q.TakeBatch(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 6 || rest[0] != 4 {
+		t.Fatalf("rest = %v", rest)
+	}
+}
+
+func TestTakeBatchMinimumOne(t *testing.T) {
+	q := New[int](0)
+	q.Put(9)
+	batch, err := q.TakeBatch(0)
+	if err != nil || len(batch) != 1 || batch[0] != 9 {
+		t.Fatalf("TakeBatch(0) = %v, %v", batch, err)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	q := New[int](0)
+	for i := 0; i < 5; i++ {
+		q.Put(i)
+	}
+	got := q.Drain()
+	if len(got) != 5 {
+		t.Fatalf("Drain returned %d items", len(got))
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len after Drain = %d", q.Len())
+	}
+	if q.Drain() != nil {
+		t.Fatal("Drain on empty queue should return nil")
+	}
+}
+
+func TestLen(t *testing.T) {
+	q := New[int](0)
+	for i := 0; i < 7; i++ {
+		q.Put(i)
+	}
+	q.Take()
+	q.Take()
+	if q.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", q.Len())
+	}
+}
+
+func TestCompactionPreservesOrder(t *testing.T) {
+	q := New[int](0)
+	next := 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 20; i++ {
+			q.Put(round*20 + i)
+		}
+		for i := 0; i < 15; i++ {
+			v, err := q.Take()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != next {
+				t.Fatalf("Take = %d, want %d", v, next)
+			}
+			next++
+		}
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	q := New[int](64)
+	const producers, perProducer, consumers = 8, 500, 8
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := q.Put(1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	var consumed sync.WaitGroup
+	total := make(chan int, consumers)
+	for c := 0; c < consumers; c++ {
+		consumed.Add(1)
+		go func() {
+			defer consumed.Done()
+			sum := 0
+			for {
+				v, err := q.Take()
+				if err == ErrClosed {
+					total <- sum
+					return
+				}
+				sum += v
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	consumed.Wait()
+	close(total)
+	sum := 0
+	for s := range total {
+		sum += s
+	}
+	if sum != producers*perProducer {
+		t.Fatalf("consumed %d items, want %d", sum, producers*perProducer)
+	}
+}
+
+// Property: any interleaving of puts and takes preserves FIFO order of the
+// values actually taken.
+func TestQuickFIFOProperty(t *testing.T) {
+	f := func(values []int, takes uint8) bool {
+		q := New[int](0)
+		for _, v := range values {
+			q.Put(v)
+		}
+		n := int(takes)
+		if n > len(values) {
+			n = len(values)
+		}
+		for i := 0; i < n; i++ {
+			got, err := q.Take()
+			if err != nil || got != values[i] {
+				return false
+			}
+		}
+		return q.Len() == len(values)-n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,313 @@
+// Package registry implements the WS-Dispatcher's service registry: the
+// independent module both dispatchers share, mapping "logical" service
+// addresses to the permanent physical addresses where each service is
+// implemented (paper §4.1).
+//
+// The paper's implementation "uses text files for mapping logical address
+// with physical address" guarded by a concurrent hash map; this package
+// keeps both properties (LoadFile/SaveFile on a plain text format, cmap on
+// the hot path) and adds the future-work items §4.4 sketches: multiple
+// physical endpoints per logical name with load-balancing policies,
+// "checking if service is alive", and browseable WSDL metadata.
+package registry
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/cmap"
+	"repro/internal/httpx"
+	"repro/internal/wsdl"
+)
+
+// Policy selects among multiple physical endpoints for one logical name.
+type Policy int
+
+const (
+	// PolicyFirst always uses the first live endpoint (primary/backup).
+	PolicyFirst Policy = iota
+	// PolicyRoundRobin rotates across live endpoints — the paper's
+	// planned "load-balancing system into the Registry service that
+	// uses a farm of WS-Dispatchers".
+	PolicyRoundRobin
+	// PolicyLeastPending picks the endpoint with the fewest in-flight
+	// forwards (requires callers to Acquire/Release).
+	PolicyLeastPending
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyRoundRobin:
+		return "round-robin"
+	case PolicyLeastPending:
+		return "least-pending"
+	default:
+		return "first"
+	}
+}
+
+// Endpoint is one physical location of a service.
+type Endpoint struct {
+	// URL is the physical address, e.g. "http://ws1:8001/echo".
+	URL string
+	// alive is 1 when the endpoint passed its last liveness check (or
+	// was never checked); 0 when marked dead.
+	alive atomic.Bool
+	// pending counts in-flight forwards (PolicyLeastPending).
+	pending atomic.Int64
+}
+
+// Alive reports the endpoint's last known liveness.
+func (e *Endpoint) Alive() bool { return e.alive.Load() }
+
+// Pending returns the current in-flight count.
+func (e *Endpoint) Pending() int64 { return e.pending.Load() }
+
+// Entry is the registry record for one logical service name.
+type Entry struct {
+	// Logical is the name clients use, e.g. "echo".
+	Logical string
+	// Endpoints are the physical locations, in registration order.
+	Endpoints []*Endpoint
+	// Doc is optional browseable WSDL metadata.
+	Doc *wsdl.Service
+
+	rr atomic.Uint64 // round-robin cursor
+}
+
+// Errors returned by lookups.
+var (
+	ErrUnknownService = errors.New("registry: unknown logical service")
+	ErrNoLiveEndpoint = errors.New("registry: no live endpoint")
+)
+
+// Registry is the concurrent logical→physical mapping.
+type Registry struct {
+	entries *cmap.Map[*Entry]
+	policy  Policy
+	clk     clock.Clock
+}
+
+// New returns an empty registry using the given balancing policy.
+func New(policy Policy, clk clock.Clock) *Registry {
+	if clk == nil {
+		clk = clock.Wall
+	}
+	return &Registry{entries: cmap.New[*Entry](), policy: policy, clk: clk}
+}
+
+// Register adds physical endpoints for a logical name, creating the entry
+// if needed. Duplicate URLs are ignored.
+func (r *Registry) Register(logical string, urls ...string) *Entry {
+	entry := r.entries.GetOrCompute(logical, func() *Entry {
+		return &Entry{Logical: logical}
+	})
+	for _, u := range urls {
+		dup := false
+		for _, e := range entry.Endpoints {
+			if e.URL == u {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		ep := &Endpoint{URL: u}
+		ep.alive.Store(true)
+		entry.Endpoints = append(entry.Endpoints, ep)
+	}
+	return entry
+}
+
+// SetDoc attaches WSDL metadata to a logical name (creating the entry).
+func (r *Registry) SetDoc(logical string, doc *wsdl.Service) {
+	entry := r.entries.GetOrCompute(logical, func() *Entry {
+		return &Entry{Logical: logical}
+	})
+	entry.Doc = doc
+}
+
+// Unregister removes the whole logical name. It reports whether the entry
+// existed.
+func (r *Registry) Unregister(logical string) bool {
+	return r.entries.Delete(logical)
+}
+
+// Lookup returns the entry for a logical name.
+func (r *Registry) Lookup(logical string) (*Entry, bool) {
+	return r.entries.Get(logical)
+}
+
+// Resolve translates a logical name into one physical endpoint according
+// to the balancing policy, skipping endpoints marked dead.
+func (r *Registry) Resolve(logical string) (*Endpoint, error) {
+	entry, ok := r.entries.Get(logical)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownService, logical)
+	}
+	live := make([]*Endpoint, 0, len(entry.Endpoints))
+	for _, e := range entry.Endpoints {
+		if e.Alive() {
+			live = append(live, e)
+		}
+	}
+	if len(live) == 0 {
+		return nil, fmt.Errorf("%w for %q", ErrNoLiveEndpoint, logical)
+	}
+	switch r.policy {
+	case PolicyRoundRobin:
+		i := entry.rr.Add(1) - 1
+		return live[i%uint64(len(live))], nil
+	case PolicyLeastPending:
+		best := live[0]
+		for _, e := range live[1:] {
+			if e.Pending() < best.Pending() {
+				best = e
+			}
+		}
+		return best, nil
+	default:
+		return live[0], nil
+	}
+}
+
+// Acquire marks the start of a forward to ep (for PolicyLeastPending
+// accounting); Release marks its end.
+func (r *Registry) Acquire(ep *Endpoint) { ep.pending.Add(1) }
+
+// Release decrements the in-flight count for ep.
+func (r *Registry) Release(ep *Endpoint) { ep.pending.Add(-1) }
+
+// Services returns all logical names, sorted (the browseable directory).
+func (r *Registry) Services() []string {
+	names := r.entries.Keys()
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of logical entries.
+func (r *Registry) Len() int { return r.entries.Len() }
+
+// --- text-file persistence (paper: "uses text files for mapping") ---
+
+// LoadFile merges entries from a text file. Format, one entry per line:
+//
+//	logical-name physical-url[,physical-url...]
+//
+// Blank lines and lines starting with '#' are ignored.
+func (r *Registry) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	defer f.Close()
+	return r.Load(f)
+}
+
+// Load reads the text format from any reader.
+func (r *Registry) Load(src io.Reader) error {
+	sc := bufio.NewScanner(src)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return fmt.Errorf("registry: line %d: want \"logical url[,url]\", got %q", lineNo, line)
+		}
+		r.Register(fields[0], strings.Split(fields[1], ",")...)
+	}
+	return sc.Err()
+}
+
+// SaveFile writes the current mapping in the text format.
+func (r *Registry) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	defer f.Close()
+	return r.Save(f)
+}
+
+// Save writes the text format to any writer, sorted by logical name.
+func (r *Registry) Save(dst io.Writer) error {
+	w := bufio.NewWriter(dst)
+	fmt.Fprintln(w, "# WS-Dispatcher service registry: logical-name physical-url[,physical-url...]")
+	for _, name := range r.Services() {
+		entry, ok := r.entries.Get(name)
+		if !ok {
+			continue
+		}
+		urls := make([]string, 0, len(entry.Endpoints))
+		for _, e := range entry.Endpoints {
+			urls = append(urls, e.URL)
+		}
+		fmt.Fprintf(w, "%s %s\n", name, strings.Join(urls, ","))
+	}
+	return w.Flush()
+}
+
+// --- liveness (future work: "checking if service is alive") ---
+
+// CheckAlive probes every endpoint of every entry with an HTTP request and
+// updates its liveness flag. It returns the number of endpoints found
+// dead. A live endpoint is one that answers any HTTP status at all —
+// reachability, not correctness, is what routing needs.
+func (r *Registry) CheckAlive(client *httpx.Client, timeout time.Duration) int {
+	dead := 0
+	r.entries.Range(func(_ string, entry *Entry) bool {
+		for _, ep := range entry.Endpoints {
+			addr, path, err := httpx.SplitURL(ep.URL)
+			if err != nil {
+				ep.alive.Store(false)
+				dead++
+				continue
+			}
+			req := httpx.NewRequest("GET", path, nil)
+			if _, err := client.DoTimeout(addr, req, timeout); err != nil {
+				ep.alive.Store(false)
+				dead++
+			} else {
+				ep.alive.Store(true)
+			}
+		}
+		return true
+	})
+	return dead
+}
+
+// MarkDead flags one endpoint URL as dead without probing (used by
+// dispatchers after a forward failure).
+func (r *Registry) MarkDead(logical, url string) {
+	if entry, ok := r.entries.Get(logical); ok {
+		for _, ep := range entry.Endpoints {
+			if ep.URL == url {
+				ep.alive.Store(false)
+			}
+		}
+	}
+}
+
+// MarkAlive flags one endpoint URL as alive.
+func (r *Registry) MarkAlive(logical, url string) {
+	if entry, ok := r.entries.Get(logical); ok {
+		for _, ep := range entry.Endpoints {
+			if ep.URL == url {
+				ep.alive.Store(true)
+			}
+		}
+	}
+}

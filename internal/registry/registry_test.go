@@ -1,0 +1,231 @@
+package registry
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/httpx"
+	"repro/internal/netsim"
+	"repro/internal/wsdl"
+)
+
+func TestRegisterAndResolve(t *testing.T) {
+	r := New(PolicyFirst, clock.Wall)
+	r.Register("echo", "http://ws1:8001/echo")
+	ep, err := r.Resolve("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.URL != "http://ws1:8001/echo" {
+		t.Fatalf("Resolve = %q", ep.URL)
+	}
+}
+
+func TestResolveUnknown(t *testing.T) {
+	r := New(PolicyFirst, clock.Wall)
+	if _, err := r.Resolve("ghost"); !errors.Is(err, ErrUnknownService) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDuplicateURLIgnored(t *testing.T) {
+	r := New(PolicyFirst, clock.Wall)
+	r.Register("echo", "http://a:1/x", "http://a:1/x")
+	r.Register("echo", "http://a:1/x")
+	entry, _ := r.Lookup("echo")
+	if len(entry.Endpoints) != 1 {
+		t.Fatalf("endpoints = %d", len(entry.Endpoints))
+	}
+}
+
+func TestRoundRobinRotates(t *testing.T) {
+	r := New(PolicyRoundRobin, clock.Wall)
+	r.Register("echo", "http://a:1/x", "http://b:1/x", "http://c:1/x")
+	seen := map[string]int{}
+	for i := 0; i < 9; i++ {
+		ep, err := r.Resolve("echo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[ep.URL]++
+	}
+	if len(seen) != 3 {
+		t.Fatalf("round robin hit %d endpoints, want 3: %v", len(seen), seen)
+	}
+	for url, n := range seen {
+		if n != 3 {
+			t.Fatalf("uneven rotation: %s hit %d times", url, n)
+		}
+	}
+}
+
+func TestLeastPendingPrefersIdle(t *testing.T) {
+	r := New(PolicyLeastPending, clock.Wall)
+	r.Register("echo", "http://a:1/x", "http://b:1/x")
+	entry, _ := r.Lookup("echo")
+	busy := entry.Endpoints[0]
+	r.Acquire(busy)
+	r.Acquire(busy)
+	ep, err := r.Resolve("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.URL != "http://b:1/x" {
+		t.Fatalf("least-pending chose busy endpoint %q", ep.URL)
+	}
+	r.Release(busy)
+	r.Release(busy)
+	if busy.Pending() != 0 {
+		t.Fatalf("pending = %d", busy.Pending())
+	}
+}
+
+func TestDeadEndpointSkipped(t *testing.T) {
+	r := New(PolicyFirst, clock.Wall)
+	r.Register("echo", "http://a:1/x", "http://b:1/x")
+	r.MarkDead("echo", "http://a:1/x")
+	ep, err := r.Resolve("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.URL != "http://b:1/x" {
+		t.Fatalf("Resolve = %q, want the live endpoint", ep.URL)
+	}
+	r.MarkDead("echo", "http://b:1/x")
+	if _, err := r.Resolve("echo"); !errors.Is(err, ErrNoLiveEndpoint) {
+		t.Fatalf("err = %v", err)
+	}
+	r.MarkAlive("echo", "http://a:1/x")
+	if _, err := r.Resolve("echo"); err != nil {
+		t.Fatalf("resolve after revive: %v", err)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	r := New(PolicyFirst, clock.Wall)
+	r.Register("echo", "http://a:1/x")
+	if !r.Unregister("echo") {
+		t.Fatal("Unregister existing = false")
+	}
+	if r.Unregister("echo") {
+		t.Fatal("Unregister missing = true")
+	}
+}
+
+func TestServicesSorted(t *testing.T) {
+	r := New(PolicyFirst, clock.Wall)
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		r.Register(n, "http://h:1/"+n)
+	}
+	got := r.Services()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Services = %v", got)
+		}
+	}
+}
+
+func TestLoadSaveRoundTrip(t *testing.T) {
+	r := New(PolicyFirst, clock.Wall)
+	r.Register("echo", "http://a:1/x", "http://b:2/y")
+	r.Register("math", "http://c:3/z")
+
+	path := filepath.Join(t.TempDir(), "registry.txt")
+	if err := r.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	r2 := New(PolicyFirst, clock.Wall)
+	if err := r2.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != 2 {
+		t.Fatalf("Len = %d", r2.Len())
+	}
+	entry, _ := r2.Lookup("echo")
+	if len(entry.Endpoints) != 2 || entry.Endpoints[1].URL != "http://b:2/y" {
+		t.Fatalf("echo endpoints = %+v", entry.Endpoints)
+	}
+}
+
+func TestLoadSkipsCommentsAndBlanks(t *testing.T) {
+	r := New(PolicyFirst, clock.Wall)
+	src := "# comment\n\necho http://a:1/x\n   \nmath http://b:1/y,http://c:1/z\n"
+	if err := r.Load(strings.NewReader(src)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestLoadRejectsMalformedLine(t *testing.T) {
+	r := New(PolicyFirst, clock.Wall)
+	if err := r.Load(strings.NewReader("just-one-field\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}
+
+func TestSetDoc(t *testing.T) {
+	r := New(PolicyFirst, clock.Wall)
+	r.SetDoc("echo", &wsdl.Service{Name: "echo", TargetNS: "urn:echo"})
+	entry, ok := r.Lookup("echo")
+	if !ok || entry.Doc == nil || entry.Doc.Name != "echo" {
+		t.Fatalf("entry = %+v", entry)
+	}
+}
+
+func TestCheckAliveOverSimNetwork(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	defer clk.Stop()
+	nw := netsim.New(clk, 3)
+	up := nw.AddHost("up", netsim.ProfileLAN())
+	nw.AddHost("down", netsim.ProfileLAN()) // no listener: refused
+	probe := nw.AddHost("probe", netsim.ProfileLAN())
+
+	ln, _ := up.Listen(80)
+	srv := httpx.NewServer(httpx.HandlerFunc(func(*httpx.Request) *httpx.Response {
+		return httpx.NewResponse(httpx.StatusOK, nil)
+	}), httpx.ServerConfig{Clock: clk})
+	srv.Start(ln)
+	defer srv.Close()
+
+	r := New(PolicyFirst, clk)
+	r.Register("svc", "http://up:80/ping", "http://down:80/ping")
+	client := httpx.NewClient(probe, httpx.ClientConfig{Clock: clk})
+	dead := r.CheckAlive(client, 2*time.Second)
+	if dead != 1 {
+		t.Fatalf("dead = %d, want 1", dead)
+	}
+	ep, err := r.Resolve("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.URL != "http://up:80/ping" {
+		t.Fatalf("Resolve after liveness = %q", ep.URL)
+	}
+}
+
+func TestConcurrentRegisterResolve(t *testing.T) {
+	r := New(PolicyRoundRobin, clock.Wall)
+	r.Register("svc", "http://seed:1/x")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if _, err := r.Resolve("svc"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,198 @@
+package reliable
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/httpx"
+	"repro/internal/netsim"
+	"repro/internal/soap"
+	"repro/internal/store"
+	"repro/internal/wsa"
+	"repro/internal/xmlsoap"
+)
+
+// rig runs a Courier on host "relay" delivering to a controllable receiver
+// on host "dest".
+type rig struct {
+	clk     *clock.Virtual
+	courier *Courier
+	st      *store.Store
+	// failures controls how many initial deliveries the receiver
+	// rejects with 503 before accepting.
+	failures atomic.Int64
+	received atomic.Int64
+}
+
+func newRig(t *testing.T, cfg Config, destFirewalled bool) *rig {
+	t.Helper()
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	t.Cleanup(clk.Stop)
+	nw := netsim.New(clk, 17)
+	relay := nw.AddHost("relay", netsim.ProfileLAN())
+	var opts []netsim.HostOption
+	if destFirewalled {
+		opts = append(opts, netsim.WithFirewall(netsim.OutboundOnly()))
+	}
+	dest := nw.AddHost("dest", netsim.ProfileLAN(), opts...)
+
+	r := &rig{clk: clk, st: store.New(clk)}
+
+	ln, _ := dest.Listen(80)
+	srv := httpx.NewServer(httpx.HandlerFunc(func(req *httpx.Request) *httpx.Response {
+		if r.failures.Load() > 0 {
+			r.failures.Add(-1)
+			return httpx.NewResponse(httpx.StatusServiceUnavailable, nil)
+		}
+		r.received.Add(1)
+		return httpx.NewResponse(httpx.StatusAccepted, nil)
+	}), httpx.ServerConfig{Clock: clk})
+	srv.Start(ln)
+	t.Cleanup(func() { srv.Close() })
+
+	cfg.Clock = clk
+	client := httpx.NewClient(relay, httpx.ClientConfig{Clock: clk})
+	r.courier = New(r.st, client, cfg)
+	r.courier.Start()
+	t.Cleanup(r.courier.Stop)
+	return r
+}
+
+func envelope(text string) *soap.Envelope {
+	env := soap.New(soap.V11).SetBody(xmlsoap.NewText("urn:r", "payload", text))
+	(&wsa.Headers{To: "http://dest:80/in", MessageID: wsa.NewMessageID()}).Apply(env)
+	return env
+}
+
+func TestDeliversFirstTry(t *testing.T) {
+	r := newRig(t, Config{}, false)
+	id, err := r.courier.Send("http://dest:80/in", envelope("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == "" {
+		t.Fatal("no message id")
+	}
+	waitFor(t, func() bool { return r.courier.Delivered.Value() == 1 })
+	if r.courier.Pending() != 0 {
+		t.Fatalf("Pending = %d", r.courier.Pending())
+	}
+}
+
+func TestRetriesUntilSuccess(t *testing.T) {
+	r := newRig(t, Config{InitialBackoff: 500 * time.Millisecond}, false)
+	r.failures.Store(3)
+	if _, err := r.courier.Send("http://dest:80/in", envelope("retry-me")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return r.courier.Delivered.Value() == 1 })
+	if got := r.courier.Attempts.Value(); got != 4 {
+		t.Fatalf("Attempts = %d, want 4 (3 failures + 1 success)", got)
+	}
+}
+
+func TestExpiresAfterTTL(t *testing.T) {
+	r := newRig(t, Config{
+		InitialBackoff: time.Second,
+		MaxBackoff:     2 * time.Second,
+		DefaultTTL:     10 * time.Second,
+		AttemptTimeout: time.Second,
+	}, true) // firewalled: every attempt times out
+	if _, err := r.courier.Send("http://dest:80/in", envelope("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return r.courier.Abandoned.Value() == 1 })
+	if r.courier.Delivered.Value() != 0 {
+		t.Fatal("doomed message delivered")
+	}
+	if r.courier.Pending() != 0 {
+		t.Fatalf("Pending = %d after abandonment", r.courier.Pending())
+	}
+}
+
+func TestMaxAttemptsAbandons(t *testing.T) {
+	r := newRig(t, Config{
+		InitialBackoff: 100 * time.Millisecond,
+		MaxAttempts:    3,
+		AttemptTimeout: 500 * time.Millisecond,
+		DefaultTTL:     time.Hour,
+	}, true)
+	if _, err := r.courier.Send("http://dest:80/in", envelope("limited")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return r.courier.Abandoned.Value() == 1 })
+	if got := r.courier.Attempts.Value(); got != 3 {
+		t.Fatalf("Attempts = %d, want 3", got)
+	}
+}
+
+func TestUsesEnvelopeMessageID(t *testing.T) {
+	r := newRig(t, Config{}, false)
+	env := envelope("idempotent")
+	h, _ := wsa.FromEnvelope(env)
+	id, err := r.courier.Send("http://dest:80/in", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != h.MessageID {
+		t.Fatalf("courier id %q != envelope MessageID %q", id, h.MessageID)
+	}
+}
+
+func TestRecoveryRequeuesPersistedMessages(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	defer clk.Stop()
+	nw := netsim.New(clk, 19)
+	relay := nw.AddHost("relay", netsim.ProfileLAN())
+	dest := nw.AddHost("dest", netsim.ProfileLAN())
+
+	var received atomic.Int64
+	ln, _ := dest.Listen(80)
+	srv := httpx.NewServer(httpx.HandlerFunc(func(*httpx.Request) *httpx.Response {
+		received.Add(1)
+		return httpx.NewResponse(httpx.StatusAccepted, nil)
+	}), httpx.ServerConfig{Clock: clk})
+	srv.Start(ln)
+	defer srv.Close()
+
+	// Simulate a crash: messages persisted, courier never ran.
+	st := store.New(clk)
+	raw, _ := envelope("survivor").Marshal()
+	st.Put(&store.Message{ID: "m-1", Destination: "http://dest:80/in", Payload: raw})
+
+	client := httpx.NewClient(relay, httpx.ClientConfig{Clock: clk})
+	courier := New(st, client, Config{Clock: clk})
+	courier.Start()
+	defer courier.Stop()
+
+	waitFor(t, func() bool { return courier.Delivered.Value() == 1 })
+	if received.Load() != 1 {
+		t.Fatalf("received = %d", received.Load())
+	}
+}
+
+func TestStopKeepsUndelivered(t *testing.T) {
+	r := newRig(t, Config{AttemptTimeout: time.Second, InitialBackoff: time.Second}, true)
+	if _, err := r.courier.Send("http://dest:80/in", envelope("parked")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return r.courier.Attempts.Value() >= 1 })
+	r.courier.Stop()
+	if r.st.Len() != 1 {
+		t.Fatalf("store len after Stop = %d, want 1 (kept for next run)", r.st.Len())
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached")
+}

@@ -1,0 +1,214 @@
+// Package soap implements SOAP 1.1 and 1.2 envelope construction, parsing,
+// faults, and RPC-style wrapping — the "SOAP 1.1 and 1.2
+// wrapping/unwrapping; RPC style wrapping" XSUL modules the paper's
+// WS-Dispatcher is built from.
+package soap
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/xmlsoap"
+)
+
+// Version selects the envelope namespace.
+type Version int
+
+const (
+	// V11 is SOAP 1.1 (http://schemas.xmlsoap.org/soap/envelope/),
+	// what 2004-era SOAP-RPC clients spoke.
+	V11 Version = iota
+	// V12 is SOAP 1.2 (http://www.w3.org/2003/05/soap-envelope).
+	V12
+)
+
+// Namespace URIs for the two supported versions.
+const (
+	NS11 = "http://schemas.xmlsoap.org/soap/envelope/"
+	NS12 = "http://www.w3.org/2003/05/soap-envelope"
+)
+
+// ContentType returns the MIME type SOAP messages of this version use on
+// HTTP.
+func (v Version) ContentType() string {
+	if v == V12 {
+		return "application/soap+xml; charset=utf-8"
+	}
+	return "text/xml; charset=utf-8"
+}
+
+// NS returns the envelope namespace URI.
+func (v Version) NS() string {
+	if v == V12 {
+		return NS12
+	}
+	return NS11
+}
+
+func (v Version) String() string {
+	if v == V12 {
+		return "SOAP 1.2"
+	}
+	return "SOAP 1.1"
+}
+
+// Envelope is a parsed or under-construction SOAP message.
+type Envelope struct {
+	Version Version
+	// Header holds header blocks (may be empty). Dispatchers and
+	// WS-Addressing operate here.
+	Header []*xmlsoap.Element
+	// Body holds the payload elements; for RPC exactly one wrapper.
+	Body []*xmlsoap.Element
+}
+
+// New returns an empty envelope of the given version.
+func New(v Version) *Envelope { return &Envelope{Version: v} }
+
+// AddHeader appends header blocks and returns e.
+func (e *Envelope) AddHeader(blocks ...*xmlsoap.Element) *Envelope {
+	e.Header = append(e.Header, blocks...)
+	return e
+}
+
+// SetBody replaces the body payload and returns e.
+func (e *Envelope) SetBody(payload ...*xmlsoap.Element) *Envelope {
+	e.Body = payload
+	return e
+}
+
+// BodyElement returns the first body child, or nil for an empty body.
+func (e *Envelope) BodyElement() *xmlsoap.Element {
+	if len(e.Body) == 0 {
+		return nil
+	}
+	return e.Body[0]
+}
+
+// HeaderBlock returns the first header block named {space}local, or nil.
+func (e *Envelope) HeaderBlock(space, local string) *xmlsoap.Element {
+	for _, h := range e.Header {
+		if h.Name.Space == space && h.Name.Local == local {
+			return h
+		}
+	}
+	return nil
+}
+
+// RemoveHeaderBlocks deletes all header blocks named {space}local and
+// reports how many were removed. The MSG-Dispatcher uses this when
+// rewriting WS-Addressing headers.
+func (e *Envelope) RemoveHeaderBlocks(space, local string) int {
+	kept := e.Header[:0]
+	removed := 0
+	for _, h := range e.Header {
+		if h.Name.Space == space && h.Name.Local == local {
+			removed++
+			continue
+		}
+		kept = append(kept, h)
+	}
+	e.Header = kept
+	return removed
+}
+
+// Tree renders the envelope as an element tree.
+func (e *Envelope) Tree() *xmlsoap.Element {
+	ns := e.Version.NS()
+	root := xmlsoap.New(ns, "Envelope")
+	if len(e.Header) > 0 {
+		hdr := xmlsoap.New(ns, "Header")
+		for _, h := range e.Header {
+			hdr.Add(h.Clone())
+		}
+		root.Add(hdr)
+	}
+	body := xmlsoap.New(ns, "Body")
+	for _, b := range e.Body {
+		body.Add(b.Clone())
+	}
+	root.Add(body)
+	return root
+}
+
+// Marshal serializes the envelope as a complete XML document.
+func (e *Envelope) Marshal() ([]byte, error) {
+	return xmlsoap.MarshalDoc(e.Tree())
+}
+
+// Clone returns a deep copy.
+func (e *Envelope) Clone() *Envelope {
+	c := &Envelope{Version: e.Version}
+	for _, h := range e.Header {
+		c.Header = append(c.Header, h.Clone())
+	}
+	for _, b := range e.Body {
+		c.Body = append(c.Body, b.Clone())
+	}
+	return c
+}
+
+// Errors returned by Parse.
+var (
+	ErrNotSOAP     = errors.New("soap: root element is not a SOAP Envelope")
+	ErrMissingBody = errors.New("soap: envelope has no Body")
+)
+
+// Parse decodes one SOAP envelope (either version) from data.
+func Parse(data []byte) (*Envelope, error) {
+	root, err := xmlsoap.Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("soap: %w", err)
+	}
+	return FromTree(root)
+}
+
+// FromTree interprets an already-parsed element tree as an envelope.
+func FromTree(root *xmlsoap.Element) (*Envelope, error) {
+	var v Version
+	switch {
+	case root.Name.Space == NS11 && root.Name.Local == "Envelope":
+		v = V11
+	case root.Name.Space == NS12 && root.Name.Local == "Envelope":
+		v = V12
+	default:
+		return nil, fmt.Errorf("%w (got %s)", ErrNotSOAP, root.Name)
+	}
+	ns := v.NS()
+	env := New(v)
+	if hdr := root.Child(ns, "Header"); hdr != nil {
+		env.Header = append(env.Header, hdr.Children...)
+	}
+	body := root.Child(ns, "Body")
+	if body == nil {
+		return nil, ErrMissingBody
+	}
+	env.Body = append(env.Body, body.Children...)
+	return env, nil
+}
+
+// MustUnderstandViolation returns the first header block that carries
+// mustUnderstand="1" (or "true") in a namespace outside understood, or nil
+// if every marked block is understood. Intermediaries use it to refuse
+// messages they would otherwise silently mishandle.
+func (e *Envelope) MustUnderstandViolation(understood ...string) *xmlsoap.Element {
+	ns := e.Version.NS()
+	isUnderstood := func(space string) bool {
+		for _, u := range understood {
+			if u == space {
+				return true
+			}
+		}
+		return false
+	}
+	for _, h := range e.Header {
+		mu, ok := h.Attr(ns, "mustUnderstand")
+		if !ok || (mu != "1" && mu != "true") {
+			continue
+		}
+		if !isUnderstood(h.Name.Space) {
+			return h
+		}
+	}
+	return nil
+}

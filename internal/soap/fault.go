@@ -1,0 +1,113 @@
+package soap
+
+import (
+	"fmt"
+
+	"repro/internal/xmlsoap"
+)
+
+// Fault is a SOAP fault in version-independent form.
+type Fault struct {
+	// Code is the fault code local name: "Client"/"Server" for 1.1,
+	// mapped to "Sender"/"Receiver" for 1.2.
+	Code string
+	// Reason is the human-readable fault string.
+	Reason string
+	// Detail carries application-specific fault detail (optional).
+	Detail string
+}
+
+// Standard fault codes.
+const (
+	FaultClient          = "Client"
+	FaultServer          = "Server"
+	FaultMustUnderstand  = "MustUnderstand"
+	FaultVersionMismatch = "VersionMismatch"
+)
+
+// Error implements error so services can return faults directly.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("soap fault %s: %s", f.Code, f.Reason)
+}
+
+// Envelope wraps the fault in an envelope of the given version.
+func (f *Fault) Envelope(v Version) *Envelope {
+	return New(v).SetBody(f.Element(v))
+}
+
+// Element renders the fault body element for the given version.
+func (f *Fault) Element(v Version) *xmlsoap.Element {
+	ns := v.NS()
+	if v == V12 {
+		code := f.Code
+		switch code {
+		case FaultClient:
+			code = "Sender"
+		case FaultServer:
+			code = "Receiver"
+		}
+		el := xmlsoap.New(ns, "Fault").Add(
+			xmlsoap.New(ns, "Code").Add(xmlsoap.NewText(ns, "Value", "soap12:"+code)),
+			xmlsoap.New(ns, "Reason").Add(xmlsoap.NewText(ns, "Text", f.Reason)),
+		)
+		if f.Detail != "" {
+			el.Add(xmlsoap.NewText(ns, "Detail", f.Detail))
+		}
+		return el
+	}
+	// SOAP 1.1: faultcode/faultstring/detail are unqualified.
+	el := xmlsoap.New(ns, "Fault").Add(
+		xmlsoap.NewText("", "faultcode", "soapenv:"+f.Code),
+		xmlsoap.NewText("", "faultstring", f.Reason),
+	)
+	if f.Detail != "" {
+		el.Add(xmlsoap.New("", "detail").Add(xmlsoap.NewText("", "message", f.Detail)))
+	}
+	return el
+}
+
+// AsFault inspects an envelope body and extracts a Fault if present, along
+// with whether one was found.
+func AsFault(e *Envelope) (*Fault, bool) {
+	body := e.BodyElement()
+	if body == nil || body.Name.Local != "Fault" || body.Name.Space != e.Version.NS() {
+		return nil, false
+	}
+	ns := e.Version.NS()
+	f := &Fault{}
+	if e.Version == V12 {
+		if code := body.Path(ns, "Code", "Value"); code != nil {
+			f.Code = stripPrefix(code.Text)
+		}
+		if reason := body.Path(ns, "Reason", "Text"); reason != nil {
+			f.Reason = reason.Text
+		}
+		f.Detail = body.ChildText(ns, "Detail")
+		switch f.Code {
+		case "Sender":
+			f.Code = FaultClient
+		case "Receiver":
+			f.Code = FaultServer
+		}
+		return f, true
+	}
+	f.Code = stripPrefix(body.ChildText("", "faultcode"))
+	f.Reason = body.ChildText("", "faultstring")
+	if d := body.Child("", "detail"); d != nil {
+		f.Detail = d.ChildText("", "message")
+		if f.Detail == "" {
+			f.Detail = d.Text
+		}
+	}
+	return f, true
+}
+
+// stripPrefix drops a namespace prefix from a QName-valued string.
+func stripPrefix(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ':' {
+			return s[i+1:]
+		}
+	}
+	return s
+}

@@ -1,0 +1,90 @@
+package soap
+
+import (
+	"fmt"
+
+	"repro/internal/xmlsoap"
+)
+
+// Param is one named RPC parameter. Values are string-typed — the echo and
+// administrative operations in this system (like the paper's test
+// workload) need no richer type map, and keeping values as strings avoids
+// inventing an encoding the paper does not describe.
+type Param struct {
+	Name  string
+	Value string
+}
+
+// RPCRequest builds a SOAP-RPC request envelope: one wrapper element named
+// after the operation in the service namespace, one child per parameter.
+func RPCRequest(v Version, serviceNS, operation string, params ...Param) *Envelope {
+	wrapper := xmlsoap.New(serviceNS, operation)
+	for _, p := range params {
+		wrapper.Add(xmlsoap.NewText("", p.Name, p.Value))
+	}
+	return New(v).SetBody(wrapper)
+}
+
+// RPCResponse builds the conventional <opResponse> envelope.
+func RPCResponse(v Version, serviceNS, operation string, results ...Param) *Envelope {
+	wrapper := xmlsoap.New(serviceNS, operation+"Response")
+	for _, p := range results {
+		wrapper.Add(xmlsoap.NewText("", p.Name, p.Value))
+	}
+	return New(v).SetBody(wrapper)
+}
+
+// Call is a decoded RPC request: operation name, service namespace, and
+// parameters in document order.
+type Call struct {
+	ServiceNS string
+	Operation string
+	Params    []Param
+}
+
+// Param returns the named parameter value and whether it was present.
+func (c *Call) Param(name string) (string, bool) {
+	for _, p := range c.Params {
+		if p.Name == name {
+			return p.Value, true
+		}
+	}
+	return "", false
+}
+
+// ParseRPC decodes the RPC wrapper from an envelope body.
+func ParseRPC(e *Envelope) (*Call, error) {
+	body := e.BodyElement()
+	if body == nil {
+		return nil, fmt.Errorf("soap: empty RPC body")
+	}
+	if f, ok := AsFault(e); ok {
+		return nil, f
+	}
+	call := &Call{ServiceNS: body.Name.Space, Operation: body.Name.Local}
+	for _, p := range body.Children {
+		call.Params = append(call.Params, Param{Name: p.Name.Local, Value: p.Text})
+	}
+	return call, nil
+}
+
+// ParseRPCResponse decodes an <opResponse> envelope, returning the result
+// parameters. A fault in the body is returned as *Fault error.
+func ParseRPCResponse(e *Envelope, operation string) ([]Param, error) {
+	if f, ok := AsFault(e); ok {
+		return nil, f
+	}
+	body := e.BodyElement()
+	if body == nil {
+		return nil, fmt.Errorf("soap: empty RPC response body")
+	}
+	if body.Name.Local != operation+"Response" {
+		return nil, fmt.Errorf("soap: unexpected RPC response element %s (want %sResponse)",
+			body.Name, operation)
+	}
+	var out []Param
+	for _, p := range body.Children {
+		out = append(out, Param{Name: p.Name.Local, Value: p.Text})
+	}
+	return out, nil
+}

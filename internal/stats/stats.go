@@ -1,0 +1,173 @@
+// Package stats collects the measurements the paper's test client reports:
+// calls made, packets transmitted vs. not sent (Figure 4), and messages per
+// minute (Figures 5 and 6), plus latency histograms used by the ablation
+// benchmarks.
+//
+// All types are safe for concurrent use; the load generator updates them
+// from hundreds of client goroutines.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing concurrent counter.
+type Counter struct{ n atomic.Int64 }
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Gauge is a concurrent instantaneous value with a high-water mark.
+type Gauge struct {
+	mu   sync.Mutex
+	v    int64
+	peak int64
+}
+
+// Set assigns the gauge.
+func (g *Gauge) Set(v int64) {
+	g.mu.Lock()
+	g.v = v
+	if v > g.peak {
+		g.peak = v
+	}
+	g.mu.Unlock()
+}
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	g.mu.Lock()
+	g.v += delta
+	if g.v > g.peak {
+		g.peak = g.v
+	}
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Peak returns the highest value ever set.
+func (g *Gauge) Peak() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.peak
+}
+
+// Histogram records durations and reports quantiles. It stores raw samples;
+// the experiment scale (≤ a few hundred thousand samples) makes exact
+// quantiles affordable and keeps the implementation obviously correct.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sum     time.Duration
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	h.samples = append(h.samples, d)
+	h.sum += d
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(len(h.samples))
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) by nearest-rank, or 0
+// with no samples.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(h.samples))
+	copy(sorted, h.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() time.Duration { return h.Quantile(0) }
+
+// Max returns the largest sample, or 0 with no samples.
+func (h *Histogram) Max() time.Duration { return h.Quantile(1) }
+
+// RunReport is the per-configuration record the paper's test client prints:
+// one row of a figure. Rates are normalized to a per-minute basis from the
+// virtual elapsed time so short scaled runs remain comparable to the
+// paper's one-minute runs.
+type RunReport struct {
+	Series      string        // e.g. "Direct WS", "Dispatcher"
+	Clients     int           // concurrent client connections
+	Elapsed     time.Duration // virtual duration of the run
+	Transmitted int64         // requests completed end-to-end
+	NotSent     int64         // requests lost (refused/timed out)
+	Errors      int64         // transport errors after acceptance
+	MeanRTT     time.Duration
+	P99RTT      time.Duration
+}
+
+// PerMinute returns Transmitted normalized to messages per minute.
+func (r RunReport) PerMinute() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Transmitted) / r.Elapsed.Minutes()
+}
+
+// LossRatio returns NotSent / (Transmitted + NotSent), or 0 when nothing
+// was attempted.
+func (r RunReport) LossRatio() float64 {
+	total := r.Transmitted + r.NotSent
+	if total == 0 {
+		return 0
+	}
+	return float64(r.NotSent) / float64(total)
+}
+
+// String renders one gnuplot-style data row matching the paper's plots.
+func (r RunReport) String() string {
+	return fmt.Sprintf("%-28s clients=%-5d transmitted=%-8d not_sent=%-8d msg/min=%-9.0f loss=%5.1f%% mean_rtt=%-10v p99_rtt=%v",
+		r.Series, r.Clients, r.Transmitted, r.NotSent, r.PerMinute(), 100*r.LossRatio(), r.MeanRTT, r.P99RTT)
+}

@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("Value = %d, want 8000", c.Value())
+	}
+}
+
+func TestGaugePeak(t *testing.T) {
+	var g Gauge
+	g.Set(3)
+	g.Add(4)
+	g.Add(-5)
+	if g.Value() != 2 {
+		t.Fatalf("Value = %d, want 2", g.Value())
+	}
+	if g.Peak() != 7 {
+		t.Fatalf("Peak = %d, want 7", g.Peak())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramMeanAndQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := h.Mean(); got != 50*time.Millisecond+500*time.Microsecond {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := h.Quantile(0.5); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v, want 50ms", got)
+	}
+	if got := h.Quantile(0.99); got != 99*time.Millisecond {
+		t.Fatalf("p99 = %v, want 99ms", got)
+	}
+	if h.Min() != time.Millisecond || h.Max() != 100*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	h.Observe(5 * time.Millisecond)
+	if h.Quantile(-1) != 5*time.Millisecond || h.Quantile(2) != 5*time.Millisecond {
+		t.Fatal("out-of-range quantiles should clamp")
+	}
+}
+
+// Property: quantiles are monotonically non-decreasing in q and bounded by
+// observed min and max.
+func TestQuickQuantileMonotonic(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		min, max := time.Duration(math.MaxInt64), time.Duration(0)
+		for _, r := range raw {
+			d := time.Duration(r) * time.Microsecond
+			h.Observe(d)
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		prev := time.Duration(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := h.Quantile(q)
+			if v < prev || v < min || v > max {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReportPerMinute(t *testing.T) {
+	r := RunReport{Transmitted: 300, Elapsed: 30 * time.Second}
+	if got := r.PerMinute(); got != 600 {
+		t.Fatalf("PerMinute = %v, want 600", got)
+	}
+	zero := RunReport{}
+	if zero.PerMinute() != 0 {
+		t.Fatal("zero report PerMinute should be 0")
+	}
+}
+
+func TestRunReportLossRatio(t *testing.T) {
+	r := RunReport{Transmitted: 75, NotSent: 25}
+	if got := r.LossRatio(); got != 0.25 {
+		t.Fatalf("LossRatio = %v, want 0.25", got)
+	}
+	if (RunReport{}).LossRatio() != 0 {
+		t.Fatal("empty report LossRatio should be 0")
+	}
+}
+
+func TestRunReportString(t *testing.T) {
+	r := RunReport{Series: "Dispatcher", Clients: 100, Elapsed: time.Minute, Transmitted: 5000, NotSent: 10}
+	s := r.String()
+	for _, want := range []string{"Dispatcher", "clients=100", "transmitted=5000", "not_sent=10"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+// Package store is the message store behind reliable ("hold/retry")
+// delivery and durable mailboxes. The paper's future-work section proposes
+// exactly this: "improve forwarding service by adding hold/retry on
+// delivery ... with messages stored in DB with expiration time" (they
+// planned MySQL; an embedded append-log with an in-memory index preserves
+// the behaviour — durable enqueue, expiry, replay on restart — without an
+// external database).
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Message is one stored message awaiting delivery.
+type Message struct {
+	// ID is globally unique (normally the WS-Addressing MessageID).
+	ID string `json:"id"`
+	// Destination is the delivery target URL.
+	Destination string `json:"dest"`
+	// Payload is the serialized envelope.
+	Payload []byte `json:"payload"`
+	// Enqueued is when the message entered the store.
+	Enqueued time.Time `json:"enqueued"`
+	// Expires is when the message is abandoned. Zero means never.
+	Expires time.Time `json:"expires"`
+	// Attempts counts delivery tries so far.
+	Attempts int `json:"attempts"`
+}
+
+// Expired reports whether the message is past its expiration at now.
+func (m *Message) Expired(now time.Time) bool {
+	return !m.Expires.IsZero() && now.After(m.Expires)
+}
+
+// Errors returned by Store operations.
+var (
+	ErrDuplicate = errors.New("store: duplicate message id")
+	ErrNotFound  = errors.New("store: message not found")
+)
+
+// Store is a concurrent message store with optional write-ahead logging.
+type Store struct {
+	clk clock.Clock
+
+	mu     sync.Mutex
+	byID   map[string]*Message
+	byDest map[string][]string // insertion-ordered IDs per destination
+	wal    io.Writer
+	walF   *os.File
+
+	// counters
+	expired int64
+}
+
+// New returns an in-memory store on clk.
+func New(clk clock.Clock) *Store {
+	if clk == nil {
+		clk = clock.Wall
+	}
+	return &Store{
+		clk:    clk,
+		byID:   make(map[string]*Message),
+		byDest: make(map[string][]string),
+	}
+}
+
+// walRecord is one log line: an upsert or a delete.
+type walRecord struct {
+	Op  string   `json:"op"` // "put", "del", "att"
+	Msg *Message `json:"msg,omitempty"`
+	ID  string   `json:"id,omitempty"`
+}
+
+// OpenFile returns a store backed by a JSON-lines append log at path,
+// replaying any existing log into memory first.
+func OpenFile(clk clock.Clock, path string) (*Store, error) {
+	s := New(clk)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	if err := s.replay(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: seek %s: %w", path, err)
+	}
+	s.wal = f
+	s.walF = f
+	return s, nil
+}
+
+// Close releases the backing file, if any.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.walF != nil {
+		err := s.walF.Close()
+		s.walF = nil
+		s.wal = nil
+		return err
+	}
+	return nil
+}
+
+func (s *Store) replay(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("store: corrupt log line: %w", err)
+		}
+		switch rec.Op {
+		case "put":
+			if rec.Msg != nil {
+				s.insertLocked(rec.Msg)
+			}
+		case "del":
+			s.removeLocked(rec.ID)
+		case "att":
+			if m := s.byID[rec.ID]; m != nil {
+				m.Attempts++
+			}
+		}
+	}
+	return sc.Err()
+}
+
+func (s *Store) log(rec walRecord) {
+	if s.wal == nil {
+		return
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	s.wal.Write(append(b, '\n'))
+}
+
+// Put stores a message. The ID must be unique among live messages.
+func (s *Store) Put(m *Message) error {
+	if m.ID == "" {
+		return errors.New("store: empty message id")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.byID[m.ID]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicate, m.ID)
+	}
+	if m.Enqueued.IsZero() {
+		m.Enqueued = s.clk.Now()
+	}
+	cp := *m
+	cp.Payload = append([]byte(nil), m.Payload...)
+	s.insertLocked(&cp)
+	s.log(walRecord{Op: "put", Msg: &cp})
+	return nil
+}
+
+func (s *Store) insertLocked(m *Message) {
+	s.byID[m.ID] = m
+	s.byDest[m.Destination] = append(s.byDest[m.Destination], m.ID)
+}
+
+// Get returns a copy of the message with the given ID.
+func (s *Store) Get(id string) (*Message, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	cp := *m
+	cp.Payload = append([]byte(nil), m.Payload...)
+	return &cp, nil
+}
+
+// Delete removes a message (after successful delivery or expiry).
+func (s *Store) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byID[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	s.removeLocked(id)
+	s.log(walRecord{Op: "del", ID: id})
+	return nil
+}
+
+func (s *Store) removeLocked(id string) {
+	m, ok := s.byID[id]
+	if !ok {
+		return
+	}
+	delete(s.byID, id)
+	ids := s.byDest[m.Destination]
+	for i, x := range ids {
+		if x == id {
+			s.byDest[m.Destination] = append(ids[:i], ids[i+1:]...)
+			break
+		}
+	}
+	if len(s.byDest[m.Destination]) == 0 {
+		delete(s.byDest, m.Destination)
+	}
+}
+
+// MarkAttempt increments the delivery attempt counter.
+func (s *Store) MarkAttempt(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	m.Attempts++
+	s.log(walRecord{Op: "att", ID: id})
+	return nil
+}
+
+// PendingFor returns copies of live (non-expired) messages queued for
+// destination, in insertion order, up to max (0 = all).
+func (s *Store) PendingFor(destination string, max int) []*Message {
+	now := s.clk.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*Message
+	for _, id := range s.byDest[destination] {
+		m := s.byID[id]
+		if m == nil || m.Expired(now) {
+			continue
+		}
+		cp := *m
+		cp.Payload = append([]byte(nil), m.Payload...)
+		out = append(out, &cp)
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+// Destinations returns all destinations with live pending messages.
+func (s *Store) Destinations() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.byDest))
+	for d := range s.byDest {
+		out = append(out, d)
+	}
+	return out
+}
+
+// Sweep removes every expired message and returns how many were dropped.
+// Callers run it periodically (the "expiration time" behaviour the paper
+// wanted from its DB).
+func (s *Store) Sweep() int {
+	now := s.clk.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var dead []string
+	for id, m := range s.byID {
+		if m.Expired(now) {
+			dead = append(dead, id)
+		}
+	}
+	for _, id := range dead {
+		s.removeLocked(id)
+		s.log(walRecord{Op: "del", ID: id})
+	}
+	s.expired += int64(len(dead))
+	return len(dead)
+}
+
+// Len returns the number of live messages.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byID)
+}
+
+// ExpiredTotal returns the cumulative number of swept messages.
+func (s *Store) ExpiredTotal() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.expired
+}

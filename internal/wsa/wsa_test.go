@@ -1,0 +1,192 @@
+package wsa
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/soap"
+	"repro/internal/xmlsoap"
+)
+
+func sampleHeaders() *Headers {
+	return &Headers{
+		To:        "http://wsd:9000/services/echo",
+		Action:    "urn:echo:echoMessage",
+		MessageID: "urn:uuid:11111111-2222-3333-4444-555555555555",
+		ReplyTo: &EPR{
+			Address:    "http://client:8080/reply",
+			Properties: map[string]string{"token": "s3cret", "box": "b-17"},
+		},
+	}
+}
+
+func TestApplyAndExtract(t *testing.T) {
+	env := soap.New(soap.V11).SetBody(xmlsoap.NewText("urn:x", "op", "payload"))
+	want := sampleHeaders()
+	want.Apply(env)
+
+	raw, err := env.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := soap.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromEnvelope(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.To != want.To || got.Action != want.Action || got.MessageID != want.MessageID {
+		t.Fatalf("headers = %+v", got)
+	}
+	if got.ReplyTo == nil || got.ReplyTo.Address != want.ReplyTo.Address {
+		t.Fatalf("ReplyTo = %+v", got.ReplyTo)
+	}
+	if got.ReplyTo.Properties["token"] != "s3cret" || got.ReplyTo.Properties["box"] != "b-17" {
+		t.Fatalf("properties = %+v", got.ReplyTo.Properties)
+	}
+}
+
+func TestApplyReplacesExistingBlocks(t *testing.T) {
+	env := soap.New(soap.V11).SetBody(xmlsoap.New("urn:x", "op"))
+	first := sampleHeaders()
+	first.Apply(env)
+	second := sampleHeaders()
+	second.To = "http://elsewhere:1/x"
+	second.ReplyTo = nil
+	second.Apply(env)
+
+	got, err := FromEnvelope(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.To != "http://elsewhere:1/x" {
+		t.Fatalf("To = %q", got.To)
+	}
+	if got.ReplyTo != nil {
+		t.Fatalf("stale ReplyTo survived: %+v", got.ReplyTo)
+	}
+	// No duplicate To blocks on the wire.
+	raw, _ := env.Marshal()
+	if strings.Count(string(raw), "<wsa:To") != 1 {
+		t.Fatalf("duplicate To blocks: %s", raw)
+	}
+}
+
+func TestMissingToRejected(t *testing.T) {
+	env := soap.New(soap.V11).SetBody(xmlsoap.New("urn:x", "op"))
+	(&Headers{Action: "urn:a"}).Apply(env)
+	if _, err := FromEnvelope(env); !errors.Is(err, ErrMissingTo) {
+		t.Fatalf("err = %v, want ErrMissingTo", err)
+	}
+}
+
+func TestRelatesToMarksReply(t *testing.T) {
+	h := &Headers{To: "urn:x", RelatesTo: "urn:uuid:abc"}
+	if !h.IsReply() {
+		t.Fatal("RelatesTo set but IsReply false")
+	}
+	if (&Headers{To: "urn:x"}).IsReply() {
+		t.Fatal("IsReply true without RelatesTo")
+	}
+}
+
+func TestNewMessageIDFormatAndUniqueness(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewMessageID()
+		if !strings.HasPrefix(id, "urn:uuid:") || len(id) != len("urn:uuid:")+36 {
+			t.Fatalf("bad MessageID %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate MessageID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestFaultToAndFrom(t *testing.T) {
+	env := soap.New(soap.V12).SetBody(xmlsoap.New("urn:x", "op"))
+	h := &Headers{
+		To:      "urn:dest",
+		From:    &EPR{Address: "urn:src"},
+		FaultTo: &EPR{Address: "urn:faults"},
+	}
+	h.Apply(env)
+	raw, _ := env.Marshal()
+	back, _ := soap.Parse(raw)
+	got, err := FromEnvelope(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From == nil || got.From.Address != "urn:src" {
+		t.Fatalf("From = %+v", got.From)
+	}
+	if got.FaultTo == nil || got.FaultTo.Address != "urn:faults" {
+		t.Fatalf("FaultTo = %+v", got.FaultTo)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	h := sampleHeaders()
+	c := h.Clone()
+	c.ReplyTo.Address = "changed"
+	c.ReplyTo.Properties["token"] = "changed"
+	if h.ReplyTo.Address == "changed" || h.ReplyTo.Properties["token"] == "changed" {
+		t.Fatal("Clone aliased EPR state")
+	}
+}
+
+func TestAnonymousConstant(t *testing.T) {
+	if !strings.HasPrefix(Anonymous, NS) || !strings.HasSuffix(Anonymous, "anonymous") {
+		t.Fatalf("Anonymous = %q", Anonymous)
+	}
+}
+
+// Property: any header set with XML-safe strings survives a full envelope
+// wire round trip.
+func TestQuickHeaderRoundTrip(t *testing.T) {
+	sanitize := func(s string) string {
+		var b strings.Builder
+		for _, r := range s {
+			if r >= 0x20 && r != 0xFFFE && r != 0xFFFF {
+				b.WriteRune(r)
+			}
+		}
+		out := strings.TrimSpace(b.String())
+		if out == "" {
+			return "x"
+		}
+		return out
+	}
+	f := func(to, action, msgID, replyAddr string) bool {
+		h := &Headers{
+			To:        sanitize(to),
+			Action:    sanitize(action),
+			MessageID: sanitize(msgID),
+			ReplyTo:   &EPR{Address: sanitize(replyAddr)},
+		}
+		env := soap.New(soap.V11).SetBody(xmlsoap.New("urn:x", "op"))
+		h.Apply(env)
+		raw, err := env.Marshal()
+		if err != nil {
+			return false
+		}
+		back, err := soap.Parse(raw)
+		if err != nil {
+			return false
+		}
+		got, err := FromEnvelope(back)
+		if err != nil {
+			return false
+		}
+		return got.To == h.To && got.Action == h.Action &&
+			got.MessageID == h.MessageID && got.ReplyTo.Address == h.ReplyTo.Address
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

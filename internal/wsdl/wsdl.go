@@ -1,0 +1,161 @@
+// Package wsdl provides minimal WSDL 1.1 document generation and parsing,
+// enough for the Registry's "directory or Yellow Pages, possibly as a
+// simple browseable list of WSDL files with metadata" (paper §4.1) and the
+// future-work goal of "interactive browsing of WSDL files describing
+// services provided by WS-Dispatcher".
+package wsdl
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/xmlsoap"
+)
+
+// Namespace URIs used in generated documents.
+const (
+	NS     = "http://schemas.xmlsoap.org/wsdl/"
+	SoapNS = "http://schemas.xmlsoap.org/wsdl/soap/"
+	XSDNS  = "http://www.w3.org/2001/XMLSchema"
+)
+
+// Part is one message part (parameter or result).
+type Part struct {
+	Name string
+	// Type is an XSD simple type local name, e.g. "string".
+	Type string
+}
+
+// Operation describes one RPC operation.
+type Operation struct {
+	Name   string
+	Input  []Part
+	Output []Part
+}
+
+// Service describes one service for the registry's browseable listing.
+type Service struct {
+	// Name is the service name (conventionally the logical name).
+	Name string
+	// TargetNS is the service namespace.
+	TargetNS string
+	// Documentation is free-text metadata shown in the Yellow Pages.
+	Documentation string
+	// Endpoint is the soap:address location clients should call —
+	// through the dispatcher this is the *logical* URL.
+	Endpoint string
+	// Operations lists the service's RPC operations.
+	Operations []Operation
+}
+
+// Document renders the WSDL 1.1 document tree.
+func (s *Service) Document() *xmlsoap.Element {
+	def := xmlsoap.New(NS, "definitions").
+		SetAttr("", "name", s.Name).
+		SetAttr("", "targetNamespace", s.TargetNS)
+	if s.Documentation != "" {
+		def.Add(xmlsoap.NewText(NS, "documentation", s.Documentation))
+	}
+	portType := xmlsoap.New(NS, "portType").SetAttr("", "name", s.Name+"PortType")
+	for _, op := range s.Operations {
+		inMsg := xmlsoap.New(NS, "message").SetAttr("", "name", op.Name+"Request")
+		for _, p := range op.Input {
+			inMsg.Add(xmlsoap.New(NS, "part").
+				SetAttr("", "name", p.Name).SetAttr("", "type", "xsd:"+p.Type))
+		}
+		outMsg := xmlsoap.New(NS, "message").SetAttr("", "name", op.Name+"Response")
+		for _, p := range op.Output {
+			outMsg.Add(xmlsoap.New(NS, "part").
+				SetAttr("", "name", p.Name).SetAttr("", "type", "xsd:"+p.Type))
+		}
+		def.Add(inMsg, outMsg)
+		portType.Add(xmlsoap.New(NS, "operation").SetAttr("", "name", op.Name).Add(
+			xmlsoap.New(NS, "input").SetAttr("", "message", "tns:"+op.Name+"Request"),
+			xmlsoap.New(NS, "output").SetAttr("", "message", "tns:"+op.Name+"Response"),
+		))
+	}
+	def.Add(portType)
+
+	binding := xmlsoap.New(NS, "binding").
+		SetAttr("", "name", s.Name+"Binding").
+		SetAttr("", "type", "tns:"+s.Name+"PortType").
+		Add(xmlsoap.New(SoapNS, "binding").
+			SetAttr("", "style", "rpc").
+			SetAttr("", "transport", "http://schemas.xmlsoap.org/soap/http"))
+	def.Add(binding)
+
+	def.Add(xmlsoap.New(NS, "service").SetAttr("", "name", s.Name).Add(
+		xmlsoap.New(NS, "port").
+			SetAttr("", "name", s.Name+"Port").
+			SetAttr("", "binding", "tns:"+s.Name+"Binding").
+			Add(xmlsoap.New(SoapNS, "address").SetAttr("", "location", s.Endpoint)),
+	))
+	return def
+}
+
+// Marshal renders the WSDL document bytes.
+func (s *Service) Marshal() ([]byte, error) {
+	return xmlsoap.MarshalDoc(s.Document())
+}
+
+// ErrNotWSDL is returned by Parse on a non-WSDL root element.
+var ErrNotWSDL = errors.New("wsdl: not a WSDL definitions document")
+
+// Parse extracts the Service summary from a WSDL 1.1 document produced by
+// this package (name, namespace, documentation, operations, endpoint).
+func Parse(data []byte) (*Service, error) {
+	root, err := xmlsoap.Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("wsdl: %w", err)
+	}
+	if root.Name.Space != NS || root.Name.Local != "definitions" {
+		return nil, ErrNotWSDL
+	}
+	s := &Service{}
+	s.Name, _ = root.Attr("", "name")
+	s.TargetNS, _ = root.Attr("", "targetNamespace")
+	s.Documentation = root.ChildText(NS, "documentation")
+
+	// Message parts indexed by message name.
+	parts := map[string][]Part{}
+	for _, m := range root.ChildrenNamed(NS, "message") {
+		name, _ := m.Attr("", "name")
+		for _, p := range m.ChildrenNamed(NS, "part") {
+			pn, _ := p.Attr("", "name")
+			pt, _ := p.Attr("", "type")
+			parts[name] = append(parts[name], Part{Name: pn, Type: stripPrefix(pt)})
+		}
+	}
+	if pt := root.Child(NS, "portType"); pt != nil {
+		for _, op := range pt.ChildrenNamed(NS, "operation") {
+			name, _ := op.Attr("", "name")
+			o := Operation{Name: name}
+			if in := op.Child(NS, "input"); in != nil {
+				msg, _ := in.Attr("", "message")
+				o.Input = parts[stripPrefix(msg)]
+			}
+			if out := op.Child(NS, "output"); out != nil {
+				msg, _ := out.Attr("", "message")
+				o.Output = parts[stripPrefix(msg)]
+			}
+			s.Operations = append(s.Operations, o)
+		}
+	}
+	if svc := root.Child(NS, "service"); svc != nil {
+		if port := svc.Child(NS, "port"); port != nil {
+			if addr := port.Child(SoapNS, "address"); addr != nil {
+				s.Endpoint, _ = addr.Attr("", "location")
+			}
+		}
+	}
+	return s, nil
+}
+
+func stripPrefix(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ':' {
+			return s[i+1:]
+		}
+	}
+	return s
+}

@@ -1,0 +1,94 @@
+package wsdl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func sampleService() *Service {
+	return &Service{
+		Name:          "echo",
+		TargetNS:      "urn:echo",
+		Documentation: "Echo test service used by the scalability experiments.",
+		Endpoint:      "http://wsd:9000/services/echo",
+		Operations: []Operation{
+			{
+				Name:   "echoMessage",
+				Input:  []Part{{Name: "message", Type: "string"}, {Name: "seq", Type: "int"}},
+				Output: []Part{{Name: "return", Type: "string"}},
+			},
+			{
+				Name:   "ping",
+				Output: []Part{{Name: "alive", Type: "boolean"}},
+			},
+		},
+	}
+}
+
+func TestMarshalContainsCoreSections(t *testing.T) {
+	raw, err := sampleService().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(raw)
+	for _, want := range []string{
+		"definitions", `name="echo"`, `targetNamespace="urn:echo"`,
+		"portType", "echoMessageRequest", "echoMessageResponse",
+		`location="http://wsd:9000/services/echo"`, `style="rpc"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("WSDL missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := sampleService()
+	raw, err := orig.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || back.TargetNS != orig.TargetNS ||
+		back.Documentation != orig.Documentation || back.Endpoint != orig.Endpoint {
+		t.Fatalf("metadata = %+v", back)
+	}
+	if len(back.Operations) != 2 {
+		t.Fatalf("operations = %+v", back.Operations)
+	}
+	op := back.Operations[0]
+	if op.Name != "echoMessage" || len(op.Input) != 2 || len(op.Output) != 1 {
+		t.Fatalf("op = %+v", op)
+	}
+	if op.Input[0] != (Part{Name: "message", Type: "string"}) {
+		t.Fatalf("input part = %+v", op.Input[0])
+	}
+}
+
+func TestParseRejectsNonWSDL(t *testing.T) {
+	if _, err := Parse([]byte(`<x xmlns="urn:y"/>`)); !errors.Is(err, ErrNotWSDL) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Parse([]byte(`not xml`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestEmptyServiceStillValid(t *testing.T) {
+	s := &Service{Name: "bare", TargetNS: "urn:bare", Endpoint: "http://h:1/x"}
+	raw, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "bare" || len(back.Operations) != 0 {
+		t.Fatalf("back = %+v", back)
+	}
+}

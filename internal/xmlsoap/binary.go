@@ -1,0 +1,266 @@
+package xmlsoap
+
+// Binary XML codec — the paper's §2 closes with: "Our WSD currently only
+// supports SOAP/XML messages but extensions to other protocols, such as
+// binary XML, may be an interesting topic to investigate in future work."
+// This file is that extension: a compact, self-describing binary encoding
+// of the element tree with a string table, so repeated namespace URIs and
+// local names (the bulk of a SOAP envelope) are emitted once.
+//
+// Format (all integers unsigned LEB128):
+//
+//	magic "BX1\n"
+//	stringCount, then each string as (len, bytes)
+//	element := TagElement nameIdx spaceIdx attrCount
+//	           { nameIdx spaceIdx valueIdx }*   attributes
+//	           textIdx                          (0 = no text; else idx+1)
+//	           childCount { element }*
+//
+// The encoding is canonical: encoding the same tree twice yields identical
+// bytes, so binary messages can be hashed or deduplicated.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+)
+
+// binaryMagic guards against feeding text XML into the binary decoder.
+var binaryMagic = []byte("BX1\n")
+
+// ErrNotBinary is returned by UnmarshalBinary for non-binary input.
+var ErrNotBinary = errors.New("xmlsoap: not a binary XML document")
+
+// maxBinaryStrings bounds the string table against corrupt input.
+const maxBinaryStrings = 1 << 20
+
+// MarshalBinary encodes the element tree in the compact binary format.
+func MarshalBinary(e *Element) ([]byte, error) {
+	if e == nil {
+		return nil, fmt.Errorf("xmlsoap: nil element")
+	}
+	// First pass: collect strings in deterministic first-use order.
+	table := map[string]int{}
+	var strs []string
+	intern := func(s string) int {
+		if i, ok := table[s]; ok {
+			return i
+		}
+		table[s] = len(strs)
+		strs = append(strs, s)
+		return len(strs) - 1
+	}
+	var collect func(el *Element) error
+	collect = func(el *Element) error {
+		if el.Name.Local == "" {
+			return fmt.Errorf("xmlsoap: element with empty local name")
+		}
+		intern(el.Name.Local)
+		intern(el.Name.Space)
+		for _, a := range el.Attrs {
+			intern(a.Name.Local)
+			intern(a.Name.Space)
+			intern(a.Value)
+		}
+		if el.Text != "" {
+			intern(el.Text)
+		}
+		for _, c := range el.Children {
+			if err := collect(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := collect(e); err != nil {
+		return nil, err
+	}
+
+	var buf bytes.Buffer
+	buf.Write(binaryMagic)
+	writeUvarint(&buf, uint64(len(strs)))
+	for _, s := range strs {
+		writeUvarint(&buf, uint64(len(s)))
+		buf.WriteString(s)
+	}
+	var emit func(el *Element)
+	emit = func(el *Element) {
+		writeUvarint(&buf, uint64(table[el.Name.Local]))
+		writeUvarint(&buf, uint64(table[el.Name.Space]))
+		writeUvarint(&buf, uint64(len(el.Attrs)))
+		for _, a := range el.Attrs {
+			writeUvarint(&buf, uint64(table[a.Name.Local]))
+			writeUvarint(&buf, uint64(table[a.Name.Space]))
+			writeUvarint(&buf, uint64(table[a.Value]))
+		}
+		if el.Text == "" {
+			writeUvarint(&buf, 0)
+		} else {
+			writeUvarint(&buf, uint64(table[el.Text])+1)
+		}
+		writeUvarint(&buf, uint64(len(el.Children)))
+		for _, c := range el.Children {
+			emit(c)
+		}
+	}
+	emit(e)
+	return buf.Bytes(), nil
+}
+
+// IsBinary reports whether data starts with the binary XML magic.
+func IsBinary(data []byte) bool { return bytes.HasPrefix(data, binaryMagic) }
+
+// UnmarshalBinary decodes a binary XML document back into an element tree.
+func UnmarshalBinary(data []byte) (*Element, error) {
+	if !IsBinary(data) {
+		return nil, ErrNotBinary
+	}
+	r := &byteReader{data: data[len(binaryMagic):]}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxBinaryStrings {
+		return nil, fmt.Errorf("xmlsoap: binary string table too large (%d)", n)
+	}
+	strs := make([]string, n)
+	for i := range strs {
+		l, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		b, err := r.take(int(l))
+		if err != nil {
+			return nil, err
+		}
+		strs[i] = string(b)
+	}
+	lookup := func(i uint64) (string, error) {
+		if i >= uint64(len(strs)) {
+			return "", fmt.Errorf("xmlsoap: binary string index %d out of range", i)
+		}
+		return strs[i], nil
+	}
+
+	var decode func(depth int) (*Element, error)
+	decode = func(depth int) (*Element, error) {
+		if depth > 512 {
+			return nil, errors.New("xmlsoap: binary document nested too deeply")
+		}
+		nameI, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		spaceI, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		el := &Element{}
+		if el.Name.Local, err = lookup(nameI); err != nil {
+			return nil, err
+		}
+		if el.Name.Space, err = lookup(spaceI); err != nil {
+			return nil, err
+		}
+		attrN, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < attrN; i++ {
+			var a Attr
+			li, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			si, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			vi, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if a.Name.Local, err = lookup(li); err != nil {
+				return nil, err
+			}
+			if a.Name.Space, err = lookup(si); err != nil {
+				return nil, err
+			}
+			if a.Value, err = lookup(vi); err != nil {
+				return nil, err
+			}
+			el.Attrs = append(el.Attrs, a)
+		}
+		textI, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if textI > 0 {
+			if el.Text, err = lookup(textI - 1); err != nil {
+				return nil, err
+			}
+		}
+		childN, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < childN; i++ {
+			c, err := decode(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			el.Children = append(el.Children, c)
+		}
+		return el, nil
+	}
+	el, err := decode(0)
+	if err != nil {
+		return nil, err
+	}
+	if len(r.data) != r.off {
+		return nil, errors.New("xmlsoap: trailing bytes after binary document")
+	}
+	return el, nil
+}
+
+func writeUvarint(buf *bytes.Buffer, v uint64) {
+	for v >= 0x80 {
+		buf.WriteByte(byte(v) | 0x80)
+		v >>= 7
+	}
+	buf.WriteByte(byte(v))
+}
+
+type byteReader struct {
+	data []byte
+	off  int
+}
+
+func (r *byteReader) uvarint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		if r.off >= len(r.data) {
+			return 0, errors.New("xmlsoap: truncated binary document")
+		}
+		b := r.data[r.off]
+		r.off++
+		if shift >= 64 {
+			return 0, errors.New("xmlsoap: varint overflow")
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+		shift += 7
+	}
+}
+
+func (r *byteReader) take(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.data) {
+		return nil, errors.New("xmlsoap: truncated binary document")
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}

@@ -1,0 +1,147 @@
+package xmlsoap
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func soapishTree() *Element {
+	ns := "http://schemas.xmlsoap.org/soap/envelope/"
+	wsa := "http://schemas.xmlsoap.org/ws/2004/08/addressing"
+	return New(ns, "Envelope").Add(
+		New(ns, "Header").Add(
+			NewText(wsa, "To", "logical:echo"),
+			NewText(wsa, "MessageID", "urn:uuid:0000-1111"),
+			New(wsa, "ReplyTo").Add(NewText(wsa, "Address", "http://client:90/msg")),
+		),
+		New(ns, "Body").Add(
+			NewText("urn:wsd:echo", "echo", "payload with repeated namespaces").
+				SetAttr("", "seq", "42"),
+		),
+	)
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	orig := soapishTree()
+	bin, err := MarshalBinary(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalBinary(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(orig) {
+		t.Fatalf("binary round trip changed tree:\norig: %s\nback: %s", orig, back)
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	orig := soapishTree()
+	text, err := Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := MarshalBinary(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bin) >= len(text) {
+		t.Fatalf("binary (%dB) not smaller than text (%dB)", len(bin), len(text))
+	}
+}
+
+func TestBinaryDeterministic(t *testing.T) {
+	orig := soapishTree()
+	a, _ := MarshalBinary(orig)
+	b, _ := MarshalBinary(orig)
+	if string(a) != string(b) {
+		t.Fatal("binary encoding not canonical")
+	}
+}
+
+func TestIsBinary(t *testing.T) {
+	bin, _ := MarshalBinary(New("", "x"))
+	if !IsBinary(bin) {
+		t.Fatal("IsBinary(false) for binary doc")
+	}
+	if IsBinary([]byte("<x/>")) {
+		t.Fatal("IsBinary(true) for text XML")
+	}
+}
+
+func TestUnmarshalBinaryRejectsText(t *testing.T) {
+	if _, err := UnmarshalBinary([]byte("<x/>")); err != ErrNotBinary {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnmarshalBinaryRejectsCorruption(t *testing.T) {
+	bin, _ := MarshalBinary(soapishTree())
+	// Truncations at every prefix must error, never panic.
+	for cut := len(binaryMagic); cut < len(bin); cut += 7 {
+		if _, err := UnmarshalBinary(bin[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Trailing garbage is refused.
+	if _, err := UnmarshalBinary(append(append([]byte{}, bin...), 0x01)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	// Absurd string-table size is refused early.
+	bad := append(append([]byte{}, binaryMagic...), 0xff, 0xff, 0xff, 0xff, 0x7f)
+	if _, err := UnmarshalBinary(bad); err == nil {
+		t.Fatal("oversized string table accepted")
+	}
+}
+
+func TestMarshalBinaryNilAndEmptyName(t *testing.T) {
+	if _, err := MarshalBinary(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := MarshalBinary(&Element{}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+// Property: arbitrary trees (any strings, any shape up to fixed depth)
+// survive the binary round trip exactly — unlike text XML, the binary
+// format has no character restrictions.
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	var build func(names []string, text string, depth int) *Element
+	build = func(names []string, text string, depth int) *Element {
+		e := NewText("urn:q", "n", text)
+		for i, n := range names {
+			if n == "" {
+				n = "x"
+			}
+			// Element names must be non-empty; everything else is free.
+			child := NewText("ns:"+n, "e"+n, strings.Repeat(n, i%3))
+			child.SetAttr("", "a", n)
+			e.Add(child)
+		}
+		if depth > 0 {
+			e.Add(build(names, text, depth-1))
+		}
+		return e
+	}
+	f := func(names []string, text string, depth uint8) bool {
+		if len(names) > 8 {
+			names = names[:8]
+		}
+		orig := build(names, text, int(depth%4))
+		bin, err := MarshalBinary(orig)
+		if err != nil {
+			return false
+		}
+		back, err := UnmarshalBinary(bin)
+		if err != nil {
+			return false
+		}
+		return back.Equal(orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

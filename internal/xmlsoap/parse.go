@@ -1,0 +1,84 @@
+package xmlsoap
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ErrNoContent is returned when the input holds no element.
+var ErrNoContent = errors.New("xmlsoap: no element content")
+
+// Parse reads one XML document from data and returns its root element.
+// Namespace prefixes are resolved by the underlying decoder; the tree
+// stores expanded names only.
+func Parse(data []byte) (*Element, error) {
+	return ParseReader(bytes.NewReader(data))
+}
+
+// ParseReader reads one XML document from r.
+func ParseReader(r io.Reader) (*Element, error) {
+	dec := xml.NewDecoder(r)
+	var root *Element
+	var stack []*Element
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmlsoap: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			e := &Element{Name: Name{Space: t.Name.Space, Local: t.Name.Local}}
+			for _, a := range t.Attr {
+				// Skip namespace declarations: expanded names
+				// carry the information and the serializer
+				// re-derives declarations.
+				if a.Name.Space == "xmlns" || (a.Name.Space == "" && a.Name.Local == "xmlns") {
+					continue
+				}
+				e.Attrs = append(e.Attrs, Attr{
+					Name:  Name{Space: a.Name.Space, Local: a.Name.Local},
+					Value: a.Value,
+				})
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, errors.New("xmlsoap: multiple root elements")
+				}
+				root = e
+			} else {
+				parent := stack[len(stack)-1]
+				parent.Children = append(parent.Children, e)
+			}
+			stack = append(stack, e)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, errors.New("xmlsoap: unbalanced end element")
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) > 0 {
+				text := string(t)
+				if strings.TrimSpace(text) != "" {
+					stack[len(stack)-1].Text += text
+				}
+			}
+		case xml.Comment, xml.ProcInst, xml.Directive:
+			// Ignored: the SOAP processing model does not depend
+			// on them.
+		}
+	}
+	if root == nil {
+		return nil, ErrNoContent
+	}
+	if len(stack) != 0 {
+		return nil, errors.New("xmlsoap: unexpected EOF inside element")
+	}
+	return root, nil
+}
