@@ -1,0 +1,111 @@
+// Wire-codec micro-benchmarks: the per-message marshal/parse cost every
+// hop of the dispatch path pays, isolated from the simulated network.
+// Run with:
+//
+//	go test -bench 'Marshal|Parse|RoundTrip' -benchmem
+//
+// The allocation budgets these benchmarks exercise are enforced by
+// regression tests (internal/xmlsoap TestAppendToZeroAlloc,
+// internal/wsa TestSkeletonZeroAlloc), so a future PR cannot silently
+// regress them.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/echoservice"
+	"repro/internal/soap"
+	"repro/internal/wsa"
+	"repro/internal/xmlsoap"
+)
+
+// benchEnvelope is a fully addressed echo message: the exact shape the
+// MSG-Dispatcher renders per forwarded message.
+func benchEnvelope() *soap.Envelope {
+	env := soap.New(soap.V11).SetBody(xmlsoap.NewText(echoservice.EchoNS, "echo", "payload"))
+	(&wsa.Headers{
+		To:        "logical:echo",
+		Action:    echoservice.EchoNS + ":echo",
+		MessageID: "urn:uuid:00000000-0000-4000-8000-000000000000",
+		ReplyTo:   &wsa.EPR{Address: "http://client:90/msg"},
+	}).Apply(env)
+	return env
+}
+
+// BenchmarkMarshal measures envelope serialization three ways: the
+// skeleton-cached streaming path the dispatchers use (steady state:
+// 0 allocs/op), the general streaming path, and the compat Marshal that
+// still materializes a fresh slice.
+func BenchmarkMarshal(b *testing.B) {
+	env := benchEnvelope()
+	b.Run("skeleton-append", func(b *testing.B) {
+		dst := make([]byte, 0, 4096)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := wsa.AppendEnvelope(dst, env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("general-append", func(b *testing.B) {
+		dst := make([]byte, 0, 4096)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := env.AppendTo(dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compat-marshal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := env.Marshal(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkParse measures the receive half of the codec.
+func BenchmarkParse(b *testing.B) {
+	raw, err := wsa.MarshalEnvelope(benchEnvelope())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ReportMetric(float64(len(raw)), "envelope-bytes")
+	for i := 0; i < b.N; i++ {
+		if _, err := soap.Parse(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoundTrip measures one full hop as a dispatcher sees it:
+// parse the incoming envelope, extract and rewrite the WS-Addressing
+// headers, and re-serialize for the next hop.
+func BenchmarkRoundTrip(b *testing.B) {
+	raw, err := wsa.MarshalEnvelope(benchEnvelope())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]byte, 0, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env, err := soap.Parse(raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h, err := wsa.FromEnvelope(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rewritten := h.Clone()
+		rewritten.To = "http://ws1:81/msg"
+		rewritten.ReplyTo = &wsa.EPR{Address: "http://wsd:9100/msg"}
+		rewritten.Apply(env)
+		if _, err := wsa.AppendEnvelope(dst, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -46,10 +46,15 @@ func (c *RPC) CallTimeout(serviceURL, serviceNS, operation string, timeout time.
 	if err != nil {
 		return nil, err
 	}
-	body, err := soap.RPCRequest(c.Version, serviceNS, operation, params...).Marshal()
+	// Render the call straight into a pooled buffer; the HTTP client
+	// writes it to the connection and the buffer is released on return.
+	buf := xmlsoap.GetBuffer()
+	defer xmlsoap.PutBuffer(buf)
+	body, err := wsa.AppendEnvelope(buf.B, soap.RPCRequest(c.Version, serviceNS, operation, params...))
 	if err != nil {
 		return nil, err
 	}
+	buf.B = body
 	req := httpx.NewRequest("POST", path, body)
 	req.Header.Set("Content-Type", c.Version.ContentType())
 	req.Header.Set("SOAPAction", `"`+serviceNS+":"+operation+`"`)
@@ -106,10 +111,13 @@ func (m *Messenger) SendTimeout(postURL string, h *wsa.Headers, body *xmlsoap.El
 	}
 	env := soap.New(m.Version).SetBody(body)
 	hh.Apply(env)
-	raw, err := env.Marshal()
+	buf := xmlsoap.GetBuffer()
+	defer xmlsoap.PutBuffer(buf)
+	raw, err := wsa.AppendEnvelope(buf.B, env)
 	if err != nil {
 		return "", err
 	}
+	buf.B = raw
 	req := httpx.NewRequest("POST", path, raw)
 	req.Header.Set("Content-Type", m.Version.ContentType())
 	var resp *httpx.Response

@@ -287,11 +287,7 @@ func (s *Server) checkToken(req *httpx.Request) *httpx.Response {
 		return nil
 	}
 	if _, err := s.cfg.Authority.Verify(req.Header.Get(auth.HeaderName)); err != nil {
-		f := &soap.Fault{Code: soap.FaultClient, Reason: "authentication required: " + err.Error()}
-		body, merr := f.Envelope(soap.V11).Marshal()
-		if merr != nil {
-			body = []byte(f.Reason)
-		}
+		body := soap.FaultBytes(soap.V11, soap.FaultClient, "authentication required: "+err.Error())
 		resp := httpx.NewResponse(httpx.StatusUnauthorized, body)
 		resp.Header.Set("Content-Type", soap.V11.ContentType())
 		return resp
@@ -314,11 +310,7 @@ func (s *Server) serveLogin(req *httpx.Request) *httpx.Response {
 	secret, _ := call.Param("secret")
 	token, err := s.cfg.Authority.Login(principal, secret)
 	if err != nil {
-		f := &soap.Fault{Code: soap.FaultClient, Reason: err.Error()}
-		body, merr := f.Envelope(env.Version).Marshal()
-		if merr != nil {
-			body = []byte(err.Error())
-		}
+		body := soap.FaultBytes(env.Version, soap.FaultClient, err.Error())
 		resp := httpx.NewResponse(httpx.StatusUnauthorized, body)
 		resp.Header.Set("Content-Type", env.Version.ContentType())
 		return resp
@@ -339,11 +331,11 @@ func (s *Server) serveWSDL(name string) *httpx.Response {
 	if !ok || entry.Doc == nil {
 		return httpx.NewResponse(httpx.StatusNotFound, []byte("no WSDL for "+name))
 	}
-	doc := *entry.Doc
-	if doc.Endpoint == "" && s.cfg.RPCPort != 0 {
-		doc.Endpoint = s.RPCURL() + "/rpc/" + name
+	endpoint := ""
+	if s.cfg.RPCPort != 0 {
+		endpoint = s.RPCURL() + "/rpc/" + name
 	}
-	body, err := doc.Marshal()
+	body, err := entry.DocBytes(endpoint)
 	if err != nil {
 		return httpx.NewResponse(httpx.StatusInternalServerError, []byte(err.Error()))
 	}

@@ -38,6 +38,7 @@ import (
 	"repro/internal/soap"
 	"repro/internal/stats"
 	"repro/internal/wsa"
+	"repro/internal/xmlsoap"
 )
 
 // LogicalScheme prefixes WS-Addressing To values that name a registry
@@ -293,17 +294,24 @@ func (d *Dispatcher) routeRequest(env *soap.Envelope, h *wsa.Headers) *httpx.Res
 	}
 	rewritten.Apply(env)
 
-	raw, err := env.Marshal()
+	// Render through the envelope-skeleton cache into a pooled buffer.
+	// The buffer travels with the queued message and is released by the
+	// WsThread after the delivery attempt (deliver or courier handoff).
+	buf := xmlsoap.GetBuffer()
+	b, err := wsa.AppendEnvelope(buf.B, env)
 	if err != nil {
+		xmlsoap.PutBuffer(buf)
 		d.Rejected.Inc()
 		return faultResponse(httpx.StatusInternalServerError, soap.FaultServer, err.Error())
 	}
+	buf.B = b
 	if !d.enqueue(outbound{
-		payload:       raw,
+		payload:       buf,
 		version:       env.Version,
 		toService:     true,
 		origMessageID: h.MessageID,
 	}, destURL) {
+		xmlsoap.PutBuffer(buf)
 		if expectReply {
 			d.pending.Delete(h.MessageID)
 		}
@@ -328,11 +336,12 @@ func (d *Dispatcher) awaitAnonymous(msgID string, waiter chan *soap.Envelope) *h
 	defer t.Stop()
 	select {
 	case env := <-waiter:
-		raw, err := env.Marshal()
+		resp, err := httpx.NewPooledResponse(httpx.StatusOK, func(dst []byte) ([]byte, error) {
+			return wsa.AppendEnvelope(dst, env)
+		})
 		if err != nil {
 			return faultResponse(httpx.StatusInternalServerError, soap.FaultServer, err.Error())
 		}
-		resp := httpx.NewResponse(httpx.StatusOK, raw)
 		resp.Header.Set("Content-Type", env.Version.ContentType())
 		return resp
 	case <-t.C:
@@ -362,12 +371,16 @@ func (d *Dispatcher) routeReply(env *soap.Envelope, h *wsa.Headers, entry pendin
 	rewritten := h.Clone()
 	rewritten.To = entry.replyTo.Address
 	rewritten.Apply(env)
-	raw, err := env.Marshal()
+	buf := xmlsoap.GetBuffer()
+	b, err := wsa.AppendEnvelope(buf.B, env)
 	if err != nil {
+		xmlsoap.PutBuffer(buf)
 		d.Rejected.Inc()
 		return faultResponse(httpx.StatusInternalServerError, soap.FaultServer, err.Error())
 	}
-	if !d.enqueue(outbound{payload: raw, version: env.Version}, entry.replyTo.Address) {
+	buf.B = b
+	if !d.enqueue(outbound{payload: buf, version: env.Version}, entry.replyTo.Address) {
+		xmlsoap.PutBuffer(buf)
 		d.QueueDrops.Inc()
 		d.Rejected.Inc()
 		return faultResponse(httpx.StatusServiceUnavailable, soap.FaultServer,
@@ -398,12 +411,7 @@ func (d *Dispatcher) SweepPending() int {
 func (d *Dispatcher) PendingLen() int { return d.pending.Len() }
 
 func faultResponse(status int, code, reason string) *httpx.Response {
-	f := &soap.Fault{Code: code, Reason: reason}
-	body, err := f.Envelope(soap.V11).Marshal()
-	if err != nil {
-		body = []byte(reason)
-	}
-	resp := httpx.NewResponse(status, body)
+	resp := httpx.NewResponse(status, soap.FaultBytes(soap.V11, code, reason))
 	resp.Header.Set("Content-Type", soap.V11.ContentType())
 	return resp
 }

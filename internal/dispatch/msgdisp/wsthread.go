@@ -6,11 +6,16 @@ import (
 	"repro/internal/httpx"
 	"repro/internal/soap"
 	"repro/internal/wsa"
+	"repro/internal/xmlsoap"
 )
 
-// outbound is one message scheduled for delivery.
+// outbound is one message scheduled for delivery. payload is a pooled
+// buffer owned by the message from enqueue until the delivery attempt
+// completes; deliver releases it (the courier copies on handoff). A
+// message dropped by Stop leaves its buffer to the garbage collector,
+// which is safe — pool entries are ordinary heap objects.
 type outbound struct {
-	payload   []byte
+	payload   *xmlsoap.Buffer
 	version   soap.Version
 	toService bool // true when heading to a WS, false for reply legs
 	// origMessageID, for service-bound messages, is the request's
@@ -108,19 +113,22 @@ func (d *Dispatcher) wsThread(dq *destQueue) {
 // A synchronous SOAP response from an RPC-style destination is bridged
 // back into the message flow.
 func (d *Dispatcher) deliver(destURL string, msg outbound) {
+	defer xmlsoap.PutBuffer(msg.payload)
 	start := d.cfg.Clock.Now()
 	addr, path, err := httpx.SplitURL(destURL)
 	if err != nil {
 		d.DeliveryFailures.Inc()
 		return
 	}
-	req := httpx.NewRequest("POST", path, msg.payload)
+	req := httpx.NewRequest("POST", path, msg.payload.B)
 	req.Header.Set("Content-Type", msg.version.ContentType())
 	resp, err := d.client.DoTimeout(addr, req, d.cfg.DeliveryTimeout)
 	if err != nil || resp.Status >= 300 {
 		d.DeliveryFailures.Inc()
 		if d.cfg.Courier != nil {
-			if _, cerr := d.cfg.Courier.SendPayload(destURL, msg.origMessageID, msg.payload); cerr == nil {
+			// SendPayload copies the payload into the store, so the
+			// pooled buffer can still be released on return.
+			if _, cerr := d.cfg.Courier.SendPayload(destURL, msg.origMessageID, msg.payload.B); cerr == nil {
 				d.HandedToCourier.Inc()
 			}
 		}
@@ -164,7 +172,7 @@ func (d *Dispatcher) bridgeRPCResponse(msg outbound, body []byte) {
 			MessageID: wsa.NewMessageID(),
 			RelatesTo: msg.origMessageID,
 		}).Apply(reply)
-		raw, merr := reply.Marshal()
+		raw, merr := wsa.MarshalEnvelope(reply)
 		if merr != nil {
 			return
 		}

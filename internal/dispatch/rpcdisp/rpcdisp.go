@@ -163,12 +163,7 @@ func (d *Dispatcher) validate(body []byte) *httpx.Response {
 
 // faultResponse wraps a SOAP 1.1 fault in an HTTP response.
 func faultResponse(status int, code, reason string) *httpx.Response {
-	f := &soap.Fault{Code: code, Reason: reason}
-	body, err := f.Envelope(soap.V11).Marshal()
-	if err != nil {
-		body = []byte(reason)
-	}
-	resp := httpx.NewResponse(status, body)
+	resp := httpx.NewResponse(status, soap.FaultBytes(soap.V11, code, reason))
 	resp.Header.Set("Content-Type", soap.V11.ContentType())
 	return resp
 }

@@ -73,12 +73,16 @@ func (s *RPC) Serve(req *httpx.Request) *httpx.Response {
 	for _, p := range call.Params {
 		results = append(results, p)
 	}
-	out, err := soap.RPCResponse(env.Version, call.ServiceNS, call.Operation, results...).Marshal()
+	// Render straight into a pooled buffer that the HTTP server releases
+	// after writing the response — no per-call body allocation.
+	out := soap.RPCResponse(env.Version, call.ServiceNS, call.Operation, results...)
+	resp, err := httpx.NewPooledResponse(httpx.StatusOK, func(dst []byte) ([]byte, error) {
+		return wsa.AppendEnvelope(dst, out)
+	})
 	if err != nil {
 		return faultResponse(httpx.StatusInternalServerError, soap.FaultServer, err.Error())
 	}
 	s.Handled.Inc()
-	resp := httpx.NewResponse(httpx.StatusOK, out)
 	resp.Header.Set("Content-Type", env.Version.ContentType())
 	return resp
 }
@@ -179,11 +183,11 @@ func (s *Async) reply(env *soap.Envelope, h *wsa.Headers) {
 	if h.ReplyTo == nil || h.ReplyTo.Address == "" || h.ReplyTo.Address == wsa.None {
 		return // fire-and-forget message
 	}
-	body := env.BodyElement()
-	var echoed *xmlsoap.Element
-	if body != nil {
-		echoed = body.Clone()
-	} else {
+	// The reply echoes the request body in place: no clone is needed
+	// because the serializer reads the tree without mutating it and env
+	// is not touched after this point.
+	echoed := env.BodyElement()
+	if echoed == nil {
 		echoed = xmlsoap.New(EchoNS, "echoResponse")
 	}
 	out := soap.New(env.Version).SetBody(echoed)
@@ -197,17 +201,20 @@ func (s *Async) reply(env *soap.Envelope, h *wsa.Headers) {
 		rh.From = &wsa.EPR{Address: s.OwnAddress}
 	}
 	rh.Apply(out)
-	raw, err := out.Marshal()
+	buf := xmlsoap.GetBuffer()
+	defer xmlsoap.PutBuffer(buf)
+	b, err := wsa.AppendEnvelope(buf.B, out)
 	if err != nil {
 		s.ReplyFailures.Inc()
 		return
 	}
+	buf.B = b
 	addr, path, err := httpx.SplitURL(h.ReplyTo.Address)
 	if err != nil {
 		s.ReplyFailures.Inc()
 		return
 	}
-	post := httpx.NewRequest("POST", path, raw)
+	post := httpx.NewRequest("POST", path, b)
 	post.Header.Set("Content-Type", env.Version.ContentType())
 	timeout := s.ReplyTimeout
 	if timeout == 0 {
@@ -222,12 +229,7 @@ func (s *Async) reply(env *soap.Envelope, h *wsa.Headers) {
 }
 
 func faultResponse(status int, code, reason string) *httpx.Response {
-	f := &soap.Fault{Code: code, Reason: reason}
-	body, err := f.Envelope(soap.V11).Marshal()
-	if err != nil {
-		body = []byte(reason)
-	}
-	resp := httpx.NewResponse(status, body)
+	resp := httpx.NewResponse(status, soap.FaultBytes(soap.V11, code, reason))
 	resp.Header.Set("Content-Type", soap.V11.ContentType())
 	return resp
 }

@@ -201,10 +201,13 @@ func RunFig6Point(opt Fig6Options, clients int, series Fig6Series) stats.RunRepo
 			MessageID: fmt.Sprintf("urn:fig6:%d:%d", clientID, seq),
 			ReplyTo:   &wsa.EPR{Address: replyAddrs[clientID]},
 		}).Apply(env)
-		raw, err := env.Marshal()
+		buf := xmlsoap.GetBuffer()
+		defer xmlsoap.PutBuffer(buf)
+		raw, err := wsa.AppendEnvelope(buf.B, env)
 		if err != nil {
 			return err
 		}
+		buf.B = raw
 		req := httpx.NewRequest("POST", targetPath, raw)
 		req.Header.Set("Content-Type", soap.V11.ContentType())
 		resp, err := clientsPool[clientID].Do(targetAddr, req)

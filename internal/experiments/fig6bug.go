@@ -172,10 +172,13 @@ func runFig6BugPoint(opt Fig6BugOptions, clients int, mode msgbox.Mode) (stats.R
 			MessageID: fmt.Sprintf("urn:fig6bug:%d:%d", clientID, seq),
 			ReplyTo:   &wsa.EPR{Address: replyAddrs[clientID]},
 		}).Apply(env)
-		raw, err := env.Marshal()
+		buf := xmlsoap.GetBuffer()
+		defer xmlsoap.PutBuffer(buf)
+		raw, err := wsa.AppendEnvelope(buf.B, env)
 		if err != nil {
 			return err
 		}
+		buf.B = raw
 		req := httpx.NewRequest("POST", "/msg", raw)
 		req.Header.Set("Content-Type", soap.V11.ContentType())
 		resp, err := clientsPool[clientID].Do("wsd:9100", req)

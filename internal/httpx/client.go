@@ -130,16 +130,11 @@ func (c *Client) exchange(pc *persistConn, addr string, req *Request, deadline t
 	r := *req
 	if r.Header == nil {
 		r.Header = Header{}
-	} else {
-		r.Header = r.Header.Clone()
 	}
-	if !r.Header.Has("Host") {
-		r.Header.Set("Host", addr)
-	}
-	if c.cfg.DisableKeepAlive {
-		r.Header.Set("Connection", "close")
-	}
-	if err := r.Encode(pc.conn); err != nil {
+	// Host and Connection are supplied at encode time rather than by
+	// cloning the header map: nothing is allocated and req is never
+	// mutated, so retries re-encode the identical message.
+	if err := r.encode(pc.conn, addr, c.cfg.DisableKeepAlive); err != nil {
 		return nil, fmt.Errorf("httpx: write to %s: %w", addr, err)
 	}
 	resp, err := ReadResponse(pc.br)

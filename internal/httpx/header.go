@@ -17,8 +17,7 @@
 package httpx
 
 import (
-	"fmt"
-	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -72,16 +71,53 @@ func (h Header) Clone() Header {
 	return c
 }
 
-// writeTo renders headers in sorted order (deterministic wire output makes
-// tests and traces stable) followed by the blank line.
-func (h Header) writeTo(b *strings.Builder) {
-	keys := make([]string, 0, len(h))
+// appendWire renders headers in sorted order (deterministic wire output
+// makes tests and traces stable) followed by the blank line, appending to
+// b. Content-Length is always emitted from contentLength (overriding any
+// stored value), hostIfMissing supplies Host only when absent, and
+// forceClose overrides Connection with "close" — all without touching the
+// map, so encoding never clones it. The key scratch lives on the stack
+// for the header counts SOAP traffic has.
+func (h Header) appendWire(b []byte, contentLength int, hostIfMissing string, forceClose bool) []byte {
+	var arr [16]string
+	keys := arr[:0]
 	for k := range h {
+		if k == "Content-Length" {
+			continue
+		}
+		if forceClose && k == "Connection" {
+			continue
+		}
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		fmt.Fprintf(b, "%s: %s\r\n", k, h[k])
+	keys = append(keys, "Content-Length")
+	if hostIfMissing != "" && !h.Has("Host") {
+		keys = append(keys, "Host")
 	}
-	b.WriteString("\r\n")
+	if forceClose {
+		keys = append(keys, "Connection")
+	}
+	// Insertion sort: n is tiny and this avoids sort.Strings' interface
+	// machinery on the hot path.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	for _, k := range keys {
+		b = append(b, k...)
+		b = append(b, ':', ' ')
+		switch {
+		case k == "Content-Length":
+			b = strconv.AppendInt(b, int64(contentLength), 10)
+		case forceClose && k == "Connection":
+			b = append(b, "close"...)
+		case k == "Host" && !h.Has("Host"):
+			b = append(b, hostIfMissing...)
+		default:
+			b = append(b, h[k]...)
+		}
+		b = append(b, '\r', '\n')
+	}
+	return append(b, '\r', '\n')
 }

@@ -7,6 +7,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"repro/internal/xmlsoap"
 )
 
 // maxHeaderBytes bounds header section size to keep a malicious or broken
@@ -44,11 +46,35 @@ type Response struct {
 	Proto  string
 	Header Header
 	Body   []byte
+
+	// ReleaseBody, when non-nil, is called exactly once by the server
+	// after the response bytes have been written (or the write
+	// abandoned). Handlers that render Body into a pooled buffer set it
+	// to return the buffer; Body must not be touched afterwards.
+	ReleaseBody func()
 }
 
 // NewResponse builds a response with status code and body.
 func NewResponse(status int, body []byte) *Response {
 	return &Response{Status: status, Reason: StatusText(status), Proto: "HTTP/1.1", Header: Header{}, Body: body}
+}
+
+// NewPooledResponse builds a response whose body is produced by an
+// append-style render into a pooled buffer; the server releases the
+// buffer via ReleaseBody after writing the response. On render error
+// the buffer is released immediately and the error returned, so the
+// ownership-sensitive sequence lives in exactly one place.
+func NewPooledResponse(status int, render func(dst []byte) ([]byte, error)) (*Response, error) {
+	buf := xmlsoap.GetBuffer()
+	b, err := render(buf.B)
+	if err != nil {
+		xmlsoap.PutBuffer(buf)
+		return nil, err
+	}
+	buf.B = b
+	resp := NewResponse(status, b)
+	resp.ReleaseBody = func() { xmlsoap.PutBuffer(buf) }
+	return resp, nil
 }
 
 // errors surfaced by the codec.
@@ -58,22 +84,34 @@ var (
 	ErrBodyTooBig   = errors.New("httpx: body exceeds limit")
 )
 
-// Encode serializes the request to w with Content-Length framing.
+// Encode serializes the request to w with Content-Length framing. The
+// head is assembled in a pooled buffer and the body bytes are written
+// straight from r.Body, so encoding allocates nothing per message.
 func (r *Request) Encode(w io.Writer) error {
+	return r.encode(w, "", false)
+}
+
+// encode is Encode with the client's per-exchange supplements: hostIfMissing
+// is emitted as the Host header when r.Header lacks one, and forceClose
+// overrides Connection with "close". Neither mutates r.Header (the seed
+// codec cloned the map instead).
+func (r *Request) encode(w io.Writer, hostIfMissing string, forceClose bool) error {
 	proto := r.Proto
 	if proto == "" {
 		proto = "HTTP/1.1"
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s %s %s\r\n", r.Method, r.Path, proto)
-	h := r.Header
-	if h == nil {
-		h = Header{}
-	}
-	h = h.Clone()
-	h.Set("Content-Length", strconv.Itoa(len(r.Body)))
-	h.writeTo(&b)
-	if _, err := io.WriteString(w, b.String()); err != nil {
+	buf := xmlsoap.GetBuffer()
+	defer xmlsoap.PutBuffer(buf)
+	b := buf.B
+	b = append(b, r.Method...)
+	b = append(b, ' ')
+	b = append(b, r.Path...)
+	b = append(b, ' ')
+	b = append(b, proto...)
+	b = append(b, '\r', '\n')
+	b = r.Header.appendWire(b, len(r.Body), hostIfMissing, forceClose)
+	buf.B = b
+	if _, err := w.Write(b); err != nil {
 		return err
 	}
 	if len(r.Body) > 0 {
@@ -84,7 +122,8 @@ func (r *Request) Encode(w io.Writer) error {
 	return nil
 }
 
-// Encode serializes the response to w with Content-Length framing.
+// Encode serializes the response to w with Content-Length framing, using
+// the same pooled zero-copy scheme as Request.Encode.
 func (r *Response) Encode(w io.Writer) error {
 	proto := r.Proto
 	if proto == "" {
@@ -94,16 +133,18 @@ func (r *Response) Encode(w io.Writer) error {
 	if reason == "" {
 		reason = StatusText(r.Status)
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s %d %s\r\n", proto, r.Status, reason)
-	h := r.Header
-	if h == nil {
-		h = Header{}
-	}
-	h = h.Clone()
-	h.Set("Content-Length", strconv.Itoa(len(r.Body)))
-	h.writeTo(&b)
-	if _, err := io.WriteString(w, b.String()); err != nil {
+	buf := xmlsoap.GetBuffer()
+	defer xmlsoap.PutBuffer(buf)
+	b := buf.B
+	b = append(b, proto...)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(r.Status), 10)
+	b = append(b, ' ')
+	b = append(b, reason...)
+	b = append(b, '\r', '\n')
+	b = r.Header.appendWire(b, len(r.Body), "", false)
+	buf.B = b
+	if _, err := w.Write(b); err != nil {
 		return err
 	}
 	if len(r.Body) > 0 {

@@ -180,7 +180,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		if s.cfg.WriteTimeout > 0 {
 			conn.SetWriteDeadline(clk.Now().Add(s.cfg.WriteTimeout))
 		}
-		if err := resp.Encode(conn); err != nil {
+		err = resp.Encode(conn)
+		if resp.ReleaseBody != nil {
+			resp.ReleaseBody()
+		}
+		if err != nil {
 			s.Errors.Inc()
 			return
 		}

@@ -36,6 +36,7 @@ import (
 	"repro/internal/queue"
 	"repro/internal/soap"
 	"repro/internal/stats"
+	"repro/internal/wsa"
 )
 
 // ServiceNS is the RPC namespace of the mailbox management operations.
@@ -365,22 +366,22 @@ func (s *Service) rpcDestroy(v soap.Version, call *soap.Call) *httpx.Response {
 }
 
 func rpcOK(v soap.Version, op string, params ...soap.Param) *httpx.Response {
-	body, err := soap.RPCResponse(v, ServiceNS, op, params...).Marshal()
+	// Mailbox polling (Figure 2 step 3) pays this marshal per poll;
+	// render into a pooled buffer released by the HTTP server after the
+	// response is written.
+	env := soap.RPCResponse(v, ServiceNS, op, params...)
+	resp, err := httpx.NewPooledResponse(httpx.StatusOK, func(dst []byte) ([]byte, error) {
+		return wsa.AppendEnvelope(dst, env)
+	})
 	if err != nil {
 		return faultResponse(httpx.StatusInternalServerError, soap.FaultServer, err.Error())
 	}
-	resp := httpx.NewResponse(httpx.StatusOK, body)
 	resp.Header.Set("Content-Type", v.ContentType())
 	return resp
 }
 
 func faultResponse(status int, code, reason string) *httpx.Response {
-	f := &soap.Fault{Code: code, Reason: reason}
-	body, err := f.Envelope(soap.V11).Marshal()
-	if err != nil {
-		body = []byte(reason)
-	}
-	resp := httpx.NewResponse(status, body)
+	resp := httpx.NewResponse(status, soap.FaultBytes(soap.V11, code, reason))
 	resp.Header.Set("Content-Type", soap.V11.ContentType())
 	return resp
 }

@@ -81,6 +81,44 @@ type Entry struct {
 	Doc *wsdl.Service
 
 	rr atomic.Uint64 // round-robin cursor
+
+	// docCache holds the rendered WSDL bytes for Doc at a given
+	// endpoint, so repeated directory/WSDL requests do not re-serialize
+	// the document.
+	docCache atomic.Pointer[renderedDoc]
+}
+
+// renderedDoc records which *wsdl.Service the bytes were rendered from:
+// a cache entry is valid only while the entry's Doc pointer still
+// matches, so a SetDoc racing a render cannot pin stale bytes — the
+// next lookup sees the pointer mismatch and re-renders.
+type renderedDoc struct {
+	doc      *wsdl.Service
+	endpoint string
+	bytes    []byte
+}
+
+// DocBytes renders the entry's WSDL document with endpoint substituted
+// when the document has none, caching the bytes per (document,
+// endpoint). It returns nil when the entry has no Doc.
+func (e *Entry) DocBytes(endpoint string) ([]byte, error) {
+	doc := e.Doc
+	if doc == nil {
+		return nil, nil
+	}
+	if c := e.docCache.Load(); c != nil && c.doc == doc && c.endpoint == endpoint {
+		return c.bytes, nil
+	}
+	rendered := *doc
+	if rendered.Endpoint == "" && endpoint != "" {
+		rendered.Endpoint = endpoint
+	}
+	b, err := rendered.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	e.docCache.Store(&renderedDoc{doc: doc, endpoint: endpoint, bytes: b})
+	return b, nil
 }
 
 // Errors returned by lookups.
@@ -134,6 +172,7 @@ func (r *Registry) SetDoc(logical string, doc *wsdl.Service) {
 		return &Entry{Logical: logical}
 	})
 	entry.Doc = doc
+	entry.docCache.Store(nil)
 }
 
 // Unregister removes the whole logical name. It reports whether the entry

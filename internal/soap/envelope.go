@@ -7,6 +7,7 @@ package soap
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"repro/internal/xmlsoap"
 )
@@ -131,9 +132,37 @@ func (e *Envelope) Tree() *xmlsoap.Element {
 	return root
 }
 
-// Marshal serializes the envelope as a complete XML document.
+// AppendTo appends the envelope as a complete XML document (with
+// prolog) to dst and returns the extended slice. Unlike Tree, it
+// serializes the header and body blocks in place without cloning them,
+// so the per-message cost is the byte writing alone.
+func (e *Envelope) AppendTo(dst []byte) ([]byte, error) {
+	ns := e.Version.NS()
+	root := xmlsoap.Element{Name: xmlsoap.Name{Space: ns, Local: "Envelope"}}
+	var kids [2]*xmlsoap.Element
+	root.Children = kids[:0]
+	var hdr xmlsoap.Element
+	if len(e.Header) > 0 {
+		hdr = xmlsoap.Element{Name: xmlsoap.Name{Space: ns, Local: "Header"}, Children: e.Header}
+		root.Children = append(root.Children, &hdr)
+	}
+	body := xmlsoap.Element{Name: xmlsoap.Name{Space: ns, Local: "Body"}, Children: e.Body}
+	root.Children = append(root.Children, &body)
+	return root.AppendDocTo(dst)
+}
+
+// WriteTo serializes the envelope into a pooled buffer and writes it to
+// w in a single Write call. It implements io.WriterTo.
+func (e *Envelope) WriteTo(w io.Writer) (int64, error) {
+	return xmlsoap.WriteRendered(w, e.AppendTo)
+}
+
+// Marshal serializes the envelope as a complete XML document into a
+// freshly allocated exact-size slice. Hot paths that can reuse buffers
+// should prefer AppendTo (or wsa.AppendEnvelope, which adds the
+// envelope-skeleton cache on top).
 func (e *Envelope) Marshal() ([]byte, error) {
-	return xmlsoap.MarshalDoc(e.Tree())
+	return xmlsoap.Render(e.AppendTo)
 }
 
 // Clone returns a deep copy.

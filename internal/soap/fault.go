@@ -35,6 +35,18 @@ func (f *Fault) Envelope(v Version) *Envelope {
 	return New(v).SetBody(f.Element(v))
 }
 
+// FaultBytes renders a fault envelope document, falling back to the bare
+// reason text if marshaling fails. Every server-side refusal path uses
+// it, so the rendering (and its fallback) lives in one place.
+func FaultBytes(v Version, code, reason string) []byte {
+	f := &Fault{Code: code, Reason: reason}
+	body, err := f.Envelope(v).Marshal()
+	if err != nil {
+		return []byte(reason)
+	}
+	return body
+}
+
 // Element renders the fault body element for the given version.
 func (f *Fault) Element(v Version) *xmlsoap.Element {
 	ns := v.NS()

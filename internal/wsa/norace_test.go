@@ -1,0 +1,5 @@
+//go:build !race
+
+package wsa
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package wsa
+
+// raceEnabled skips the pooled-path allocation gate under the race
+// detector, which deliberately randomizes sync.Pool caching and makes
+// allocation counts nondeterministic.
+const raceEnabled = true

@@ -1,0 +1,139 @@
+package wsa
+
+import (
+	"strconv"
+	"sync"
+
+	"repro/internal/soap"
+	"repro/internal/xmlsoap"
+)
+
+// The envelope-skeleton cache: for each (SOAP version, header shape) the
+// constant framing — envelope, Header/Body tags, the WS-Addressing block
+// scaffolding with its namespace declarations — is compiled once into a
+// soap.Skeleton, and per message only the addressing values and the body
+// payload are spliced in. Headers.Apply always emits blocks in
+// fieldLocals order, so the shape space is one bit per field: 2 versions
+// × 128 masks, all built lazily.
+
+// fieldLocals is the canonical header-block order, matching Apply.
+var fieldLocals = [...]string{"To", "Action", "MessageID", "RelatesTo", "From", "ReplyTo", "FaultTo"}
+
+// eprField marks which fields are endpoint references (rendered as
+// <block><Address>value</Address></block>) rather than text blocks.
+const eprFieldStart = 4 // From, ReplyTo, FaultTo
+
+var skeletons sync.Map // key uint16 (version<<8 | shape mask) → *soap.Skeleton
+
+// AppendEnvelope appends env's complete document bytes to dst, using a
+// cached envelope skeleton when env has skeleton-compatible shape —
+// only plain WS-Addressing header blocks in canonical order (or no
+// headers at all) and a non-empty body — and the general streaming
+// serializer otherwise. Output is byte-identical either way; the
+// skeleton path just skips re-serializing the constant framing and is
+// allocation-free into a reused dst.
+func AppendEnvelope(dst []byte, env *soap.Envelope) ([]byte, error) {
+	var vals [len(fieldLocals)]string
+	mask, n, ok := classify(env, &vals)
+	if !ok {
+		return env.AppendTo(dst)
+	}
+	sk, err := skeletonFor(env.Version, mask)
+	if err != nil {
+		return env.AppendTo(dst)
+	}
+	return sk.Append(dst, vals[:n], env.Body)
+}
+
+// MarshalEnvelope is AppendEnvelope into a freshly allocated exact-size
+// slice, for payloads that outlive the exchange (queued messages).
+func MarshalEnvelope(env *soap.Envelope) ([]byte, error) {
+	return xmlsoap.Render(func(dst []byte) ([]byte, error) {
+		return AppendEnvelope(dst, env)
+	})
+}
+
+// classify reports whether env can be rendered from a skeleton: every
+// header block must be a plain WS-Addressing field (no attributes, no
+// foreign blocks, non-empty values, canonical order, EPRs carrying only
+// an Address) and the body must be non-empty (an empty body self-closes
+// and needs the general path). It fills vals with the slot values in
+// slot order and returns the shape mask and slot count.
+func classify(env *soap.Envelope, vals *[len(fieldLocals)]string) (mask uint8, n int, ok bool) {
+	if len(env.Body) == 0 {
+		return 0, 0, false
+	}
+	prev := -1
+	for _, block := range env.Header {
+		if block.Name.Space != NS || len(block.Attrs) != 0 {
+			return 0, 0, false
+		}
+		f := fieldIndex(block.Name.Local)
+		if f <= prev { // unknown (-1), duplicate, or out of order
+			return 0, 0, false
+		}
+		prev = f
+		if f < eprFieldStart {
+			// Text block: exactly a non-empty text value. (Empty text
+			// would self-close and change the framing bytes.)
+			if len(block.Children) != 0 || block.Text == "" {
+				return 0, 0, false
+			}
+			vals[n] = block.Text
+		} else {
+			// EPR block: exactly <Address> with a non-empty address and
+			// no reference properties.
+			if block.Text != "" || len(block.Children) != 1 {
+				return 0, 0, false
+			}
+			addr := block.Children[0]
+			if addr.Name.Space != NS || addr.Name.Local != "Address" ||
+				len(addr.Attrs) != 0 || len(addr.Children) != 0 || addr.Text == "" {
+				return 0, 0, false
+			}
+			vals[n] = addr.Text
+		}
+		mask |= 1 << f
+		n++
+	}
+	return mask, n, true
+}
+
+func fieldIndex(local string) int {
+	for i, l := range fieldLocals {
+		if l == local {
+			return i
+		}
+	}
+	return -1
+}
+
+// skeletonFor returns the compiled skeleton for (version, mask),
+// building and caching it on first use.
+func skeletonFor(v soap.Version, mask uint8) (*soap.Skeleton, error) {
+	key := uint16(v)<<8 | uint16(mask)
+	if sk, ok := skeletons.Load(key); ok {
+		return sk.(*soap.Skeleton), nil
+	}
+	env := soap.New(v)
+	var sentinels []string
+	for f, local := range fieldLocals {
+		if mask&(1<<f) == 0 {
+			continue
+		}
+		s := "\x00slot" + strconv.Itoa(len(sentinels)) + "\x00"
+		sentinels = append(sentinels, s)
+		if f < eprFieldStart {
+			env.AddHeader(xmlsoap.NewText(NS, local, s))
+		} else {
+			env.AddHeader((&EPR{Address: s}).Element(local))
+		}
+	}
+	env.SetBody(xmlsoap.New("", "placeholder"))
+	sk, err := soap.CompileSkeleton(env, sentinels)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := skeletons.LoadOrStore(key, sk)
+	return actual.(*soap.Skeleton), nil
+}

@@ -1,0 +1,173 @@
+package wsa
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/soap"
+	"repro/internal/xmlsoap"
+	"repro/internal/xmlsoap/refcodec"
+)
+
+// seedEnvelopeBytes renders env exactly as the seed codec did:
+// Envelope.Tree() through the frozen reference serializer with prolog.
+func seedEnvelopeBytes(t *testing.T, env *soap.Envelope) []byte {
+	t.Helper()
+	b, err := refcodec.MarshalDoc(env.Tree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func checkIdentical(t *testing.T, env *soap.Envelope) {
+	t.Helper()
+	want := seedEnvelopeBytes(t, env)
+	got, err := MarshalEnvelope(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("wire drift:\nseed: %q\nnew:  %q", want, got)
+	}
+	general, err := env.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(general, want) {
+		t.Fatalf("general-path drift:\nseed: %q\nnew:  %q", want, general)
+	}
+}
+
+// TestSkeletonGoldenAllShapes proves the skeleton cache emits bytes
+// identical to the seed codec for every header-shape mask, both SOAP
+// versions, and several body payloads — including escaping edge cases
+// in header values and body content.
+func TestSkeletonGoldenAllShapes(t *testing.T) {
+	bodies := map[string]*xmlsoap.Element{
+		"simple":      xmlsoap.NewText("urn:wsd:echo", "echo", "payload"),
+		"escaped":     xmlsoap.NewText("urn:wsd:echo", "echo", `a&b<c>d"e`),
+		"foreign-ns":  xmlsoap.New("urn:x:1", "op").Add(xmlsoap.New("urn:x:2", "inner")),
+		"wsa-in-body": xmlsoap.New("urn:x:1", "op").Add(xmlsoap.New(NS, "EndpointReference")),
+		"attrs":       xmlsoap.New("urn:x:1", "op").SetAttr("", "k", "v<&>").SetAttr("urn:x:2", "q", "w"),
+	}
+	for _, v := range []soap.Version{soap.V11, soap.V12} {
+		for mask := 0; mask < 1<<len(fieldLocals); mask++ {
+			for bodyName, body := range bodies {
+				env := soap.New(v).SetBody(body)
+				for f, local := range fieldLocals {
+					if mask&(1<<f) == 0 {
+						continue
+					}
+					val := fmt.Sprintf("urn:val:%s:%d", local, f)
+					if local == "To" {
+						val = `http://host:99/path?a=1&b="2"` // escaping in a slot
+					}
+					if f < eprFieldStart {
+						env.AddHeader(xmlsoap.NewText(NS, local, val))
+					} else {
+						env.AddHeader((&EPR{Address: val}).Element(local))
+					}
+				}
+				t.Run(fmt.Sprintf("v%d/mask=%#x/%s", v, mask, bodyName), func(t *testing.T) {
+					checkIdentical(t, env)
+				})
+			}
+		}
+	}
+}
+
+// TestSkeletonFallbackShapes proves the shapes the skeleton cannot
+// express fall back to the general path and still match the seed codec
+// byte for byte.
+func TestSkeletonFallbackShapes(t *testing.T) {
+	body := xmlsoap.NewText("urn:wsd:echo", "echo", "p")
+	cases := map[string]*soap.Envelope{
+		"empty-body": func() *soap.Envelope {
+			e := soap.New(soap.V11)
+			(&Headers{To: "http://a/b", MessageID: "urn:uuid:1"}).Apply(e)
+			return e
+		}(),
+		"epr-with-properties": func() *soap.Envelope {
+			e := soap.New(soap.V11).SetBody(body.Clone())
+			e.AddHeader((&EPR{Address: "http://a/b", Properties: map[string]string{"token": "t", "box": "b"}}).Element("ReplyTo"))
+			return e
+		}(),
+		"foreign-header-block": soap.New(soap.V11).SetBody(body.Clone()).
+			AddHeader(xmlsoap.NewText("urn:other", "Security", "s"),
+				xmlsoap.NewText(NS, "To", "http://a/b")),
+		"must-understand-attr": soap.New(soap.V11).SetBody(body.Clone()).
+			AddHeader(xmlsoap.NewText(NS, "To", "http://a/b").
+				SetAttr(soap.NS11, "mustUnderstand", "1")),
+		"out-of-order": soap.New(soap.V11).SetBody(body.Clone()).
+			AddHeader(xmlsoap.NewText(NS, "MessageID", "urn:uuid:1"),
+				xmlsoap.NewText(NS, "To", "http://a/b")),
+		"duplicate-block": soap.New(soap.V11).SetBody(body.Clone()).
+			AddHeader(xmlsoap.NewText(NS, "To", "http://a/b"),
+				xmlsoap.NewText(NS, "To", "http://c/d")),
+		"empty-text-block": soap.New(soap.V11).SetBody(body.Clone()).
+			AddHeader(xmlsoap.New(NS, "To")),
+		"epr-extra-child": soap.New(soap.V11).SetBody(body.Clone()).
+			AddHeader(xmlsoap.New(NS, "ReplyTo").Add(
+				xmlsoap.NewText(NS, "Address", "http://a/b"),
+				xmlsoap.NewText(NS, "PortType", "x"))),
+		"multi-element-body": soap.New(soap.V11).SetBody(
+			xmlsoap.New("urn:x:1", "first"), xmlsoap.New("urn:x:2", "second")),
+	}
+	for name, env := range cases {
+		t.Run(name, func(t *testing.T) { checkIdentical(t, env) })
+	}
+}
+
+// TestSkeletonMatchesApply proves the classifier accepts exactly what
+// Headers.Apply produces, so dispatcher-rewritten envelopes ride the
+// fast path.
+func TestSkeletonMatchesApply(t *testing.T) {
+	env := soap.New(soap.V11).SetBody(xmlsoap.NewText("urn:wsd:echo", "echo", "m"))
+	(&Headers{
+		To:        "http://ws:81/msg",
+		Action:    "urn:wsd:echo:echo",
+		MessageID: NewMessageID(),
+		RelatesTo: NewMessageID(),
+		From:      &EPR{Address: "http://client:90/msg"},
+		ReplyTo:   &EPR{Address: "http://wsd:9100/msg"},
+	}).Apply(env)
+	var vals [len(fieldLocals)]string
+	mask, n, ok := classify(env, &vals)
+	if !ok {
+		t.Fatal("classify rejected an Apply-shaped envelope")
+	}
+	if n != 6 || mask != 0b0111111 {
+		t.Fatalf("classify mask=%#b n=%d", mask, n)
+	}
+	checkIdentical(t, env)
+}
+
+// TestSkeletonZeroAlloc is the allocation-regression gate for the
+// cached-skeleton hot path: rendering a fully addressed envelope into a
+// reused buffer must not allocate (budget: 0 allocs/op).
+func TestSkeletonZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool caching is randomized under the race detector")
+	}
+	env := soap.New(soap.V11).SetBody(xmlsoap.NewText("urn:wsd:echo", "echo", "payload"))
+	(&Headers{
+		To:        "logical:echo",
+		Action:    "urn:wsd:echo:echo",
+		MessageID: "urn:uuid:00000000-0000-4000-8000-000000000000",
+		ReplyTo:   &EPR{Address: "http://client:90/msg"},
+	}).Apply(env)
+	dst := make([]byte, 0, 4096)
+	if _, err := AppendEnvelope(dst, env); err != nil { // warm cache and pools
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := AppendEnvelope(dst, env); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("skeleton AppendEnvelope allocated %.1f times per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,92 @@
+package xmlsoap_test
+
+import (
+	"testing"
+
+	"repro/internal/xmlsoap"
+)
+
+// wireEnvelope builds a fully addressed echo envelope tree — the shape
+// every hot-path message has.
+func wireEnvelope() *xmlsoap.Element {
+	const (
+		env = "http://schemas.xmlsoap.org/soap/envelope/"
+		wsa = "http://schemas.xmlsoap.org/ws/2004/08/addressing"
+	)
+	return xmlsoap.New(env, "Envelope").Add(
+		xmlsoap.New(env, "Header").Add(
+			xmlsoap.NewText(wsa, "To", "logical:echo"),
+			xmlsoap.NewText(wsa, "Action", "urn:echo"),
+			xmlsoap.NewText(wsa, "MessageID", "urn:uuid:00000000-0000-4000-8000-000000000000"),
+			xmlsoap.New(wsa, "ReplyTo").Add(xmlsoap.NewText(wsa, "Address", "http://client:90/msg")),
+		),
+		xmlsoap.New(env, "Body").Add(xmlsoap.NewText("urn:wsd:echo", "echo", "payload")),
+	)
+}
+
+// TestAppendToZeroAlloc is the allocation-regression gate for the
+// marshal hot path: serializing into a reused destination buffer with a
+// dedicated Encoder must not allocate at all. Future PRs that
+// reintroduce per-message garbage fail here, not in production.
+func TestAppendToZeroAlloc(t *testing.T) {
+	tree := wireEnvelope()
+	enc := xmlsoap.NewEncoder()
+	dst := make([]byte, 0, 4096)
+
+	// Warm-up: grow dst and intern any generated prefixes.
+	b, err := enc.AppendElement(dst, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap(b) > cap(dst) {
+		dst = b[:0]
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		out, err := enc.AppendElement(dst, tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = out
+	})
+	if allocs != 0 {
+		t.Fatalf("Encoder.AppendElement allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestPooledAppendToLowAlloc gates the pooled convenience path
+// (Element.AppendTo): with a warm pool and a pre-grown dst it must stay
+// allocation-free in the steady state.
+func TestPooledAppendToLowAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool caching is randomized under the race detector")
+	}
+	tree := wireEnvelope()
+	dst := make([]byte, 0, 4096)
+	if _, err := tree.AppendTo(dst); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := tree.AppendTo(dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Element.AppendTo allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestEscapingZeroAlloc gates the escape helpers: clean and escapable
+// ASCII content must never allocate beyond dst growth.
+func TestEscapingZeroAlloc(t *testing.T) {
+	dst := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(200, func() {
+		b := xmlsoap.AppendEscapedText(dst, "plain content with no escapes")
+		b = xmlsoap.AppendEscapedText(b[:0], "a&b<c>d")
+		b = xmlsoap.AppendEscapedAttr(b[:0], `quoted "value" with	tab`)
+		_ = b
+	})
+	if allocs != 0 {
+		t.Fatalf("escape helpers allocated %.1f times per op, want 0", allocs)
+	}
+}

@@ -1,8 +1,11 @@
 package xmlsoap
 
 import (
-	"fmt"
-	"strings"
+	"errors"
+	"io"
+	"strconv"
+	"sync"
+	"unicode/utf8"
 )
 
 // PreferredPrefixes maps well-known namespace URIs to conventional
@@ -17,32 +20,197 @@ var PreferredPrefixes = map[string]string{
 	"http://www.w3.org/2001/XMLSchema-instance":        "xsi",
 }
 
+// Prolog is the XML 1.0 document prolog emitted by MarshalDoc/AppendDocTo.
+const Prolog = `<?xml version="1.0" encoding="UTF-8"?>` + "\n"
+
 // Marshal serializes the element subtree to XML without a prolog.
 // Namespace declarations are emitted at the first element that uses each
-// namespace within its scope.
+// namespace within its scope. The returned slice is freshly allocated at
+// exact size; hot paths that can reuse buffers should call AppendTo.
 func Marshal(e *Element) ([]byte, error) {
-	var b strings.Builder
-	gen := &prefixGen{assigned: map[string]string{}, used: map[string]bool{}}
-	if err := writeElement(&b, e, nil, gen); err != nil {
-		return nil, err
-	}
-	return []byte(b.String()), nil
+	return Render(e.AppendTo)
 }
 
 // MarshalDoc is Marshal with an XML 1.0 prolog, for complete documents on
 // the wire.
 func MarshalDoc(e *Element) ([]byte, error) {
-	body, err := Marshal(e)
-	if err != nil {
-		return nil, err
+	return Render(e.AppendDocTo)
+}
+
+// AppendTo appends the serialized subtree (no prolog) to dst and returns
+// the extended slice. It draws serializer scratch state from a pool, so
+// steady-state marshaling into a reused dst allocates nothing.
+func (e *Element) AppendTo(dst []byte) ([]byte, error) {
+	enc := getEncoder()
+	dst, err := enc.AppendElement(dst, e)
+	putEncoder(enc)
+	return dst, err
+}
+
+// AppendDocTo is AppendTo preceded by the XML prolog.
+func (e *Element) AppendDocTo(dst []byte) ([]byte, error) {
+	return e.AppendTo(append(dst, Prolog...))
+}
+
+// WriteTo serializes the subtree into a pooled buffer and writes it to w
+// in a single Write call. It implements io.WriterTo.
+func (e *Element) WriteTo(w io.Writer) (int64, error) {
+	return WriteRendered(w, e.AppendTo)
+}
+
+// Encoder holds the reusable scratch state of the serializer: the
+// namespace scope stack and the prefix generator. A zero Encoder is not
+// ready; use NewEncoder. Encoders are not safe for concurrent use; the
+// package-level entry points draw them from an internal pool.
+type Encoder struct {
+	scopes []Binding
+	gen    prefixGen
+
+	// splitTarget, when set, makes the encoder record the byte offsets
+	// surrounding the target's content and a State snapshot at the open
+	// tag. Used only by MarshalDocSplit at skeleton-compile time.
+	splitTarget *Element
+	splitOpen   int
+	splitClose  int
+	splitState  *State
+}
+
+// NewEncoder returns an encoder with warm scratch state.
+func NewEncoder() *Encoder {
+	enc := &Encoder{}
+	enc.reset()
+	return enc
+}
+
+var encPool = sync.Pool{New: func() any { return NewEncoder() }}
+
+func getEncoder() *Encoder { return encPool.Get().(*Encoder) }
+
+func putEncoder(enc *Encoder) {
+	enc.splitTarget = nil
+	enc.splitState = nil
+	encPool.Put(enc)
+}
+
+func (enc *Encoder) reset() {
+	enc.scopes = enc.scopes[:0]
+	g := &enc.gen
+	if g.assigned == nil {
+		g.assigned = make(map[string]string, 8)
+		g.used = make(map[string]bool, 8)
+	} else {
+		clear(g.assigned)
+		clear(g.used)
 	}
-	return append([]byte(`<?xml version="1.0" encoding="UTF-8"?>`+"\n"), body...), nil
+	g.n = 0
+}
+
+// AppendElement serializes one subtree, resetting the encoder's document
+// state first. Reusing one Encoder (or the pooled path behind AppendTo)
+// keeps marshaling allocation-free once dst has capacity.
+func (enc *Encoder) AppendElement(dst []byte, e *Element) ([]byte, error) {
+	enc.reset()
+	return enc.element(dst, e)
+}
+
+// errors surfaced by the serializer.
+var (
+	errNilElement   = errors.New("xmlsoap: nil element")
+	errEmptyName    = errors.New("xmlsoap: element with empty local name")
+	errSplitMissed  = errors.New("xmlsoap: split target not reached or content-free")
+	errNilSplitRoot = errors.New("xmlsoap: nil split root or target")
+)
+
+func (enc *Encoder) element(dst []byte, e *Element) ([]byte, error) {
+	if e == nil {
+		return dst, errNilElement
+	}
+	if e.Name.Local == "" {
+		return dst, errEmptyName
+	}
+
+	scopeStart := len(enc.scopes)
+	dst = append(dst, '<')
+	tagStart := len(dst)
+	dst = enc.appendQName(dst, e.Name)
+	tagEnd := len(dst)
+	for _, a := range e.Attrs {
+		dst = append(dst, ' ')
+		dst = enc.appendQName(dst, a.Name)
+		dst = append(dst, '=', '"')
+		dst = AppendEscapedAttr(dst, a.Value)
+		dst = append(dst, '"')
+	}
+	for _, d := range enc.scopes[scopeStart:] {
+		dst = append(dst, ` xmlns:`...)
+		dst = append(dst, d.Prefix...)
+		dst = append(dst, '=', '"')
+		dst = AppendEscapedAttr(dst, d.URI)
+		dst = append(dst, '"')
+	}
+
+	if e.Text == "" && len(e.Children) == 0 {
+		dst = append(dst, '/', '>')
+		enc.scopes = enc.scopes[:scopeStart]
+		return dst, nil
+	}
+	dst = append(dst, '>')
+	if e == enc.splitTarget {
+		enc.splitOpen = len(dst)
+		enc.splitState = enc.captureState()
+	}
+	if e.Text != "" {
+		dst = AppendEscapedText(dst, e.Text)
+	}
+	var err error
+	for _, c := range e.Children {
+		if dst, err = enc.element(dst, c); err != nil {
+			return dst, err
+		}
+	}
+	if e == enc.splitTarget {
+		enc.splitClose = len(dst)
+	}
+	dst = append(dst, '<', '/')
+	// tagStart/tagEnd index into dst written before any child could have
+	// grown it; contents are preserved across reallocation.
+	dst = append(dst, dst[tagStart:tagEnd]...)
+	dst = append(dst, '>')
+	enc.scopes = enc.scopes[:scopeStart]
+	return dst, nil
+}
+
+func (enc *Encoder) appendQName(dst []byte, n Name) []byte {
+	if n.Space == "" {
+		return append(dst, n.Local...)
+	}
+	p, ok := enc.lookup(n.Space)
+	if !ok {
+		p = enc.gen.prefixFor(n.Space)
+		enc.scopes = append(enc.scopes, Binding{URI: n.Space, Prefix: p})
+	}
+	dst = append(dst, p...)
+	dst = append(dst, ':')
+	return append(dst, n.Local...)
+}
+
+func (enc *Encoder) lookup(uri string) (string, bool) {
+	for i := len(enc.scopes) - 1; i >= 0; i-- {
+		if enc.scopes[i].URI == uri {
+			return enc.scopes[i].Prefix, true
+		}
+	}
+	return "", false
 }
 
 type prefixGen struct {
 	assigned map[string]string
 	used     map[string]bool
 	n        int
+	// names interns generated prefixes ("ns1", "ns2", ...). It survives
+	// encoder resets so steady-state marshaling of foreign namespaces
+	// does not allocate prefix strings.
+	names []string
 }
 
 func (g *prefixGen) prefixFor(uri string) string {
@@ -53,7 +221,7 @@ func (g *prefixGen) prefixFor(uri string) string {
 	if p == "" || g.used[p] {
 		for {
 			g.n++
-			p = fmt.Sprintf("ns%d", g.n)
+			p = g.generated(g.n)
 			if !g.used[p] {
 				break
 			}
@@ -64,114 +232,188 @@ func (g *prefixGen) prefixFor(uri string) string {
 	return p
 }
 
-// scope is an immutable linked list of in-scope namespace bindings.
-type scope struct {
-	uri    string
-	prefix string
-	parent *scope
+func (g *prefixGen) generated(i int) string {
+	for len(g.names) < i {
+		var scratch [16]byte
+		b := append(scratch[:0], 'n', 's')
+		b = strconv.AppendInt(b, int64(len(g.names)+1), 10)
+		g.names = append(g.names, string(b))
+	}
+	return g.names[i-1]
 }
 
-func (s *scope) lookup(uri string) (string, bool) {
-	for cur := s; cur != nil; cur = cur.parent {
-		if cur.uri == uri {
-			return cur.prefix, true
+// AppendEscapedText appends s to dst with the text-content escapes
+// (&, <, >) applied, copying in spans between escapable bytes. ASCII
+// content — all SOAP framing and WS-Addressing values — never allocates.
+func AppendEscapedText(dst []byte, s string) []byte {
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= utf8.RuneSelf {
+			// Defer to the rune-accurate path so invalid UTF-8 is
+			// replaced (U+FFFD) exactly as the rune-at-a-time
+			// serializer always did.
+			return appendEscapedRunes(append(dst, s[start:i]...), s[i:], false)
 		}
-	}
-	return "", false
-}
-
-func writeElement(b *strings.Builder, e *Element, sc *scope, gen *prefixGen) error {
-	if e == nil {
-		return fmt.Errorf("xmlsoap: nil element")
-	}
-	if e.Name.Local == "" {
-		return fmt.Errorf("xmlsoap: element with empty local name")
-	}
-
-	type decl struct{ prefix, uri string }
-	var decls []decl
-	localScope := sc
-
-	qname := func(n Name) string {
-		if n.Space == "" {
-			return n.Local
-		}
-		if p, ok := localScope.lookup(n.Space); ok {
-			return p + ":" + n.Local
-		}
-		p := gen.prefixFor(n.Space)
-		localScope = &scope{uri: n.Space, prefix: p, parent: localScope}
-		decls = append(decls, decl{prefix: p, uri: n.Space})
-		return p + ":" + n.Local
-	}
-
-	tag := qname(e.Name)
-	b.WriteByte('<')
-	b.WriteString(tag)
-	for _, a := range e.Attrs {
-		b.WriteByte(' ')
-		b.WriteString(qname(a.Name))
-		b.WriteString(`="`)
-		escapeAttr(b, a.Value)
-		b.WriteByte('"')
-	}
-	for _, d := range decls {
-		fmt.Fprintf(b, ` xmlns:%s="`, d.prefix)
-		escapeAttr(b, d.uri)
-		b.WriteByte('"')
-	}
-
-	if e.Text == "" && len(e.Children) == 0 {
-		b.WriteString("/>")
-		return nil
-	}
-	b.WriteByte('>')
-	if e.Text != "" {
-		escapeText(b, e.Text)
-	}
-	for _, c := range e.Children {
-		if err := writeElement(b, c, localScope, gen); err != nil {
-			return err
-		}
-	}
-	b.WriteString("</")
-	b.WriteString(tag)
-	b.WriteByte('>')
-	return nil
-}
-
-func escapeText(b *strings.Builder, s string) {
-	for _, r := range s {
-		switch r {
+		var esc string
+		switch c {
 		case '&':
-			b.WriteString("&amp;")
+			esc = "&amp;"
 		case '<':
-			b.WriteString("&lt;")
+			esc = "&lt;"
 		case '>':
-			b.WriteString("&gt;")
+			esc = "&gt;"
 		default:
-			b.WriteRune(r)
+			continue
 		}
+		dst = append(dst, s[start:i]...)
+		dst = append(dst, esc...)
+		start = i + 1
 	}
+	return append(dst, s[start:]...)
 }
 
-func escapeAttr(b *strings.Builder, s string) {
-	for _, r := range s {
-		switch r {
+// AppendEscapedAttr appends s to dst with the attribute-value escapes
+// (&, <, >, ", newline, tab) applied.
+func AppendEscapedAttr(dst []byte, s string) []byte {
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= utf8.RuneSelf {
+			return appendEscapedRunes(append(dst, s[start:i]...), s[i:], true)
+		}
+		var esc string
+		switch c {
 		case '&':
-			b.WriteString("&amp;")
+			esc = "&amp;"
 		case '<':
-			b.WriteString("&lt;")
+			esc = "&lt;"
 		case '>':
-			b.WriteString("&gt;")
+			esc = "&gt;"
 		case '"':
-			b.WriteString("&quot;")
+			esc = "&quot;"
 		case '\n':
-			b.WriteString("&#10;")
+			esc = "&#10;"
 		case '\t':
-			b.WriteString("&#9;")
+			esc = "&#9;"
 		default:
-			b.WriteRune(r)
+			continue
+		}
+		dst = append(dst, s[start:i]...)
+		dst = append(dst, esc...)
+		start = i + 1
+	}
+	return append(dst, s[start:]...)
+}
+
+// appendEscapedRunes is the rune-at-a-time escape path for non-ASCII
+// input, matching the historical strings.Builder serializer byte for
+// byte (including U+FFFD replacement of invalid sequences).
+func appendEscapedRunes(dst []byte, s string, attr bool) []byte {
+	for _, r := range s {
+		switch {
+		case r == '&':
+			dst = append(dst, "&amp;"...)
+		case r == '<':
+			dst = append(dst, "&lt;"...)
+		case r == '>':
+			dst = append(dst, "&gt;"...)
+		case attr && r == '"':
+			dst = append(dst, "&quot;"...)
+		case attr && r == '\n':
+			dst = append(dst, "&#10;"...)
+		case attr && r == '\t':
+			dst = append(dst, "&#9;"...)
+		default:
+			dst = utf8.AppendRune(dst, r)
 		}
 	}
+	return dst
+}
+
+// Binding pairs a namespace URI with the prefix it is declared under.
+type Binding struct{ URI, Prefix string }
+
+// State is a snapshot of serializer context partway through a document:
+// the in-scope namespace bindings and the prefixes assigned so far. It
+// lets a subtree be rendered later exactly as it would have been at that
+// point — soap's envelope skeletons splice message bodies this way. A
+// State is immutable after capture and safe for concurrent use.
+type State struct {
+	bindings []Binding
+	assigned map[string]string
+	used     map[string]bool
+	n        int
+}
+
+func (enc *Encoder) captureState() *State {
+	st := &State{
+		bindings: append([]Binding(nil), enc.scopes...),
+		assigned: make(map[string]string, len(enc.gen.assigned)),
+		used:     make(map[string]bool, len(enc.gen.used)),
+		n:        enc.gen.n,
+	}
+	for k, v := range enc.gen.assigned {
+		st.assigned[k] = v
+	}
+	for k, v := range enc.gen.used {
+		st.used[k] = v
+	}
+	return st
+}
+
+func (enc *Encoder) loadState(st *State) {
+	enc.reset()
+	enc.scopes = append(enc.scopes, st.bindings...)
+	for k, v := range st.assigned {
+		enc.gen.assigned[k] = v
+	}
+	for k, v := range st.used {
+		enc.gen.used[k] = v
+	}
+	enc.gen.n = st.n
+}
+
+// AppendElements renders els at the captured document position, sharing
+// one prefix generator across the elements (exactly as in-place
+// serialization of siblings would). The pooled encoder works on copies,
+// so the State itself is never mutated.
+func (st *State) AppendElements(dst []byte, els ...*Element) ([]byte, error) {
+	enc := getEncoder()
+	enc.loadState(st)
+	var err error
+	for _, e := range els {
+		if dst, err = enc.element(dst, e); err != nil {
+			break
+		}
+	}
+	putEncoder(enc)
+	return dst, err
+}
+
+// MarshalDocSplit marshals root as a complete document (with prolog)
+// while splitting it at target's content: it returns the document bytes
+// before target's children, the serializer State at that point, and the
+// bytes from target's closing tag onward. target is located by pointer
+// identity and must render with content (non-empty Text or Children),
+// since an empty element self-closes and has no split point. This is the
+// skeleton-compile primitive: the returned pieces frame a constant
+// envelope whose body is spliced per message via State.AppendElements.
+func MarshalDocSplit(root, target *Element) (before []byte, st *State, after []byte, err error) {
+	if root == nil || target == nil {
+		return nil, nil, nil, errNilSplitRoot
+	}
+	enc := NewEncoder()
+	enc.splitTarget = target
+	dst := append([]byte(nil), Prolog...)
+	dst, err = enc.element(dst, root)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if enc.splitState == nil {
+		return nil, nil, nil, errSplitMissed
+	}
+	before = append([]byte(nil), dst[:enc.splitOpen]...)
+	after = append([]byte(nil), dst[enc.splitClose:]...)
+	return before, enc.splitState, after, nil
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package xmlsoap_test
+
+const raceEnabled = false

@@ -1,0 +1,78 @@
+package xmlsoap
+
+import (
+	"io"
+	"sync"
+)
+
+// Buffer is a reusable byte buffer drawn from the package-wide pool. The
+// dispatch hot path renders every envelope into one of these and hands the
+// bytes straight to the HTTP connection writer, so steady-state message
+// traffic allocates nothing per message.
+//
+// Ownership contract (ROADMAP.md "Wire codec"):
+//
+//   - GetBuffer transfers ownership to the caller. The caller may grow B
+//     freely (always write back the result of append) and must either call
+//     PutBuffer exactly once or let the buffer fall to the garbage
+//     collector.
+//   - After PutBuffer the slice must not be touched: the pool hands it to
+//     the next caller, and a retained alias would corrupt a message being
+//     built there.
+//   - Bytes that outlive the exchange that produced them (queued payloads,
+//     store-and-forward records, parsed trees) must be copied out before
+//     the buffer is released.
+type Buffer struct{ B []byte }
+
+// maxPooledBuffer caps the capacity the pool retains, so one oversized
+// message (a WSDL document, a batched mailbox download) cannot pin memory
+// for the process lifetime.
+const maxPooledBuffer = 64 << 10
+
+var bufPool = sync.Pool{New: func() any { return &Buffer{B: make([]byte, 0, 1024)} }}
+
+// GetBuffer returns a pooled buffer with length reset to zero.
+func GetBuffer() *Buffer {
+	b := bufPool.Get().(*Buffer)
+	b.B = b.B[:0]
+	return b
+}
+
+// PutBuffer returns buf to the pool. A nil buffer is ignored.
+func PutBuffer(buf *Buffer) {
+	if buf == nil || cap(buf.B) > maxPooledBuffer {
+		return
+	}
+	bufPool.Put(buf)
+}
+
+// Render runs an append-style serializer against a pooled buffer and
+// returns an exact-size copy of the bytes it produced. It is the one
+// place the pooled-render / copy-out sequence lives; every compat
+// Marshal wrapper goes through it.
+func Render(fn func(dst []byte) ([]byte, error)) ([]byte, error) {
+	buf := GetBuffer()
+	defer PutBuffer(buf)
+	b, err := fn(buf.B)
+	if err != nil {
+		return nil, err
+	}
+	buf.B = b
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out, nil
+}
+
+// WriteRendered runs an append-style serializer against a pooled buffer
+// and writes the result to w in a single Write call.
+func WriteRendered(w io.Writer, fn func(dst []byte) ([]byte, error)) (int64, error) {
+	buf := GetBuffer()
+	defer PutBuffer(buf)
+	b, err := fn(buf.B)
+	if err != nil {
+		return 0, err
+	}
+	buf.B = b
+	n, err := w.Write(b)
+	return int64(n), err
+}

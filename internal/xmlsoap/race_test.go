@@ -1,0 +1,8 @@
+//go:build race
+
+package xmlsoap_test
+
+// raceEnabled skips the pooled-path allocation gates under the race
+// detector, which deliberately randomizes sync.Pool caching and makes
+// allocation counts nondeterministic. The Encoder-based gate still runs.
+const raceEnabled = true
