@@ -17,6 +17,7 @@ import (
 	"repro/internal/soap"
 	"repro/internal/wsa"
 	"repro/internal/xmlsoap"
+	"repro/internal/xmlsoap/refparser"
 )
 
 // benchEnvelope is a fully addressed echo message: the exact shape the
@@ -66,19 +67,49 @@ func BenchmarkMarshal(b *testing.B) {
 	})
 }
 
-// BenchmarkParse measures the receive half of the codec.
+// BenchmarkParse measures the receive half of the codec: the full
+// soap.Parse path the dispatchers pay per message, the xmlsoap tree
+// parse alone (pooled and dedicated-decoder), and the frozen
+// encoding/xml-based refparser as the seed baseline.
 func BenchmarkParse(b *testing.B) {
 	raw, err := wsa.MarshalEnvelope(benchEnvelope())
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ReportAllocs()
-	b.ReportMetric(float64(len(raw)), "envelope-bytes")
-	for i := 0; i < b.N; i++ {
-		if _, err := soap.Parse(raw); err != nil {
-			b.Fatal(err)
+	b.Run("envelope", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ReportMetric(float64(len(raw)), "envelope-bytes")
+		for i := 0; i < b.N; i++ {
+			if _, err := soap.Parse(raw); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
+	b.Run("tree-pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := xmlsoap.Parse(raw); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tree-decoder", func(b *testing.B) {
+		dec := xmlsoap.NewDecoder()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dec.Parse(raw); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("refparser-baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := refparser.Parse(raw); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkRoundTrip measures one full hop as a dispatcher sees it:

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -171,7 +172,11 @@ func NewMailboxClient(rpc *RPC, serviceURL string, clk clock.Clock) *MailboxClie
 	return &MailboxClient{RPC: rpc, ServiceURL: serviceURL, Clock: clk, buffered: map[string]*soap.Envelope{}}
 }
 
-// Create makes a new mailbox (Figure 2 step 1).
+// Create makes a new mailbox (Figure 2 step 1). The Box handle lives for
+// the whole conversation while its strings come from a parsed response
+// tree, which aliases the response body (the xmlsoap aliasing contract) —
+// so they are detached here rather than pinning the body for the
+// mailbox's lifetime.
 func (mc *MailboxClient) Create() (*Box, error) {
 	results, err := mc.RPC.Call(mc.ServiceURL, msgbox.ServiceNS, msgbox.OpCreate)
 	if err != nil {
@@ -181,11 +186,11 @@ func (mc *MailboxClient) Create() (*Box, error) {
 	for _, p := range results {
 		switch p.Name {
 		case "boxId":
-			box.ID = p.Value
+			box.ID = strings.Clone(p.Value)
 		case "token":
-			box.Token = p.Value
+			box.Token = strings.Clone(p.Value)
 		case "address":
-			box.Address = p.Value
+			box.Address = strings.Clone(p.Value)
 		}
 	}
 	if box.ID == "" || box.Address == "" {

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"net"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/auth"
@@ -91,6 +92,10 @@ type Server struct {
 	MsgBox *msgbox.Service
 
 	servers []*httpx.Server
+
+	// sweepMu orders the sweep timer's self-rescheduling callback (which
+	// runs on the clock's goroutine) against Stop.
+	sweepMu sync.Mutex
 	sweeper *clock.Timer
 	stopped bool
 }
@@ -204,9 +209,12 @@ func (s *Server) Start() error {
 
 // Stop closes all listeners and pools.
 func (s *Server) Stop() {
+	s.sweepMu.Lock()
 	s.stopped = true
-	if s.sweeper != nil {
-		s.sweeper.Stop()
+	sweeper := s.sweeper
+	s.sweepMu.Unlock()
+	if sweeper != nil {
+		sweeper.Stop()
 	}
 	for _, srv := range s.servers {
 		srv.Close()
@@ -231,6 +239,8 @@ func (s *Server) serve(port int, h httpx.Handler) error {
 }
 
 func (s *Server) scheduleSweep() {
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
 	if s.stopped {
 		return
 	}

@@ -273,6 +273,11 @@ func (d *Dispatcher) routeRequest(env *soap.Envelope, h *wsa.Headers) *httpx.Res
 	// instead of volunteering to receive replies we cannot route. An
 	// anonymous ReplyTo means the caller is RPC-style: it waits on its
 	// open HTTP connection for the correlated reply.
+	//
+	// The pending entry outlives this exchange by up to PendingTTL, so
+	// the MessageID key and the ReplyTo are detached: headers parsed
+	// from the request alias its body (the xmlsoap aliasing contract),
+	// and retaining them as-is would pin the whole buffer for minutes.
 	expectReply := h.MessageID != "" && h.ReplyTo != nil &&
 		h.ReplyTo.Address != "" && h.ReplyTo.Address != wsa.None
 	anonymous := expectReply && h.ReplyTo.Address == wsa.Anonymous
@@ -283,8 +288,8 @@ func (d *Dispatcher) routeRequest(env *soap.Envelope, h *wsa.Headers) *httpx.Res
 		if anonymous {
 			waiter = make(chan *soap.Envelope, 1)
 		}
-		d.pending.Put(h.MessageID, pendingReply{
-			replyTo: h.ReplyTo.Clone(),
+		d.pending.Put(strings.Clone(h.MessageID), pendingReply{
+			replyTo: h.ReplyTo.Detach(),
 			waiter:  waiter,
 			expires: d.cfg.Clock.Now().Add(d.cfg.PendingTTL),
 		})

@@ -1,6 +1,7 @@
 package msgdisp
 
 import (
+	"strings"
 	"sync"
 
 	"repro/internal/httpx"
@@ -127,8 +128,11 @@ func (d *Dispatcher) deliver(destURL string, msg outbound) {
 		d.DeliveryFailures.Inc()
 		if d.cfg.Courier != nil {
 			// SendPayload copies the payload into the store, so the
-			// pooled buffer can still be released on return.
-			if _, cerr := d.cfg.Courier.SendPayload(destURL, msg.origMessageID, msg.payload.B); cerr == nil {
+			// pooled buffer can still be released on return. The message
+			// ID is cloned for the same reason: it aliases the inbound
+			// request body (the xmlsoap aliasing contract) while the
+			// store holds it until redelivery or TTL expiry.
+			if _, cerr := d.cfg.Courier.SendPayload(destURL, strings.Clone(msg.origMessageID), msg.payload.B); cerr == nil {
 				d.HandedToCourier.Inc()
 			}
 		}

@@ -160,6 +160,8 @@ func (s *Async) Serve(req *httpx.Request) *httpx.Response {
 	}
 	// The reply leg runs outside the accept path, as in the paper's
 	// message-oriented design: acceptance is decoupled from delivery.
+	// env (and through it req.Body, which the parsed tree aliases) stays
+	// live until the reply renders — safe because bodies are GC-owned.
 	if s.replyPool != nil {
 		if err := s.replyPool.TrySubmit(func() { s.reply(env, h) }); err != nil {
 			s.RefusedBusy.Inc()

@@ -21,6 +21,13 @@ const maxHeaderBytes = 64 << 10
 const maxBodyBytes = 8 << 20
 
 // Request is an HTTP request with a fully buffered body.
+//
+// Bodies read off the wire (ReadRequest/ReadResponse) are freshly
+// allocated, GC-owned slices — never pooled — so SOAP trees parsed from
+// them (which alias the body per xmlsoap's zero-copy contract) stay
+// valid for as long as they are referenced. The flip side: retaining any
+// parsed string pins the whole body, so state that outlives the exchange
+// must detach (see soap.Parse).
 type Request struct {
 	Method string
 	// Path is the request-URI as sent on the wire, e.g. "/wsd/echo".

@@ -206,6 +206,8 @@ func (s *Service) serveDeliver(boxID string, req *httpx.Request) *httpx.Response
 		s.StoreFailures.Inc()
 		return faultResponse(httpx.StatusNotFound, soap.FaultClient, "no such mailbox")
 	}
+	// Stored messages outlive the exchange (ROADMAP "Wire codec"
+	// copy-out rule), so the body is copied rather than retained.
 	payload := make([]byte, len(req.Body))
 	copy(payload, req.Body)
 

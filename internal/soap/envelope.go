@@ -184,6 +184,15 @@ var (
 )
 
 // Parse decodes one SOAP envelope (either version) from data.
+//
+// The envelope's strings and subtrees alias data (xmlsoap's zero-copy
+// aliasing contract): data must not be modified while the envelope is
+// live, and header values or body elements retained past the exchange
+// that produced data must be copied out first (strings.Clone,
+// xmlsoap.Element.Detach, wsa.Headers.Detach). HTTP bodies in this stack
+// are GC-owned, so the envelope keeps them alive automatically; parsing
+// bytes from a pooled buffer additionally requires detaching before the
+// buffer is released.
 func Parse(data []byte) (*Envelope, error) {
 	root, err := xmlsoap.Parse(data)
 	if err != nil {
@@ -192,7 +201,11 @@ func Parse(data []byte) (*Envelope, error) {
 	return FromTree(root)
 }
 
-// FromTree interprets an already-parsed element tree as an envelope.
+// FromTree interprets an already-parsed element tree as an envelope. The
+// envelope takes ownership of root's Header and Body child slices
+// (capacity-capped, so appends reallocate) instead of copying them; the
+// tree must not be used independently afterwards. Parse discards the
+// tree, which is exactly this pattern.
 func FromTree(root *xmlsoap.Element) (*Envelope, error) {
 	var v Version
 	switch {
@@ -206,13 +219,13 @@ func FromTree(root *xmlsoap.Element) (*Envelope, error) {
 	ns := v.NS()
 	env := New(v)
 	if hdr := root.Child(ns, "Header"); hdr != nil {
-		env.Header = append(env.Header, hdr.Children...)
+		env.Header = hdr.Children[:len(hdr.Children):len(hdr.Children)]
 	}
 	body := root.Child(ns, "Body")
 	if body == nil {
 		return nil, ErrMissingBody
 	}
-	env.Body = append(env.Body, body.Children...)
+	env.Body = body.Children[:len(body.Children):len(body.Children)]
 	return env, nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/soap"
 	"repro/internal/xmlsoap"
@@ -195,6 +196,40 @@ func (e *EPR) Clone() *EPR {
 		}
 	}
 	return c
+}
+
+// Detach returns a deep copy whose strings are freshly allocated. Headers
+// extracted from a parsed envelope alias the message buffer (the xmlsoap
+// aliasing contract); anything retained past the exchange — the
+// MSG-Dispatcher's pending-reply state is the canonical case — must hold
+// detached copies so it neither pins the buffer nor, if the buffer is
+// pooled, reads recycled bytes. A nil receiver detaches to nil.
+func (e *EPR) Detach() *EPR {
+	if e == nil {
+		return nil
+	}
+	c := &EPR{Address: strings.Clone(e.Address)}
+	if e.Properties != nil {
+		c.Properties = make(map[string]string, len(e.Properties))
+		for k, v := range e.Properties {
+			c.Properties[strings.Clone(k)] = strings.Clone(v)
+		}
+	}
+	return c
+}
+
+// Detach returns a deep copy of the headers with freshly allocated
+// strings; see EPR.Detach for when this is required.
+func (h *Headers) Detach() *Headers {
+	return &Headers{
+		To:        strings.Clone(h.To),
+		Action:    strings.Clone(h.Action),
+		MessageID: strings.Clone(h.MessageID),
+		RelatesTo: strings.Clone(h.RelatesTo),
+		From:      h.From.Detach(),
+		ReplyTo:   h.ReplyTo.Detach(),
+		FaultTo:   h.FaultTo.Detach(),
+	}
 }
 
 // sortStrings is a tiny insertion sort to avoid importing sort for one

@@ -108,6 +108,10 @@ func Parse(data []byte) (*Service, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wsdl: %w", err)
 	}
+	// Registry entries hold the extracted Service for the process
+	// lifetime; detach so its strings own their memory instead of
+	// aliasing (and pinning) the whole document buffer. Cold path.
+	root = root.Detach()
 	if root.Name.Space != NS || root.Name.Local != "definitions" {
 		return nil, ErrNotWSDL
 	}

@@ -3,6 +3,7 @@ package xmlsoap_test
 import (
 	"testing"
 
+	"repro/internal/soap"
 	"repro/internal/xmlsoap"
 )
 
@@ -73,6 +74,80 @@ func TestPooledAppendToLowAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("Element.AppendTo allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestParseSteadyStateAllocs is the allocation-regression gate for the
+// parse hot path, the receive-side twin of TestAppendToZeroAlloc: with a
+// reused Decoder, parsing the standard wire envelope must allocate only
+// the returned tree's two arenas (the Element block and the
+// child-pointer block — no attributes and no escaped content on this
+// shape). Regressions fail tier-1 here rather than only showing in
+// BenchmarkParse.
+func TestParseSteadyStateAllocs(t *testing.T) {
+	wire, err := xmlsoap.MarshalDoc(wireEnvelope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := xmlsoap.NewDecoder()
+	if _, err := dec.Parse(wire); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := dec.Parse(wire); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("Decoder.Parse allocated %.1f times per op, want <= 2 (tree arenas only)", allocs)
+	}
+}
+
+// TestPooledParseSteadyStateAllocs gates the pooled convenience path
+// (package-level Parse): with a warm pool it must match the dedicated
+// decoder's budget.
+func TestPooledParseSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool caching is randomized under the race detector")
+	}
+	wire, err := xmlsoap.MarshalDoc(wireEnvelope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xmlsoap.Parse(wire); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := xmlsoap.Parse(wire); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("Parse allocated %.1f times per op, want <= 2 (tree arenas only)", allocs)
+	}
+}
+
+// TestEnvelopeParseSteadyStateAllocs gates the whole receive path the
+// dispatchers pay per message — soap.Parse on the standard envelope: the
+// two tree arenas plus the Envelope struct, nothing else.
+func TestEnvelopeParseSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool caching is randomized under the race detector")
+	}
+	wire, err := xmlsoap.MarshalDoc(wireEnvelope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := soap.Parse(wire); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := soap.Parse(wire); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 3 {
+		t.Fatalf("soap.Parse allocated %.1f times per op, want <= 3", allocs)
 	}
 }
 

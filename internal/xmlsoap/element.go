@@ -1,6 +1,8 @@
 // Package xmlsoap is a namespace-aware XML infoset: a small element tree
-// with a parser built on encoding/xml tokens and a deterministic,
-// prefix-assigning serializer.
+// with a zero-copy streaming pull parser (see Parse for the aliasing
+// contract; internal/xmlsoap/refparser is its frozen oracle) and a
+// deterministic, prefix-assigning serializer (internal/xmlsoap/refcodec
+// is that side's frozen oracle).
 //
 // The paper's stack manipulates SOAP messages structurally — the
 // MSG-Dispatcher "parses the WS-Addressing message of the request to modify
@@ -11,7 +13,10 @@
 // weak SOAP ecosystem and the need to hand-roll envelopes).
 package xmlsoap
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Name is an expanded XML name: namespace URI plus local part.
 type Name struct {
@@ -147,6 +152,31 @@ func (e *Element) ChildText(space, local string) string {
 		return c.Text
 	}
 	return ""
+}
+
+// Detach returns a deep copy of the subtree whose strings are freshly
+// allocated, so the copy shares no memory with the buffer the tree was
+// parsed from. Parsed trees alias their input (see Parse); call Detach on
+// anything that must outlive the input bytes — in particular before a
+// pooled buffer that was parsed is released.
+func (e *Element) Detach() *Element {
+	c := &Element{
+		Name: Name{Space: strings.Clone(e.Name.Space), Local: strings.Clone(e.Name.Local)},
+		Text: strings.Clone(e.Text),
+	}
+	if len(e.Attrs) > 0 {
+		c.Attrs = make([]Attr, len(e.Attrs))
+		for i, a := range e.Attrs {
+			c.Attrs[i] = Attr{
+				Name:  Name{Space: strings.Clone(a.Name.Space), Local: strings.Clone(a.Name.Local)},
+				Value: strings.Clone(a.Value),
+			}
+		}
+	}
+	for _, ch := range e.Children {
+		c.Children = append(c.Children, ch.Detach())
+	}
+	return c
 }
 
 // Clone returns a deep copy of the subtree.

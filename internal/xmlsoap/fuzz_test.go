@@ -1,0 +1,96 @@
+package xmlsoap_test
+
+import (
+	"testing"
+
+	"repro/internal/xmlsoap"
+	"repro/internal/xmlsoap/refparser"
+)
+
+// fuzzSeeds is the hand-picked corpus of accept/reject edge cases the
+// differential fuzzer starts from: every tokenizer construct, the
+// namespace-resolution rules, the typed-error gap fixes, and the
+// escaping/entity corners. They also run as plain tests on every `go
+// test`, so the differential contract is enforced even without -fuzz.
+var fuzzSeeds = []string{
+	// Plain shapes.
+	`<a/>`, `<a></a>`, `<a>text</a>`, `<a b="1" c='2'/>`,
+	`<a><b><c/></b></a>`, `<a >spaced</a >`, `<a b = "v" />`,
+	`<?xml version="1.0" encoding="UTF-8"?>` + "\n<a/>",
+	// Namespaces.
+	`<e:a xmlns:e="urn:x"><e:b/></e:a>`,
+	`<a xmlns="urn:d"><b/></a>`,
+	`<a xmlns="urn:d"><b xmlns=""><c/></b></a>`,
+	`<p:a xmlns:p="u1"><p:b xmlns:p="u2"/></p:a>`,
+	`<p:a xmlns:p="u1" xmlns:p="u2"/>`,
+	`<a xml:lang="en"/>`, `<xml:a/>`,
+	`<a xmlns:q="urn:q" q:attr="v"/>`,
+	`<a xmlns:xml="http://www.w3.org/XML/1998/namespace"/>`,
+	// Namespace errors (typed gap fixes).
+	`<q:a/>`, `<a q:b="1"/>`, `<a xmlns:p=""/>`,
+	`<a xmlns:xmlns="urn:x"/>`, `<a xmlns:xml="urn:x"/>`, `<xmlns:a/>`,
+	// Structural errors.
+	`<a/><b/>`, `<a>`, `<a><b></a></b>`, `</a>`, `<a/>trailing`,
+	`lead<a/>`, `<a/>  `, `  <a/>`, ``, `   `, `plain text`,
+	// Odd names.
+	`<:a/>`, `<a:/>`, `<a:b:c/>`, `<3a/>`, `<_a/>`, `<a.b-c_d/>`,
+	`<é/>`, `<eé/>`, `<a é="v"/>`,
+	// Attribute syntax.
+	`<a b>`, `<a b=>`, `<a b=v>`, `<a "b"="v">`, `<a b="v" b="w"/>`,
+	`<a b="un`, `<a b="x<y"/>`, `<a b="x]]>y"/>`, `<a b="'"/>`, `<a b='"'/>`,
+	// Entities and character references.
+	`<a>&lt;&gt;&amp;&apos;&quot;</a>`, `<a b="&lt;&#9;&#10;"/>`,
+	`<a>&#65;&#x41;</a>`, `<a>&#xD800;</a>`, `<a>&#x110000;</a>`,
+	`<a>&#0;</a>`, `<a>&#1;</a>`, `<a>&bogus;</a>`, `<a>&lt</a>`,
+	`<a>&;</a>`, `<a>&#;</a>`, `<a>&#x;</a>`, `<a>&</a>`, `<a>&#12a;</a>`,
+	`<a>&#x1F600;</a>`, `<a>x&amp;y</a>`, `<a>&quot;q&quot;</a>`,
+	// Character data corners.
+	`<a>x]]>y</a>`, `<a>x]]&gt;y</a>`, `<a>&#93;]>x</a>`, `<a>]]</a>`,
+	"<a>line1\r\nline2\rline3</a>", "<a b=\"v\r\nw\"/>", `<a>x</a>]]>`,
+	"<a>\x01</a>", "<a>ok\xffbad</a>", "<a b=\"\x02\"/>",
+	"<a>\uFFFD</a>", "<a>héllo — 日本語</a>",
+	// CDATA.
+	`<a><![CDATA[x]]></a>`, `<a><![CDATA[]]></a>`, `<a><![CDATA[<&>]]></a>`,
+	`<a><![CDATA[ ]]]] ]]></a>`, `<a><![CDATA[unclosed`, `<a><![CDAT[x]]></a>`,
+	"<a><![CDATA[a\r\nb]]></a>", `<a>x<![CDATA[ ]]>y</a>`,
+	// Comments.
+	`<a><!-- c --></a>`, `<a><!-- -- --></a>`, `<a><!--unclosed`,
+	`<a><!- x --></a>`, `<a>x<!--c-->y</a>`, `<!--top--><a/><!--tail-->`,
+	// Processing instructions.
+	`<?pi data?><a/>`, `<a><?pi?></a>`, `<?xml version="1.1"?><a/>`,
+	`<?xml encoding="latin-1"?><a/>`, `<a/><?xml encoding="x"?>`,
+	`<?xml version="1.0" encoding="utf-8"?><a/>`, `<?a:b:c d?><a/>`,
+	// Directives.
+	`<!DOCTYPE a><a/>`, `<!DOCTYPE a [<!ELEMENT a EMPTY>]><a/>`,
+	`<!DOCTYPE a [<!-- <b> --> <!c>]><a/>`, `<!D "quoted >" ><a/>`,
+	`<!"><a/>`, `<!unclosed`, `<a><!inner></a>`,
+	// Deep nesting and repetition.
+	`<a><a><a><a><a></a></a></a></a></a>`,
+	`<r xmlns:p="u"><p:a/><p:b/><p:c/></r>`,
+}
+
+// FuzzParseDifferential feeds arbitrary bytes to both the hand-rolled
+// pull parser and the frozen encoding/xml-based reference parser: they
+// must agree on error-vs-success, and on success the trees must be equal
+// node-for-node. CI runs a short -fuzztime smoke on top of the seeds.
+func FuzzParseDifferential(f *testing.F) {
+	for _, tree := range goldenCorpus() {
+		if wire, err := xmlsoap.MarshalDoc(tree); err == nil {
+			f.Add(wire)
+		}
+	}
+	for _, s := range fuzzSeeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, gotErr := xmlsoap.Parse(data)
+		want, wantErr := refparser.Parse(data)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("verdict mismatch on %q:\n  pull parser: tree=%v err=%v\n  refparser:   tree=%v err=%v",
+				data, got, gotErr, want, wantErr)
+		}
+		if gotErr == nil && !got.Equal(want) {
+			t.Fatalf("tree mismatch on %q:\n  pull parser: %s\n  refparser:   %s", data, got, want)
+		}
+	})
+}

@@ -1,0 +1,84 @@
+package xmlsoap
+
+// The hot SOAP / WS-Addressing / WSDL vocabulary — the namespace URIs
+// and local names every dispatched message carries — is interned: the
+// pull parser resolves these names to canonical runtime-owned strings so
+// that steady-state envelope trees can be retained past the exchange
+// without pinning (or, for pooled buffers, corrupting) the message
+// bytes, and comparisons against the package constants hit the fast
+// pointer-equality path.
+//
+// The table is a tiny fixed-size open-addressing hash over (length,
+// first byte, last byte), built once at init and read-only afterwards —
+// roughly half the cost of a map lookup on the per-element path.
+
+var internVocab = []string{
+	// Namespace URIs.
+	"http://schemas.xmlsoap.org/soap/envelope/",
+	"http://www.w3.org/2003/05/soap-envelope",
+	"http://schemas.xmlsoap.org/ws/2004/08/addressing",
+	"http://schemas.xmlsoap.org/wsdl/",
+	"http://www.w3.org/2001/XMLSchema",
+	"http://www.w3.org/2001/XMLSchema-instance",
+	xmlNamespaceURL,
+	"urn:wsd:echo", "urn:wsd:msgbox", "urn:wsd:registry", "urn:wsd:auth",
+	// SOAP envelope locals (1.1 and 1.2).
+	"Envelope", "Header", "Body",
+	"Fault", "faultcode", "faultstring", "faultactor", "detail",
+	"Code", "Reason", "Value", "Text", "mustUnderstand",
+	// WS-Addressing locals.
+	"To", "Action", "MessageID", "RelatesTo",
+	"From", "ReplyTo", "FaultTo", "Address",
+	"ReferenceProperties", "EndpointReference",
+	// Service vocabulary on the evaluation hot paths.
+	"echo", "echoMessage", "echoResponse", "return0", "payload",
+	"createMsgBox", "takeMessages", "peekCount", "destroyMsgBox",
+	"boxId", "token", "address", "count", "max", "destroyed",
+}
+
+const internSlots = 256 // power of two, ~5x the vocabulary size
+
+// internTab slots hold 1+index into internVocab; 0 means empty.
+var internTab [internSlots]int16
+
+// xmlNamespaceVocab is the vocabulary index of xmlNamespaceURL.
+var xmlNamespaceVocab int16
+
+func internKey(length int, first, last byte) uint32 {
+	return (uint32(length)*131 + uint32(first)*31 + uint32(last)) & (internSlots - 1)
+}
+
+func init() {
+	for idx, s := range internVocab {
+		if s == xmlNamespaceURL {
+			xmlNamespaceVocab = int16(idx)
+		}
+		h := internKey(len(s), s[0], s[len(s)-1])
+		for internTab[h] != 0 {
+			if internVocab[internTab[h]-1] == s {
+				panic("xmlsoap: duplicate intern vocabulary entry " + s)
+			}
+			h = (h + 1) & (internSlots - 1)
+		}
+		internTab[h] = int16(idx + 1)
+	}
+}
+
+// intern returns the vocabulary index of b when it is part of the hot
+// vocabulary. The string(b) conversions compile to alloc-free compares.
+func intern(b []byte) (int16, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	h := internKey(len(b), b[0], b[len(b)-1])
+	for {
+		v := internTab[h]
+		if v == 0 {
+			return 0, false
+		}
+		if internVocab[v-1] == string(b) {
+			return v - 1, true
+		}
+		h = (h + 1) & (internSlots - 1)
+	}
+}

@@ -1,0 +1,239 @@
+package xmlsoap_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/xmlsoap"
+	"repro/internal/xmlsoap/refparser"
+)
+
+// TestParseTypedErrors pins the typed-error gap fixes over the seed
+// parser: both the pull parser and the frozen reference parser must
+// reject these inputs with the same sentinel, matchable via errors.Is.
+func TestParseTypedErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  error
+	}{
+		{"multiple-roots", `<a/><b/>`, xmlsoap.ErrMultipleRoots},
+		{"trailing-content", `<a/>junk`, xmlsoap.ErrContentOutsideRoot},
+		{"leading-content", `junk<a/>`, xmlsoap.ErrContentOutsideRoot},
+		{"unclosed", `<a><b></b>`, xmlsoap.ErrUnclosedElement},
+		{"undeclared-element-prefix", `<q:a/>`, xmlsoap.ErrUndeclaredPrefix},
+		{"undeclared-attr-prefix", `<a q:b="1"/>`, xmlsoap.ErrUndeclaredPrefix},
+		{"out-of-scope-prefix", `<a xmlns:p="u"><b/></a>`, nil}, // control: fine
+		{"empty-prefix-binding", `<a xmlns:p=""/>`, xmlsoap.ErrEmptyPrefixBinding},
+		{"declare-xmlns", `<a xmlns:xmlns="u"/>`, xmlsoap.ErrReservedPrefix},
+		{"rebind-xml", `<a xmlns:xml="urn:not-xml"/>`, xmlsoap.ErrReservedPrefix},
+		{"xmlns-prefixed-name", `<xmlns:a/>`, xmlsoap.ErrReservedPrefix},
+		{"empty-input", ``, xmlsoap.ErrNoContent},
+		{"whitespace-only", "  \n\t ", xmlsoap.ErrNoContent},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, gotErr := xmlsoap.Parse([]byte(tc.input))
+			_, refErr := refparser.Parse([]byte(tc.input))
+			if tc.want == nil {
+				if gotErr != nil || refErr != nil {
+					t.Fatalf("unexpected errors: pull=%v ref=%v", gotErr, refErr)
+				}
+				return
+			}
+			if !errors.Is(gotErr, tc.want) {
+				t.Fatalf("pull parser error = %v, want errors.Is(%v)", gotErr, tc.want)
+			}
+			if !errors.Is(refErr, tc.want) {
+				t.Fatalf("refparser error = %v, want errors.Is(%v)", refErr, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseBehaviors pins tokenizer and resolution behaviors the wire
+// depends on, on both parsers.
+func TestParseBehaviors(t *testing.T) {
+	both := func(t *testing.T, input string) (*xmlsoap.Element, *xmlsoap.Element) {
+		t.Helper()
+		got, err := xmlsoap.Parse([]byte(input))
+		if err != nil {
+			t.Fatalf("pull parser rejected %q: %v", input, err)
+		}
+		ref, err := refparser.Parse([]byte(input))
+		if err != nil {
+			t.Fatalf("refparser rejected %q: %v", input, err)
+		}
+		if !got.Equal(ref) {
+			t.Fatalf("divergence on %q:\npull: %s\nref:  %s", input, got, ref)
+		}
+		return got, ref
+	}
+
+	t.Run("entities", func(t *testing.T) {
+		got, _ := both(t, `<a>&lt;&#65;&#x42;&amp;</a>`)
+		if got.Text != "<AB&" {
+			t.Fatalf("Text = %q", got.Text)
+		}
+	})
+	t.Run("surrogate-charref-is-replacement", func(t *testing.T) {
+		got, _ := both(t, `<a>&#xD800;</a>`)
+		if got.Text != "\uFFFD" {
+			t.Fatalf("Text = %q", got.Text)
+		}
+	})
+	t.Run("newline-normalization", func(t *testing.T) {
+		got, _ := both(t, "<a b=\"x\r\ny\">p\rq\r\nr</a>")
+		if v, _ := got.Attr("", "b"); v != "x\ny" {
+			t.Fatalf("attr = %q", v)
+		}
+		if got.Text != "p\nq\nr" {
+			t.Fatalf("Text = %q", got.Text)
+		}
+	})
+	t.Run("cdata-and-chunks", func(t *testing.T) {
+		got, _ := both(t, `<a>one<!--c--><![CDATA[<two>]]><b/>three</a>`)
+		if got.Text != "one<two>three" {
+			t.Fatalf("Text = %q", got.Text)
+		}
+		if len(got.Children) != 1 {
+			t.Fatalf("children = %d", len(got.Children))
+		}
+	})
+	t.Run("whitespace-chunks-dropped", func(t *testing.T) {
+		got, _ := both(t, "<a>\n  <b/>\n  kept\n</a>")
+		if strings.TrimSpace(got.Text) != "kept" || got.Text != "\n  kept\n" {
+			t.Fatalf("Text = %q", got.Text)
+		}
+	})
+	t.Run("default-ns-and-undeclare", func(t *testing.T) {
+		got, _ := both(t, `<a xmlns="urn:d"><b xmlns=""><c/></b></a>`)
+		if got.Name.Space != "urn:d" {
+			t.Fatalf("root space = %q", got.Name.Space)
+		}
+		b := got.Children[0]
+		if b.Name.Space != "" || b.Children[0].Name.Space != "" {
+			t.Fatalf("undeclared default not honoured: %s", got)
+		}
+	})
+	t.Run("prefix-shadowing", func(t *testing.T) {
+		got, _ := both(t, `<p:a xmlns:p="u1"><p:b xmlns:p="u2"><p:c/></p:b><p:d/></p:a>`)
+		if got.Name.Space != "u1" ||
+			got.Children[0].Name.Space != "u2" ||
+			got.Children[0].Children[0].Name.Space != "u2" ||
+			got.Children[1].Name.Space != "u1" {
+			t.Fatalf("shadowing wrong: %s", got)
+		}
+	})
+	t.Run("xml-prefix-predeclared", func(t *testing.T) {
+		got, _ := both(t, `<a xml:lang="en"/>`)
+		if v, ok := got.Attr("http://www.w3.org/XML/1998/namespace", "lang"); !ok || v != "en" {
+			t.Fatalf("xml:lang = %q, %v", v, ok)
+		}
+	})
+	t.Run("unprefixed-attr-has-no-namespace", func(t *testing.T) {
+		got, _ := both(t, `<a xmlns="urn:d" b="v"/>`)
+		if _, ok := got.Attr("", "b"); !ok {
+			t.Fatalf("attr lost or namespaced: %s", got)
+		}
+	})
+	t.Run("single-quoted-attrs", func(t *testing.T) {
+		got, _ := both(t, `<a b='has "double" quotes'/>`)
+		if v, _ := got.Attr("", "b"); v != `has "double" quotes` {
+			t.Fatalf("attr = %q", v)
+		}
+	})
+	t.Run("doctype-ignored", func(t *testing.T) {
+		got, _ := both(t, `<!DOCTYPE a [<!ELEMENT a EMPTY>]><a/>`)
+		if got.Name.Local != "a" {
+			t.Fatalf("root = %s", got.Name)
+		}
+	})
+	t.Run("mismatched-end-prefix-rejected", func(t *testing.T) {
+		// Same expanded name, different raw prefix: the tokenizer
+		// matches raw tags, as the seed decoder did.
+		for _, input := range []string{
+			`<p:a xmlns:p="u" xmlns:q="u"></q:a>`,
+			`<a><b></B></a>`,
+		} {
+			if _, err := xmlsoap.Parse([]byte(input)); err == nil {
+				t.Fatalf("pull parser accepted %q", input)
+			}
+			if _, err := refparser.Parse([]byte(input)); err == nil {
+				t.Fatalf("refparser accepted %q", input)
+			}
+		}
+	})
+}
+
+// TestParseManyInterleavedChunks regression-tests the text-chunk chain:
+// a text run split into tens of thousands of pieces by escape-carrying
+// children must accumulate in linear time and bytes (the first cut of
+// the parser re-copied the accumulated text per chunk — quadratic, and
+// a crafted sub-megabyte document could run the escape arena past its
+// int32 span offsets and panic).
+func TestParseManyInterleavedChunks(t *testing.T) {
+	const reps = 20000
+	var b strings.Builder
+	b.WriteString("<a>")
+	for i := 0; i < reps; i++ {
+		b.WriteString(`x<b y="&amp;"/>`)
+	}
+	b.WriteString("</a>")
+	input := []byte(b.String())
+
+	got, err := xmlsoap.Parse(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := refparser.Parse(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(ref) {
+		t.Fatal("chunk accumulation diverged from refparser")
+	}
+	if len(got.Text) != reps || got.Text != strings.Repeat("x", reps) {
+		t.Fatalf("Text length = %d, want %d", len(got.Text), reps)
+	}
+}
+
+// TestParseAliasingAndDetach documents and enforces the aliasing
+// contract: parsed strings alias the input buffer; Detach yields a tree
+// that survives the buffer being scribbled.
+func TestParseAliasingAndDetach(t *testing.T) {
+	wire := []byte(`<e:a xmlns:e="urn:custom:space"><e:b attr="value-here">text-here</e:b></e:a>`)
+	tree, err := xmlsoap.Parse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detached := tree.Detach()
+	if !detached.Equal(tree) {
+		t.Fatal("Detach changed the tree")
+	}
+	// Scribble the input: the aliased tree is now garbage (by contract),
+	// the detached copy must be untouched.
+	for i := range wire {
+		wire[i] = 'X'
+	}
+	b := detached.Child("urn:custom:space", "b")
+	if b == nil || b.Text != "text-here" {
+		t.Fatalf("detached tree corrupted by input scribble: %s", detached)
+	}
+	if v, _ := b.Attr("", "attr"); v != "value-here" {
+		t.Fatalf("detached attr corrupted: %q", v)
+	}
+	// Interned vocabulary must never alias input even without Detach.
+	wire2 := []byte(`<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/"><e:Body/></e:Envelope>`)
+	tree2, err := xmlsoap.Parse(wire2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wire2 {
+		wire2[i] = 'X'
+	}
+	if tree2.Name.Space != "http://schemas.xmlsoap.org/soap/envelope/" || tree2.Name.Local != "Envelope" {
+		t.Fatalf("interned name aliased input: %v", tree2.Name)
+	}
+}

@@ -1,0 +1,174 @@
+// Package refparser is the frozen reference parser for xmlsoap trees:
+// the seed encoding/xml-based implementation, kept as the behavioral
+// oracle for the hand-rolled pull parser exactly as refcodec freezes the
+// seed serializer for the marshal path. It tokenizes with
+// encoding/xml.Decoder.RawToken (strict mode, no custom entities) and
+// performs its own namespace-prefix resolution with the shared rules —
+// including the typed-error gap fixes both parsers adopted over the seed
+// (multiple roots, stray content outside the root, undeclared prefixes,
+// reserved-prefix and empty-prefix declarations).
+//
+// Do not optimize this package; it is deliberately simple and allocates
+// freely. Change it only when parser behavior is deliberately changed,
+// together with the golden parse suite and FuzzParseDifferential, which
+// enforce that xmlsoap.Parse and this package accept the same documents
+// and produce identical trees.
+package refparser
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/xmlsoap"
+)
+
+const xmlNamespaceURL = "http://www.w3.org/XML/1998/namespace"
+
+// Parse reads one XML document from data and returns its root element.
+// Unlike the zero-copy live parser, the returned tree owns all of its
+// strings.
+func Parse(data []byte) (*xmlsoap.Element, error) {
+	return ParseReader(bytes.NewReader(data))
+}
+
+// ParseReader reads one XML document from r.
+func ParseReader(r io.Reader) (*xmlsoap.Element, error) {
+	dec := xml.NewDecoder(r)
+
+	type binding struct{ prefix, uri string }
+	type open struct {
+		el        *xmlsoap.Element
+		raw       xml.Name
+		bindFloor int
+	}
+	var bindings []binding
+	var stack []open
+	var root *xmlsoap.Element
+
+	// resolve maps a raw prefix to its namespace URI under the shared
+	// resolution rules. The default namespace applies to element names
+	// only; an element literally named "xmlns" takes no default
+	// namespace (the seed decoder's translation quirk, preserved).
+	resolve := func(name xml.Name, isElement bool) (string, error) {
+		if name.Space == "" {
+			if !isElement || name.Local == "xmlns" {
+				return "", nil
+			}
+			for i := len(bindings) - 1; i >= 0; i-- {
+				if bindings[i].prefix == "" {
+					return bindings[i].uri, nil
+				}
+			}
+			return "", nil
+		}
+		if name.Space == "xml" {
+			return xmlNamespaceURL, nil
+		}
+		if name.Space == "xmlns" {
+			return "", fmt.Errorf("%w: %s", xmlsoap.ErrReservedPrefix, name.Space)
+		}
+		for i := len(bindings) - 1; i >= 0; i-- {
+			if bindings[i].prefix == name.Space {
+				return bindings[i].uri, nil
+			}
+		}
+		return "", fmt.Errorf("%w: %s", xmlsoap.ErrUndeclaredPrefix, name.Space)
+	}
+
+	for {
+		tok, err := dec.RawToken()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmlsoap: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			floor := len(bindings)
+			// Declarations first, in document order (later wins), so
+			// they govern this element's own name and attributes.
+			for _, a := range t.Attr {
+				switch {
+				case a.Name.Space == "xmlns":
+					switch {
+					case a.Name.Local == "xmlns":
+						return nil, fmt.Errorf("%w: xmlns", xmlsoap.ErrReservedPrefix)
+					case a.Name.Local == "xml":
+						if a.Value != xmlNamespaceURL {
+							return nil, fmt.Errorf("%w: xml", xmlsoap.ErrReservedPrefix)
+						}
+						// Predeclared; nothing to record.
+					case a.Value == "":
+						return nil, xmlsoap.ErrEmptyPrefixBinding
+					default:
+						bindings = append(bindings, binding{prefix: a.Name.Local, uri: a.Value})
+					}
+				case a.Name.Space == "" && a.Name.Local == "xmlns":
+					bindings = append(bindings, binding{prefix: "", uri: a.Value})
+				}
+			}
+			space, err := resolve(t.Name, true)
+			if err != nil {
+				return nil, err
+			}
+			e := &xmlsoap.Element{Name: xmlsoap.Name{Space: space, Local: t.Name.Local}}
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || (a.Name.Space == "" && a.Name.Local == "xmlns") {
+					continue // declarations are not attributes of the tree
+				}
+				aspace, err := resolve(a.Name, false)
+				if err != nil {
+					return nil, err
+				}
+				e.Attrs = append(e.Attrs, xmlsoap.Attr{
+					Name:  xmlsoap.Name{Space: aspace, Local: a.Name.Local},
+					Value: a.Value,
+				})
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, xmlsoap.ErrMultipleRoots
+				}
+				root = e
+			} else {
+				parent := stack[len(stack)-1].el
+				parent.Children = append(parent.Children, e)
+			}
+			stack = append(stack, open{el: e, raw: t.Name, bindFloor: floor})
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmlsoap: unexpected end element </%s>", t.Name.Local)
+			}
+			top := stack[len(stack)-1]
+			if top.raw != t.Name {
+				return nil, fmt.Errorf("xmlsoap: element <%s> closed by </%s>", top.raw.Local, t.Name.Local)
+			}
+			bindings = bindings[:top.bindFloor]
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			text := string(t)
+			if len(stack) == 0 {
+				if strings.TrimSpace(text) != "" {
+					return nil, xmlsoap.ErrContentOutsideRoot
+				}
+				continue
+			}
+			if strings.TrimSpace(text) != "" {
+				stack[len(stack)-1].el.Text += text
+			}
+		case xml.Comment, xml.ProcInst, xml.Directive:
+			// Ignored: the SOAP processing model does not depend on them.
+		}
+	}
+	if len(stack) != 0 {
+		return nil, xmlsoap.ErrUnclosedElement
+	}
+	if root == nil {
+		return nil, xmlsoap.ErrNoContent
+	}
+	return root, nil
+}
