@@ -227,6 +227,7 @@ func newMsgBenchRig(b *testing.B, opt msgBenchOptions) *msgBenchRig {
 		if err != nil {
 			return err
 		}
+		resp.Release()
 		if resp.Status != httpx.StatusAccepted {
 			return fmt.Errorf("HTTP %d", resp.Status)
 		}

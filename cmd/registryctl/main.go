@@ -101,6 +101,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(string(resp.Body))
+		resp.Release()
 
 	default:
 		usage()

@@ -64,6 +64,7 @@ func main() {
 			if err != nil {
 				return err
 			}
+			resp.Release()
 			if resp.Status != httpx.StatusOK {
 				return fmt.Errorf("HTTP %d", resp.Status)
 			}
@@ -95,6 +96,7 @@ func main() {
 			if err != nil {
 				return err
 			}
+			resp.Release()
 			if resp.Status != httpx.StatusAccepted && resp.Status != httpx.StatusOK {
 				return fmt.Errorf("HTTP %d", resp.Status)
 			}

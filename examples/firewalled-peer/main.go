@@ -79,7 +79,9 @@ func main() {
 		if perr != nil {
 			return httpx.NewResponse(httpx.StatusBadRequest, nil)
 		}
-		replies <- env
+		// Detached: the channel consumer reads the envelope after this
+		// exchange's pooled request body is released.
+		replies <- env.Detach()
 		return httpx.NewResponse(httpx.StatusAccepted, nil)
 	}), httpx.ServerConfig{Clock: clk})
 	srvPeer.Start(lnPeer)

@@ -41,7 +41,10 @@ func (c *RPC) Call(serviceURL, serviceNS, operation string, params ...soap.Param
 }
 
 // CallTimeout is Call with an explicit exchange budget (0 uses the HTTP
-// client's default).
+// client's default). The returned params (and any *soap.Fault error)
+// are detached copies: the response body lives in a pooled buffer this
+// method releases before returning, so nothing handed to the caller may
+// alias it.
 func (c *RPC) CallTimeout(serviceURL, serviceNS, operation string, timeout time.Duration, params ...soap.Param) ([]soap.Param, error) {
 	addr, path, err := httpx.SplitURL(serviceURL)
 	if err != nil {
@@ -69,11 +72,26 @@ func (c *RPC) CallTimeout(serviceURL, serviceNS, operation string, timeout time.
 	if err != nil {
 		return nil, err
 	}
+	defer resp.Release()
 	env, err := soap.Parse(resp.Body)
 	if err != nil {
 		return nil, fmt.Errorf("client: bad RPC response (HTTP %d): %w", resp.Status, err)
 	}
-	return soap.ParseRPCResponse(env, operation)
+	results, err := soap.ParseRPCResponse(env, operation)
+	if err != nil {
+		var f *soap.Fault
+		if errors.As(err, &f) {
+			// The fault's strings alias the pooled body; detach before
+			// it escapes the deferred release.
+			return nil, f.Detach()
+		}
+		return nil, err
+	}
+	for i := range results {
+		results[i].Name = strings.Clone(results[i].Name)
+		results[i].Value = strings.Clone(results[i].Value)
+	}
+	return results, nil
 }
 
 // Messenger sends one-way WS-Addressing messages (fire-and-forget with
@@ -111,10 +129,9 @@ func (m *Messenger) SendTimeout(postURL string, h *wsa.Headers, body *xmlsoap.El
 		hh.From = &wsa.EPR{Address: m.From}
 	}
 	env := soap.New(m.Version).SetBody(body)
-	hh.Apply(env)
 	buf := xmlsoap.GetBuffer()
 	defer xmlsoap.PutBuffer(buf)
-	raw, err := wsa.AppendEnvelope(buf.B, env)
+	raw, err := wsa.AppendRewritten(buf.B, env, hh)
 	if err != nil {
 		return "", err
 	}
@@ -130,10 +147,12 @@ func (m *Messenger) SendTimeout(postURL string, h *wsa.Headers, body *xmlsoap.El
 	if err != nil {
 		return "", err
 	}
+	defer resp.Release()
 	if resp.Status >= 300 {
 		if env, perr := soap.Parse(resp.Body); perr == nil {
 			if f, ok := soap.AsFault(env); ok {
-				return "", fmt.Errorf("client: send rejected: %w", f)
+				// Detached: the fault error outlives the pooled body.
+				return "", fmt.Errorf("client: send rejected: %w", f.Detach())
 			}
 		}
 		return "", fmt.Errorf("client: send rejected with HTTP %d", resp.Status)
@@ -172,11 +191,10 @@ func NewMailboxClient(rpc *RPC, serviceURL string, clk clock.Clock) *MailboxClie
 	return &MailboxClient{RPC: rpc, ServiceURL: serviceURL, Clock: clk, buffered: map[string]*soap.Envelope{}}
 }
 
-// Create makes a new mailbox (Figure 2 step 1). The Box handle lives for
-// the whole conversation while its strings come from a parsed response
-// tree, which aliases the response body (the xmlsoap aliasing contract) —
-// so they are detached here rather than pinning the body for the
-// mailbox's lifetime.
+// Create makes a new mailbox (Figure 2 step 1). The Box handle lives
+// for the whole conversation; RPC.Call already hands back detached
+// params (the response body is pooled and released inside Call), so the
+// values can be stored as-is.
 func (mc *MailboxClient) Create() (*Box, error) {
 	results, err := mc.RPC.Call(mc.ServiceURL, msgbox.ServiceNS, msgbox.OpCreate)
 	if err != nil {
@@ -186,11 +204,11 @@ func (mc *MailboxClient) Create() (*Box, error) {
 	for _, p := range results {
 		switch p.Name {
 		case "boxId":
-			box.ID = strings.Clone(p.Value)
+			box.ID = p.Value
 		case "token":
-			box.Token = strings.Clone(p.Value)
+			box.Token = p.Value
 		case "address":
-			box.Address = strings.Clone(p.Value)
+			box.Address = p.Value
 		}
 	}
 	if box.ID == "" || box.Address == "" {

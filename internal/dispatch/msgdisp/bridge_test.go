@@ -65,7 +65,7 @@ func newBridgeRig(t *testing.T, serviceTime time.Duration, anonWait time.Duratio
 	lnC, _ := cli.Listen(90)
 	srvC := httpx.NewServer(httpx.HandlerFunc(func(req *httpx.Request) *httpx.Response {
 		if env, err := soap.Parse(req.Body); err == nil {
-			r.inbox <- env
+			r.inbox <- env.Detach()
 		}
 		return httpx.NewResponse(httpx.StatusAccepted, nil)
 	}), httpx.ServerConfig{Clock: clk})
@@ -132,7 +132,7 @@ func TestRPCBridgeDeliversToEndpoint(t *testing.T) {
 
 func TestAnonymousReplyHoldsConnection(t *testing.T) {
 	r := newBridgeRig(t, 200*time.Millisecond, 10*time.Second)
-	resp, _ := r.postRPCBody(t, wsa.Anonymous)
+	resp, msgID := r.postRPCBody(t, wsa.Anonymous)
 	// The dispatcher held the connection and answered with the bridged
 	// RPC result on it.
 	if resp.Status != httpx.StatusOK {
@@ -141,6 +141,16 @@ func TestAnonymousReplyHoldsConnection(t *testing.T) {
 	env, err := soap.Parse(resp.Body)
 	if err != nil {
 		t.Fatal(err)
+	}
+	// The synthesized bridge reply must carry WS-Addressing headers on
+	// the envelope itself — the RPC-style caller correlates the
+	// connection-bound answer by RelatesTo.
+	h, err := wsa.FromEnvelope(env)
+	if err != nil {
+		t.Fatalf("bridged reply lost its addressing headers: %v", err)
+	}
+	if h.RelatesTo != msgID {
+		t.Fatalf("RelatesTo = %q, want %q", h.RelatesTo, msgID)
 	}
 	results, err := soap.ParseRPCResponse(env, echoservice.EchoOp)
 	if err != nil {
@@ -249,7 +259,7 @@ func TestBridgedEchoBody(t *testing.T) {
 	lnC, _ := cli.Listen(90)
 	srvC := httpx.NewServer(httpx.HandlerFunc(func(req *httpx.Request) *httpx.Response {
 		if env, err := soap.Parse(req.Body); err == nil {
-			inbox <- env
+			inbox <- env.Detach()
 		}
 		return httpx.NewResponse(httpx.StatusAccepted, nil)
 	}), httpx.ServerConfig{Clock: clk})

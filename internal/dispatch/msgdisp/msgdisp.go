@@ -140,6 +140,12 @@ type Dispatcher struct {
 	wsSlots chan struct{}
 	pending *cmap.Map[pendingReply]
 
+	// selfEPR and noneEPR are the two constant ReplyTo rewrites, built
+	// once so the per-message rewrite allocates nothing. They are shared
+	// read-only across messages.
+	selfEPR *wsa.EPR
+	noneEPR *wsa.EPR
+
 	stopMu  sync.Mutex
 	stopped bool
 
@@ -177,6 +183,8 @@ func New(reg *registry.Registry, client *httpx.Client, cfg Config) *Dispatcher {
 		dests:    cmap.New[*destQueue](),
 		wsSlots:  make(chan struct{}, cfg.WsWorkers),
 		pending:  cmap.New[pendingReply](),
+		selfEPR:  &wsa.EPR{Address: cfg.ReturnAddress},
+		noneEPR:  &wsa.EPR{Address: wsa.None},
 	}
 	return d
 }
@@ -203,7 +211,10 @@ func (d *Dispatcher) Stop() {
 
 // Serve implements httpx.Handler. The HTTP goroutine hands the message to
 // a CxThread and relays its verdict: 202 Accepted on admission, a fault
-// otherwise.
+// otherwise. Serve blocks until route finishes, so the pooled request
+// body stays valid for the whole routing pass (everything route retains
+// past it — pending-reply state, queued payloads, waiter envelopes — is
+// detached or rendered into its own buffer).
 func (d *Dispatcher) Serve(req *httpx.Request) *httpx.Response {
 	result := make(chan *httpx.Response, 1)
 	body := req.Body
@@ -281,29 +292,37 @@ func (d *Dispatcher) routeRequest(env *soap.Envelope, h *wsa.Headers) *httpx.Res
 	expectReply := h.MessageID != "" && h.ReplyTo != nil &&
 		h.ReplyTo.Address != "" && h.ReplyTo.Address != wsa.None
 	anonymous := expectReply && h.ReplyTo.Address == wsa.Anonymous
+	// The MessageID outlives this exchange twice over — as the
+	// pending-reply key (up to PendingTTL) and riding the queued
+	// outbound into the WsThread's bridge — while the parsed value
+	// aliases the pooled request body. One detached copy serves both.
+	msgID := strings.Clone(h.MessageID)
 	var waiter chan *soap.Envelope
-	rewritten := h.Clone()
+	// The rewrite is a shallow copy: untouched fields (Action,
+	// MessageID, From, ...) are shared read-only with h, and the two
+	// constant ReplyTo substitutions are prebuilt on the Dispatcher.
+	rewritten := *h
 	rewritten.To = destURL
 	if expectReply {
 		if anonymous {
 			waiter = make(chan *soap.Envelope, 1)
 		}
-		d.pending.Put(strings.Clone(h.MessageID), pendingReply{
+		d.pending.Put(msgID, pendingReply{
 			replyTo: h.ReplyTo.Detach(),
 			waiter:  waiter,
 			expires: d.cfg.Clock.Now().Add(d.cfg.PendingTTL),
 		})
-		rewritten.ReplyTo = &wsa.EPR{Address: d.cfg.ReturnAddress}
+		rewritten.ReplyTo = d.selfEPR
 	} else {
-		rewritten.ReplyTo = &wsa.EPR{Address: wsa.None}
+		rewritten.ReplyTo = d.noneEPR
 	}
-	rewritten.Apply(env)
 
-	// Render through the envelope-skeleton cache into a pooled buffer.
-	// The buffer travels with the queued message and is released by the
-	// WsThread after the delivery attempt (deliver or courier handoff).
+	// Fused rewrite+render through the envelope-skeleton cache into a
+	// pooled buffer. The buffer travels with the queued message and is
+	// released by the WsThread after the delivery attempt (deliver or
+	// courier handoff).
 	buf := xmlsoap.GetBuffer()
-	b, err := wsa.AppendEnvelope(buf.B, env)
+	b, err := wsa.AppendRewritten(buf.B, env, &rewritten)
 	if err != nil {
 		xmlsoap.PutBuffer(buf)
 		d.Rejected.Inc()
@@ -314,11 +333,11 @@ func (d *Dispatcher) routeRequest(env *soap.Envelope, h *wsa.Headers) *httpx.Res
 		payload:       buf,
 		version:       env.Version,
 		toService:     true,
-		origMessageID: h.MessageID,
+		origMessageID: msgID,
 	}, destURL) {
 		xmlsoap.PutBuffer(buf)
 		if expectReply {
-			d.pending.Delete(h.MessageID)
+			d.pending.Delete(msgID)
 		}
 		d.QueueDrops.Inc()
 		d.Rejected.Inc()
@@ -327,7 +346,7 @@ func (d *Dispatcher) routeRequest(env *soap.Envelope, h *wsa.Headers) *httpx.Res
 	}
 	d.Accepted.Inc()
 	if anonymous {
-		return d.awaitAnonymous(h.MessageID, waiter)
+		return d.awaitAnonymous(msgID, waiter)
 	}
 	return httpx.NewResponse(httpx.StatusAccepted, nil)
 }
@@ -364,7 +383,11 @@ func (d *Dispatcher) routeReply(env *soap.Envelope, h *wsa.Headers, entry pendin
 	d.RepliesRouted.Inc()
 	if entry.waiter != nil {
 		select {
-		case entry.waiter <- env.Clone():
+		// The waiter consumes the envelope on another exchange's
+		// goroutine after this one's pooled body is released, so the
+		// handoff must detach (not just Clone, whose strings still
+		// alias the buffer).
+		case entry.waiter <- env.Detach():
 			d.RepliesDelivered.Inc()
 		default:
 			// The waiter gave up (timeout); the reply is dropped
@@ -373,11 +396,10 @@ func (d *Dispatcher) routeReply(env *soap.Envelope, h *wsa.Headers, entry pendin
 		}
 		return httpx.NewResponse(httpx.StatusAccepted, nil)
 	}
-	rewritten := h.Clone()
+	rewritten := *h
 	rewritten.To = entry.replyTo.Address
-	rewritten.Apply(env)
 	buf := xmlsoap.GetBuffer()
-	b, err := wsa.AppendEnvelope(buf.B, env)
+	b, err := wsa.AppendRewritten(buf.B, env, &rewritten)
 	if err != nil {
 		xmlsoap.PutBuffer(buf)
 		d.Rejected.Inc()

@@ -76,7 +76,7 @@ func newRig(t *testing.T, clientFirewalled bool, cfg Config) *rig {
 	lnCli, _ := cli.Listen(90)
 	srvCli := httpx.NewServer(httpx.HandlerFunc(func(req *httpx.Request) *httpx.Response {
 		if env, err := soap.Parse(req.Body); err == nil {
-			r.inbox <- env
+			r.inbox <- env.Detach()
 		}
 		return httpx.NewResponse(httpx.StatusAccepted, nil)
 	}), httpx.ServerConfig{Clock: clk})

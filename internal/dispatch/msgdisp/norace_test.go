@@ -1,0 +1,5 @@
+//go:build !race
+
+package msgdisp
+
+const raceEnabled = false

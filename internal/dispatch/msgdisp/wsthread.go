@@ -23,7 +23,9 @@ type outbound struct {
 	// MessageID: when an RPC-style service answers synchronously on
 	// the delivery connection (Table 1 quadrant 3 — "translation of
 	// semantics from messaging to RPC"), the response body is wrapped
-	// as a reply relating to this ID and routed back.
+	// as a reply relating to this ID and routed back. It is a detached
+	// copy — the queued message outlives the exchange whose pooled
+	// body the parsed header aliased.
 	origMessageID string
 }
 
@@ -44,9 +46,18 @@ type destQueue struct {
 // WsThread if none is bound. It reports false when the queue is full or
 // closed.
 func (d *Dispatcher) enqueue(msg outbound, destURL string) bool {
-	dq := d.dests.GetOrCompute(destURL, func() *destQueue {
-		return &destQueue{url: destURL, ch: make(chan outbound, d.cfg.QueueCap)}
-	})
+	dq, ok := d.dests.Get(destURL)
+	if !ok {
+		// The map key and the queue's binding outlive this exchange,
+		// while destURL may alias the pooled request body (it is the
+		// parsed To header whenever the address is physical). Detach
+		// once at queue creation; the steady-state lookup above stays
+		// allocation-free.
+		url := strings.Clone(destURL)
+		dq = d.dests.GetOrCompute(url, func() *destQueue {
+			return &destQueue{url: url, ch: make(chan outbound, d.cfg.QueueCap)}
+		})
+	}
 	dq.mu.Lock()
 	if dq.closed || dq.queued >= d.cfg.QueueCap {
 		dq.mu.Unlock()
@@ -124,15 +135,20 @@ func (d *Dispatcher) deliver(destURL string, msg outbound) {
 	req := httpx.NewRequest("POST", path, msg.payload.B)
 	req.Header.Set("Content-Type", msg.version.ContentType())
 	resp, err := d.client.DoTimeout(addr, req, d.cfg.DeliveryTimeout)
+	// The response body (when any) is a pooled buffer owned by this
+	// delivery; it is released once the bridge — which parses it in
+	// place and detaches or re-renders everything it keeps — is done.
+	if resp != nil {
+		defer resp.Release()
+	}
 	if err != nil || resp.Status >= 300 {
 		d.DeliveryFailures.Inc()
 		if d.cfg.Courier != nil {
-			// SendPayload copies the payload into the store, so the
-			// pooled buffer can still be released on return. The message
-			// ID is cloned for the same reason: it aliases the inbound
-			// request body (the xmlsoap aliasing contract) while the
-			// store holds it until redelivery or TTL expiry.
-			if _, cerr := d.cfg.Courier.SendPayload(destURL, strings.Clone(msg.origMessageID), msg.payload.B); cerr == nil {
+			// SendPayload copies the payload (and detaches the ID and
+			// destination) into the store, so the pooled buffer can
+			// still be released on return; msg.origMessageID was
+			// already detached at enqueue.
+			if _, cerr := d.cfg.Courier.SendPayload(destURL, msg.origMessageID, msg.payload.B); cerr == nil {
 				d.HandedToCourier.Inc()
 			}
 		}
@@ -155,6 +171,10 @@ func (d *Dispatcher) deliver(destURL string, msg outbound) {
 // envelope is stamped with RelatesTo = the original MessageID and pushed
 // back through normal routing so it reaches the requester's ReplyTo or a
 // blocked anonymous waiter.
+//
+// body is the delivery response's pooled buffer, valid only until
+// deliver releases it on return; everything routed onward is rendered
+// into its own buffer or detached, exactly as for an inbound request.
 func (d *Dispatcher) bridgeRPCResponse(msg outbound, body []byte) {
 	if msg.origMessageID == "" {
 		return
@@ -167,23 +187,34 @@ func (d *Dispatcher) bridgeRPCResponse(msg outbound, body []byte) {
 		return // not a SOAP payload; plain 200 ack
 	}
 	h, err := wsa.FromEnvelope(env)
-	if err != nil || h.RelatesTo == "" {
-		// Plain RPC response without addressing: synthesize reply
-		// headers around its body.
-		reply := soap.New(env.Version).SetBody(env.Body...)
-		(&wsa.Headers{
-			To:        d.cfg.ReturnAddress,
-			MessageID: wsa.NewMessageID(),
-			RelatesTo: msg.origMessageID,
-		}).Apply(reply)
-		raw, merr := wsa.MarshalEnvelope(reply)
-		if merr != nil {
-			return
-		}
-		d.route(raw)
+	if err == nil && h.RelatesTo != "" {
+		// Already a fully addressed reply: route it as if it had been
+		// posted to us.
+		d.route(body)
 		return
 	}
-	// Already a fully addressed reply: route it as if it had been
-	// posted to us.
-	d.route(body)
+	// Plain RPC response without addressing: synthesize reply headers
+	// around its body and hand it straight to reply routing — the
+	// steady-state bridge path, so no marshal/re-parse round trip.
+	entry, ok := d.pending.Get(msg.origMessageID)
+	if !ok {
+		d.UnmatchedReplies.Inc()
+		return
+	}
+	d.pending.Delete(msg.origMessageID)
+	if entry.expires.Before(d.cfg.Clock.Now()) {
+		d.Rejected.Inc()
+		return
+	}
+	reply := soap.New(env.Version).SetBody(env.Body...)
+	h2 := &wsa.Headers{
+		To:        d.cfg.ReturnAddress,
+		MessageID: wsa.NewMessageID(),
+		RelatesTo: msg.origMessageID,
+	}
+	// The headers go onto the envelope itself, not just alongside it:
+	// routeReply's anonymous-waiter branch hands the envelope over
+	// as-is, and the blocked caller correlates by its RelatesTo.
+	h2.Apply(reply)
+	d.routeReply(reply, h2, entry)
 }

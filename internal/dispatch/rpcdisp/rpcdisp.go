@@ -132,8 +132,13 @@ func (d *Dispatcher) Serve(req *httpx.Request) *httpx.Response {
 			"forward to "+ep.URL+" failed: "+err.Error())
 	}
 
-	// Relay the service's answer on the original connection.
+	// Relay the service's answer on the original connection. The
+	// service response's pooled body is not copied: the release duty
+	// moves with the bytes, and the HTTP server (the relayed response's
+	// owner) releases it after writing — one buffer, one release, two
+	// hops.
 	out := httpx.NewResponse(resp.Status, resp.Body)
+	out.ReleaseBody = resp.TakeBody()
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		out.Header.Set("Content-Type", ct)
 	}

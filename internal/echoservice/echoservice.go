@@ -160,16 +160,22 @@ func (s *Async) Serve(req *httpx.Request) *httpx.Response {
 	}
 	// The reply leg runs outside the accept path, as in the paper's
 	// message-oriented design: acceptance is decoupled from delivery.
-	// env (and through it req.Body, which the parsed tree aliases) stays
-	// live until the reply renders — safe because bodies are GC-owned.
+	// env (and through it req.Body, which the parsed tree aliases) must
+	// stay live until the reply renders, which outlasts this Serve call
+	// — so the reply leg takes over the pooled body's release duty and
+	// returns the buffer when it finishes. Taking happens before the
+	// submit so the worker cannot race the server's end-of-exchange
+	// release.
+	release := req.TakeBody()
 	if s.replyPool != nil {
-		if err := s.replyPool.TrySubmit(func() { s.reply(env, h) }); err != nil {
+		if err := s.replyPool.TrySubmit(func() { s.reply(env, h, release) }); err != nil {
+			release()
 			s.RefusedBusy.Inc()
 			return faultResponse(httpx.StatusServiceUnavailable, soap.FaultServer,
 				"service reply workers exhausted")
 		}
 	} else {
-		go s.reply(env, h)
+		go s.reply(env, h, release)
 	}
 	s.Accepted.Inc()
 	return httpx.NewResponse(httpx.StatusAccepted, nil)
@@ -177,8 +183,10 @@ func (s *Async) Serve(req *httpx.Request) *httpx.Response {
 
 // reply builds and posts the echo reply. Failures (firewalled ReplyTo,
 // missing ReplyTo) are counted, not retried — retry policy belongs to the
-// reliable-delivery layer.
-func (s *Async) reply(env *soap.Envelope, h *wsa.Headers) {
+// reliable-delivery layer. release returns the request-body buffer that
+// env and h alias; it runs when the reply leg is done with them.
+func (s *Async) reply(env *soap.Envelope, h *wsa.Headers, release func()) {
+	defer release()
 	if s.ServiceTime > 0 {
 		s.Clock.Sleep(s.ServiceTime)
 	}
@@ -202,10 +210,9 @@ func (s *Async) reply(env *soap.Envelope, h *wsa.Headers) {
 	if s.OwnAddress != "" {
 		rh.From = &wsa.EPR{Address: s.OwnAddress}
 	}
-	rh.Apply(out)
 	buf := xmlsoap.GetBuffer()
 	defer xmlsoap.PutBuffer(buf)
-	b, err := wsa.AppendEnvelope(buf.B, out)
+	b, err := wsa.AppendRewritten(buf.B, out, rh)
 	if err != nil {
 		s.ReplyFailures.Inc()
 		return
@@ -223,6 +230,9 @@ func (s *Async) reply(env *soap.Envelope, h *wsa.Headers) {
 		timeout = 21 * time.Second
 	}
 	resp, err := s.Client.DoTimeout(addr, post, timeout)
+	if resp != nil {
+		resp.Release() // ack body (if any) is unused
+	}
 	if err != nil || resp.Status >= 300 {
 		s.ReplyFailures.Inc()
 		return

@@ -147,6 +147,7 @@ func runFig4Point(opt Fig4Options, clients int, viaDispatcher bool) stats.RunRep
 		if err != nil {
 			return err
 		}
+		resp.Release()
 		if resp.Status != httpx.StatusOK {
 			return fmt.Errorf("HTTP %d", resp.Status)
 		}

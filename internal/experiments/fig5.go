@@ -137,6 +137,7 @@ func runFig5Point(opt Fig5Options, clients int, viaDispatcher bool) stats.RunRep
 		if err != nil {
 			return err
 		}
+		resp.Release()
 		if resp.Status != httpx.StatusOK {
 			return fmt.Errorf("HTTP %d", resp.Status)
 		}

@@ -214,6 +214,7 @@ func RunFig6Point(opt Fig6Options, clients int, series Fig6Series) stats.RunRepo
 		if err != nil {
 			return err
 		}
+		resp.Release()
 		if resp.Status != httpx.StatusAccepted && resp.Status != httpx.StatusOK {
 			return fmt.Errorf("HTTP %d", resp.Status)
 		}
@@ -234,6 +235,7 @@ func createMailbox(tb *testbed, client *httpx.Client) string {
 	if err != nil {
 		panic(fmt.Sprintf("fig6: mailbox create: %v", err))
 	}
+	defer resp.Release()
 	env, err := soap.Parse(resp.Body)
 	if err != nil {
 		panic(err)
@@ -244,7 +246,9 @@ func createMailbox(tb *testbed, client *httpx.Client) string {
 	}
 	for _, p := range results {
 		if p.Name == "address" {
-			return p.Value
+			// The param aliases the pooled response body; the address
+			// outlives this exchange (it is every message's ReplyTo).
+			return strings.Clone(p.Value)
 		}
 	}
 	panic("fig6: mailbox create returned no address")

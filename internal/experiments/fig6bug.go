@@ -185,6 +185,7 @@ func runFig6BugPoint(opt Fig6BugOptions, clients int, mode msgbox.Mode) (stats.R
 		if err != nil {
 			return err
 		}
+		resp.Release()
 		if resp.Status != httpx.StatusAccepted {
 			return fmt.Errorf("HTTP %d", resp.Status)
 		}

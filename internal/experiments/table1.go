@@ -166,6 +166,7 @@ func runQuadrant(opt Table1Options, quadrant int, serviceTime time.Duration) (bo
 		if err != nil {
 			return false, fmt.Sprintf("connection-bound wait failed: %v", err)
 		}
+		defer resp.Release()
 		if resp.Status != httpx.StatusOK {
 			return false, fmt.Sprintf("no reply within the RPC window (HTTP %d)", resp.Status)
 		}

@@ -85,6 +85,12 @@ func NewClient(dialer Dialer, cfg ClientConfig) *Client {
 // connections are reused; a stale pooled connection is retried once on a
 // fresh dial. The whole exchange is bounded by RequestTimeout (overridable
 // per call with DoTimeout).
+//
+// Ownership: the response body is read into a pooled buffer. The caller
+// owns it and should call resp.Release once the body — and anything
+// aliasing it, like a soap.Parse tree — is done with, or forward the
+// duty with resp.TakeBody. Skipping the release is safe (the buffer
+// falls to the GC) but forfeits reuse.
 func (c *Client) Do(addr string, req *Request) (*Response, error) {
 	return c.DoTimeout(addr, req, c.cfg.RequestTimeout)
 }
@@ -137,7 +143,7 @@ func (c *Client) exchange(pc *persistConn, addr string, req *Request, deadline t
 	if err := r.encode(pc.conn, addr, c.cfg.DisableKeepAlive); err != nil {
 		return nil, fmt.Errorf("httpx: write to %s: %w", addr, err)
 	}
-	resp, err := ReadResponse(pc.br)
+	resp, err := ReadResponsePooled(pc.br)
 	if err != nil {
 		return nil, fmt.Errorf("httpx: read from %s: %w", addr, err)
 	}

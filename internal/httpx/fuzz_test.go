@@ -1,0 +1,140 @@
+package httpx
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzHead fuzzes request/response head parsing — request lines, status
+// lines, header folding, Content-Length framing, chunked bodies with
+// extensions and trailers — and differentially checks the pooled body
+// reader against the GC-owned one: both must reach the same
+// accept/reject verdict and, on accept, produce identical messages. The
+// seed corpus always runs under plain `go test`; CI adds a short engine
+// run (see .github/workflows/ci.yml).
+func FuzzHead(f *testing.F) {
+	seeds := []string{
+		// Well-formed exchanges.
+		"POST /msg HTTP/1.1\r\nContent-Type: text/xml\r\nContent-Length: 7\r\n\r\n<soap/>",
+		"GET /registry HTTP/1.1\r\nHost: wsd:9000\r\n\r\n",
+		"HTTP/1.1 200 OK\r\nContent-Length: 6\r\n\r\nqueued",
+		"HTTP/1.1 202 Accepted\r\n\r\n",
+		"HTTP/1.0 204 No Content\r\nConnection: keep-alive\r\n\r\n",
+		// Chunked edge cases: extensions, trailers, empty chunks, bad
+		// sizes, missing terminators.
+		"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n",
+		"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3;ext=1\r\nabc\r\n0\r\nX-Trailer: v\r\n\r\n",
+		"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+		"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n",
+		"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nfffffffff\r\n",
+		"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nWiki",
+		"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n-1\r\n\r\n",
+		// Malformed request lines and headers.
+		"NOT-HTTP\r\n\r\n",
+		"GET /\r\n\r\n",
+		"POST / HTTP/1.1\r\nNoColonHere\r\n\r\n",
+		"POST / HTTP/1.1\r\n: empty-name\r\n\r\n",
+		"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+		"POST / HTTP/1.1\r\nContent-Length: 99999999999999999999\r\n\r\n",
+		"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+		"HTTP/1.1 abc OK\r\n\r\n",
+		"HTTP/1.1\r\n\r\n",
+		// Oversized-head shapes (the engine will grow these).
+		"POST /" + strings.Repeat("x", 5000) + " HTTP/1.1\r\n\r\n",
+		"POST / HTTP/1.1\r\nX-Big: " + strings.Repeat("y", 9000) + "\r\n\r\n",
+		"POST / HTTP/1.1\r\n" + strings.Repeat("A: b\r\n", 2000) + "\r\n",
+		// Bare-LF line endings and binary noise.
+		"POST / HTTP/1.1\nContent-Length: 2\n\nok",
+		"\x00\x01\x02\r\n\r\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		checkHead(t, data, true)
+		checkHead(t, data, false)
+	})
+}
+
+// checkHead runs one parse of data as a request or response through
+// both body readers and cross-checks them.
+func checkHead(t *testing.T, data []byte, asRequest bool) {
+	t.Helper()
+	var (
+		gcBody, plBody   []byte
+		gcHdr, plHdr     Header
+		gcErr, plErr     error
+		gcLine1, plLine1 string
+		release          func()
+		gcResp, plResp   *Response
+		gcReq, plReq     *Request
+	)
+	if asRequest {
+		gcReq, gcErr = ReadRequest(bufio.NewReader(bytes.NewReader(data)))
+		plReq, plErr = ReadRequestPooled(bufio.NewReader(bytes.NewReader(data)))
+		if gcReq != nil {
+			gcBody, gcHdr, gcLine1 = gcReq.Body, gcReq.Header, gcReq.Method+" "+gcReq.Path+" "+gcReq.Proto
+		}
+		if plReq != nil {
+			plBody, plHdr, plLine1 = plReq.Body, plReq.Header, plReq.Method+" "+plReq.Path+" "+plReq.Proto
+			release = plReq.TakeBody()
+		}
+	} else {
+		gcResp, gcErr = ReadResponse(bufio.NewReader(bytes.NewReader(data)))
+		plResp, plErr = ReadResponsePooled(bufio.NewReader(bytes.NewReader(data)))
+		if gcResp != nil {
+			gcBody, gcHdr, gcLine1 = gcResp.Body, gcResp.Header, gcResp.Proto+" "+gcResp.Reason
+		}
+		if plResp != nil {
+			plBody, plHdr, plLine1 = plResp.Body, plResp.Header, plResp.Proto+" "+plResp.Reason
+			release = plResp.TakeBody()
+		}
+	}
+	if (gcErr == nil) != (plErr == nil) {
+		t.Fatalf("verdict divergence (request=%v): gc err=%v pooled err=%v", asRequest, gcErr, plErr)
+	}
+	if gcErr != nil {
+		return
+	}
+	if gcLine1 != plLine1 {
+		t.Fatalf("start-line divergence: %q vs %q", gcLine1, plLine1)
+	}
+	if !bytes.Equal(gcBody, plBody) {
+		t.Fatalf("body divergence: %q vs %q", gcBody, plBody)
+	}
+	if len(gcHdr) != len(plHdr) {
+		t.Fatalf("header count divergence: %v vs %v", gcHdr, plHdr)
+	}
+	for k, v := range gcHdr {
+		if plHdr[k] != v {
+			t.Fatalf("header %q divergence: %q vs %q", k, v, plHdr[k])
+		}
+	}
+	if gcResp != nil && plResp != nil && gcResp.Status != plResp.Status {
+		t.Fatalf("status divergence: %d vs %d", gcResp.Status, plResp.Status)
+	}
+	// A successfully parsed request must survive a re-encode/re-parse
+	// round trip with its body and framing intact (responses carry
+	// reason phrases that Encode may legitimately normalize, so the
+	// invariant is checked on requests). Chunked requests are exempt:
+	// Encode reframes with Content-Length but preserves the stored
+	// Transfer-Encoding header, so the re-parse would read chunk
+	// framing that is no longer there.
+	if asRequest && !gcHdr.Has("Transfer-Encoding") {
+		var buf bytes.Buffer
+		if err := gcReq.Encode(&buf); err == nil {
+			re, err := ReadRequest(bufio.NewReader(&buf))
+			if err != nil {
+				t.Fatalf("re-parse of encoded request failed: %v\nwire: %q", err, buf.Bytes())
+			}
+			if !bytes.Equal(re.Body, gcBody) {
+				t.Fatalf("body changed across re-encode: %q vs %q", gcBody, re.Body)
+			}
+		}
+	}
+	if release != nil {
+		release()
+	}
+}

@@ -28,8 +28,13 @@ type Header map[string]string
 
 // CanonicalKey converts k to HTTP canonical form (Content-Type,
 // SOAPAction → Soapaction is avoided by special-casing known mixed-case
-// names).
+// names). Keys already in canonical form — the overwhelmingly common
+// case on the wire, and every header op pays this call — are returned
+// unchanged without allocating.
 func CanonicalKey(k string) string {
+	if isCanonicalKey(k) {
+		return k
+	}
 	// Known names whose conventional spelling is not dash-canonical.
 	switch strings.ToLower(k) {
 	case "soapaction":
@@ -45,6 +50,38 @@ func CanonicalKey(k string) string {
 		parts[i] = strings.ToUpper(p[:1]) + strings.ToLower(p[1:])
 	}
 	return strings.Join(parts, "-")
+}
+
+// isCanonicalKey reports whether the slow path above would return k
+// unchanged: segment-initial letters uppercase, all other letters
+// lowercase, with the two special spellings matched exactly (any other
+// casing of them must take the slow path to be rewritten).
+func isCanonicalKey(k string) bool {
+	if k == "SOAPAction" || k == "WWW-Authenticate" {
+		return true
+	}
+	if strings.EqualFold(k, "SOAPAction") || strings.EqualFold(k, "WWW-Authenticate") {
+		return false
+	}
+	segStart := true
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		if c == '-' {
+			segStart = true
+			continue
+		}
+		if segStart {
+			if 'a' <= c && c <= 'z' {
+				return false
+			}
+			segStart = false
+			continue
+		}
+		if 'A' <= c && c <= 'Z' {
+			return false
+		}
+	}
+	return true
 }
 
 // Set stores value under the canonical form of key.

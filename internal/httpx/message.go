@@ -22,12 +22,38 @@ const maxBodyBytes = 8 << 20
 
 // Request is an HTTP request with a fully buffered body.
 //
-// Bodies read off the wire (ReadRequest/ReadResponse) are freshly
-// allocated, GC-owned slices — never pooled — so SOAP trees parsed from
-// them (which alias the body per xmlsoap's zero-copy contract) stay
-// valid for as long as they are referenced. The flip side: retaining any
-// parsed string pins the whole body, so state that outlives the exchange
-// must detach (see soap.Parse).
+// # Buffer lifecycle
+//
+// Message bodies on the hot path live in pooled buffers
+// (xmlsoap.GetBuffer storage) with single-release ownership at every
+// seam. One server-side exchange, from bytes on the socket to bytes
+// out, moves exactly two pooled buffers:
+//
+//	socket ──ReadRequestPooled──▶ Request.Body (pooled)
+//	                                 │ aliased by soap.Parse trees
+//	                                 ▼
+//	                            Handler.Serve ──▶ Response.Body (pooled,
+//	                                 │               via NewPooledResponse)
+//	                                 ▼
+//	socket ◀──Response.Encode── server writes, then releases BOTH:
+//	            resp.Release() ─▶ response buffer back to pool
+//	            req.Release()  ─▶ request buffer back to pool
+//
+// The server owns the request buffer: handlers may read Body (and parse
+// trees that alias it) freely until Serve returns, and must either
+// finish with it by then, copy out what survives (Element.Detach,
+// Envelope.Detach, strings.Clone), or take over the release duty with
+// TakeBody — echoservice.Async's reply goroutine is the canonical
+// taker. On the client side the same shape applies to responses:
+// Client.Do returns a Response whose pooled body the caller releases
+// via Response.Release (or forwards via TakeBody). Forgetting a release
+// is safe — the buffer falls to the GC and only pooling is lost; a
+// double release or a use-after-release is a bug the pool's check mode
+// (xmlsoap.EnablePoolCheck) turns into a panic.
+//
+// Bodies read with plain ReadRequest/ReadResponse remain freshly
+// allocated and GC-owned; those constructors exist for cold paths and
+// tests that want no release obligation.
 type Request struct {
 	Method string
 	// Path is the request-URI as sent on the wire, e.g. "/wsd/echo".
@@ -38,6 +64,48 @@ type Request struct {
 
 	// RemoteAddr is filled by the server with the peer address.
 	RemoteAddr string
+
+	pooledBody
+}
+
+// pooledBody is the shared release-duty mechanism embedded in Request
+// and Response, so both sides of an exchange follow one lifecycle
+// contract.
+type pooledBody struct {
+	// ReleaseBody, when non-nil, returns Body's pooled buffer; it is
+	// called exactly once by the buffer's owner (the server after the
+	// response is written, the Client.Do caller, or whoever TakeBody
+	// transferred the duty to). Body and anything aliasing it must not
+	// be touched afterwards. Use Release or TakeBody rather than
+	// calling the field directly.
+	ReleaseBody func()
+}
+
+// Release returns the message's pooled body to the pool, if it has one
+// and it was not already released or taken. It is idempotent, so owners
+// can call it unconditionally on every exit path.
+func (p *pooledBody) Release() {
+	if f := p.ReleaseBody; f != nil {
+		p.ReleaseBody = nil
+		f()
+	}
+}
+
+// TakeBody transfers ownership of the pooled body to the caller: the
+// previous owner will no longer release it when the exchange ends, and
+// the returned function must be called exactly once after the last use
+// of Body or anything aliasing it. For a GC-owned body it returns a
+// no-op, so takers need no special case. A proxy relaying a client
+// response as its own server response moves the obligation with it
+// (rpcdisp does exactly this); echoservice.Async's reply goroutine is
+// the canonical request-side taker.
+func (p *pooledBody) TakeBody() func() {
+	f := p.ReleaseBody
+	p.ReleaseBody = nil
+	if f == nil {
+		return func() {}
+	}
+	return f
 }
 
 // NewRequest builds a request with sensible defaults for this stack:
@@ -54,11 +122,7 @@ type Response struct {
 	Header Header
 	Body   []byte
 
-	// ReleaseBody, when non-nil, is called exactly once by the server
-	// after the response bytes have been written (or the write
-	// abandoned). Handlers that render Body into a pooled buffer set it
-	// to return the buffer; Body must not be touched afterwards.
-	ReleaseBody func()
+	pooledBody
 }
 
 // NewResponse builds a response with status code and body.
@@ -162,8 +226,38 @@ func (r *Response) Encode(w io.Writer) error {
 	return nil
 }
 
-// ReadRequest parses one request from br.
+// ReadRequest parses one request from br. The body is freshly
+// allocated and GC-owned; the server's hot path uses ReadRequestPooled
+// instead.
 func ReadRequest(br *bufio.Reader) (*Request, error) {
+	req, err := readRequestHead(br)
+	if err != nil {
+		return nil, err
+	}
+	req.Body, err = readBody(br, req.Header)
+	if err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// ReadRequestPooled is ReadRequest with the body read into a pooled
+// buffer: the returned request's ReleaseBody returns it to the pool.
+// The caller owns the buffer per the lifecycle contract above; on error
+// nothing is retained.
+func ReadRequestPooled(br *bufio.Reader) (*Request, error) {
+	req, err := readRequestHead(br)
+	if err != nil {
+		return nil, err
+	}
+	req.Body, req.ReleaseBody, err = readBodyPooled(br, req.Header)
+	if err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+func readRequestHead(br *bufio.Reader) (*Request, error) {
 	line, err := readLine(br)
 	if err != nil {
 		return nil, err
@@ -177,15 +271,39 @@ func ReadRequest(br *bufio.Reader) (*Request, error) {
 	if err != nil {
 		return nil, err
 	}
-	req.Body, err = readBody(br, req.Header)
-	if err != nil {
-		return nil, err
-	}
 	return req, nil
 }
 
-// ReadResponse parses one response from br.
+// ReadResponse parses one response from br. The body is freshly
+// allocated and GC-owned; the client's hot path uses ReadResponsePooled
+// instead.
 func ReadResponse(br *bufio.Reader) (*Response, error) {
+	resp, err := readResponseHead(br)
+	if err != nil {
+		return nil, err
+	}
+	resp.Body, err = readBody(br, resp.Header)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// ReadResponsePooled is ReadResponse with the body read into a pooled
+// buffer; the returned response's ReleaseBody returns it to the pool.
+func ReadResponsePooled(br *bufio.Reader) (*Response, error) {
+	resp, err := readResponseHead(br)
+	if err != nil {
+		return nil, err
+	}
+	resp.Body, resp.ReleaseBody, err = readBodyPooled(br, resp.Header)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func readResponseHead(br *bufio.Reader) (*Response, error) {
 	line, err := readLine(br)
 	if err != nil {
 		return nil, err
@@ -206,10 +324,6 @@ func ReadResponse(br *bufio.Reader) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp.Body, err = readBody(br, resp.Header)
-	if err != nil {
-		return nil, err
-	}
 	return resp, nil
 }
 
@@ -223,19 +337,44 @@ func wantsClose(proto string, h Header) bool {
 	return c == "close"
 }
 
+// readLine reads one LF-terminated line, enforcing maxHeaderBytes as it
+// accumulates so an unterminated or oversized head line fails with
+// ErrHeaderTooBig instead of ballooning memory first.
 func readLine(br *bufio.Reader) (string, error) {
-	line, err := br.ReadString('\n')
-	if err != nil {
-		return "", err
+	var long []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		if err == nil {
+			if long == nil {
+				if len(frag) > maxHeaderBytes {
+					// Unreachable with the server's 4 KiB bufio
+					// readers, but the bound must not depend on the
+					// caller's buffer size.
+					return "", ErrHeaderTooBig
+				}
+				return strings.TrimRight(string(frag), "\r\n"), nil
+			}
+			long = append(long, frag...)
+			if len(long) > maxHeaderBytes {
+				return "", ErrHeaderTooBig
+			}
+			return strings.TrimRight(string(long), "\r\n"), nil
+		}
+		if err != bufio.ErrBufferFull {
+			return "", err
+		}
+		// frag aliases br's internal buffer; copy before reading on.
+		long = append(long, frag...)
+		if len(long) > maxHeaderBytes {
+			return "", ErrHeaderTooBig
+		}
 	}
-	if len(line) > maxHeaderBytes {
-		return "", ErrHeaderTooBig
-	}
-	return strings.TrimRight(line, "\r\n"), nil
 }
 
 func readHeaders(br *bufio.Reader) (Header, error) {
-	h := Header{}
+	// Presized for the handful of headers SOAP traffic carries, so the
+	// map does not reallocate while filling.
+	h := make(Header, 8)
 	total := 0
 	for {
 		line, err := readLine(br)
@@ -253,38 +392,83 @@ func readHeaders(br *bufio.Reader) (Header, error) {
 		if i <= 0 {
 			return nil, fmt.Errorf("%w: bad header line %q", ErrMalformed, line)
 		}
-		h.Set(strings.TrimSpace(line[:i]), strings.TrimSpace(line[i+1:]))
+		key := strings.TrimSpace(line[:i])
+		if key == "" {
+			// A whitespace-only name would round-trip as ": value",
+			// which parses as malformed; reject it at the source.
+			return nil, fmt.Errorf("%w: bad header line %q", ErrMalformed, line)
+		}
+		h.Set(key, strings.TrimSpace(line[i+1:]))
 	}
 }
 
+// readBody reads the message body into a fresh GC-owned slice.
 func readBody(br *bufio.Reader, h Header) ([]byte, error) {
+	body, _, err := readBodyInto(br, h, nil)
+	return body, err
+}
+
+// readBodyPooled reads the message body into a pooled buffer and
+// returns its release function. Bodiless messages return (nil, nil) —
+// no buffer is drawn and there is nothing to release. On error the
+// buffer is released before returning.
+func readBodyPooled(br *bufio.Reader, h Header) ([]byte, func(), error) {
+	if !hasBody(h) {
+		return nil, nil, nil
+	}
+	buf := xmlsoap.GetBuffer()
+	body, n, err := readBodyInto(br, h, buf.B)
+	if err != nil {
+		xmlsoap.PutBuffer(buf)
+		return nil, nil, err
+	}
+	if n == 0 {
+		// Declared but empty body (Content-Length: 0, or a chunked
+		// stream with only the terminator).
+		xmlsoap.PutBuffer(buf)
+		return nil, nil, nil
+	}
+	buf.B = body
+	return body, func() { xmlsoap.PutBuffer(buf) }, nil
+}
+
+// hasBody reports whether the framing headers declare a body at all.
+func hasBody(h Header) bool {
+	return strings.EqualFold(h.Get("Transfer-Encoding"), "chunked") || h.Get("Content-Length") != ""
+}
+
+// readBodyInto appends the framed body to dst (which may be nil for a
+// fresh allocation or a pooled buffer's storage) and returns the
+// extended slice plus the number of body bytes read.
+func readBodyInto(br *bufio.Reader, h Header, dst []byte) ([]byte, int, error) {
 	if strings.EqualFold(h.Get("Transfer-Encoding"), "chunked") {
-		return readChunked(br)
+		return readChunkedInto(br, dst)
 	}
 	cl := h.Get("Content-Length")
 	if cl == "" {
-		return nil, nil
+		return dst, 0, nil
 	}
 	n, err := strconv.Atoi(cl)
 	if err != nil || n < 0 {
-		return nil, fmt.Errorf("%w: bad Content-Length %q", ErrMalformed, cl)
+		return dst, 0, fmt.Errorf("%w: bad Content-Length %q", ErrMalformed, cl)
 	}
 	if n > maxBodyBytes {
-		return nil, ErrBodyTooBig
+		return dst, 0, ErrBodyTooBig
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(br, body); err != nil {
-		return nil, err
+	start := len(dst)
+	dst = appendZeros(dst, n)
+	if _, err := io.ReadFull(br, dst[start:]); err != nil {
+		return dst, 0, err
 	}
-	return body, nil
+	return dst, n, nil
 }
 
-func readChunked(br *bufio.Reader) ([]byte, error) {
-	var body []byte
+func readChunkedInto(br *bufio.Reader, dst []byte) ([]byte, int, error) {
+	start := len(dst)
 	for {
 		line, err := readLine(br)
 		if err != nil {
-			return nil, err
+			return dst, 0, err
 		}
 		// Ignore chunk extensions.
 		if i := strings.IndexByte(line, ';'); i >= 0 {
@@ -292,31 +476,38 @@ func readChunked(br *bufio.Reader) ([]byte, error) {
 		}
 		size, err := strconv.ParseInt(strings.TrimSpace(line), 16, 32)
 		if err != nil || size < 0 {
-			return nil, fmt.Errorf("%w: bad chunk size %q", ErrMalformed, line)
+			return dst, 0, fmt.Errorf("%w: bad chunk size %q", ErrMalformed, line)
 		}
 		if size == 0 {
 			// Trailer section: read until blank line.
 			for {
 				t, err := readLine(br)
 				if err != nil {
-					return nil, err
+					return dst, 0, err
 				}
 				if t == "" {
-					return body, nil
+					return dst, len(dst) - start, nil
 				}
 			}
 		}
-		if len(body)+int(size) > maxBodyBytes {
-			return nil, ErrBodyTooBig
+		if len(dst)-start+int(size) > maxBodyBytes {
+			return dst, 0, ErrBodyTooBig
 		}
-		chunk := make([]byte, size)
-		if _, err := io.ReadFull(br, chunk); err != nil {
-			return nil, err
+		chunkStart := len(dst)
+		dst = appendZeros(dst, int(size))
+		if _, err := io.ReadFull(br, dst[chunkStart:]); err != nil {
+			return dst, 0, err
 		}
-		body = append(body, chunk...)
 		// Trailing CRLF after each chunk.
 		if _, err := readLine(br); err != nil {
-			return nil, err
+			return dst, 0, err
 		}
 	}
+}
+
+// appendZeros extends dst by n zero bytes, reusing capacity when it can
+// (the compiler lowers this append form to growslice+memclr with no
+// temporary).
+func appendZeros(dst []byte, n int) []byte {
+	return append(dst, make([]byte, n)...)
 }

@@ -14,6 +14,15 @@ import (
 
 // Handler processes one request and returns the response to send. A nil
 // response produces 500.
+//
+// Ownership: req.Body lives in a pooled buffer the server releases
+// after the response has been written, so the body — and any parsed
+// tree aliasing it (soap.Parse) — is valid until Serve returns and
+// while the returned response is encoded (a response may alias the
+// request body it echoes). A handler that needs the body past that
+// point must either copy out what survives (Element.Detach,
+// Envelope.Detach, strings.Clone) or assume the release duty with
+// req.TakeBody. See the buffer-lifecycle diagram on Request.
 type Handler interface {
 	Serve(req *Request) *Response
 }
@@ -162,7 +171,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		conn.SetReadDeadline(clk.Now().Add(wait))
 
-		req, err := ReadRequest(br)
+		req, err := ReadRequestPooled(br)
 		if err != nil {
 			if err != io.EOF {
 				s.Errors.Inc()
@@ -181,9 +190,13 @@ func (s *Server) serveConn(conn net.Conn) {
 			conn.SetWriteDeadline(clk.Now().Add(s.cfg.WriteTimeout))
 		}
 		err = resp.Encode(conn)
-		if resp.ReleaseBody != nil {
-			resp.ReleaseBody()
-		}
+		// Both pooled bodies are done once the response bytes are out
+		// (the response may alias the request body it echoes, so the
+		// request buffer is only released after the write). A handler
+		// that called req.TakeBody cleared ReleaseBody, making the
+		// request release a no-op here.
+		resp.Release()
+		req.Release()
 		if err != nil {
 			s.Errors.Inc()
 			return

@@ -37,6 +37,7 @@ import (
 	"repro/internal/soap"
 	"repro/internal/stats"
 	"repro/internal/wsa"
+	"repro/internal/xmlsoap"
 )
 
 // ServiceNS is the RPC namespace of the mailbox management operations.
@@ -121,7 +122,12 @@ type Mailbox struct {
 	// Created is the creation timestamp.
 	Created time.Time
 
-	msgs *queue.FIFO[[]byte]
+	// msgs holds stored payloads as pooled buffers the mailbox owns:
+	// each buffer is drawn at delivery (serveDeliver copies the request
+	// body into it, since stored messages outlive the exchange) and
+	// released exactly once — when the owner takes the message, when
+	// the box is destroyed, or when a full box refuses it.
+	msgs *queue.FIFO[*xmlsoap.Buffer]
 }
 
 // Service is the WS-MsgBox server. It implements httpx.Handler for both
@@ -168,9 +174,18 @@ func (s *Service) Stop() {
 		s.store.Stop()
 	}
 	s.boxes.Range(func(_ string, mb *Mailbox) bool {
-		mb.msgs.Close()
+		releaseBox(mb)
 		return true
 	})
+}
+
+// releaseBox closes a mailbox and returns its undelivered payload
+// buffers to the pool (each stored buffer's single release).
+func releaseBox(mb *Mailbox) {
+	mb.msgs.Close()
+	for _, payload := range mb.msgs.Drain() {
+		xmlsoap.PutBuffer(payload)
+	}
 }
 
 // Boxes returns the number of live mailboxes.
@@ -207,9 +222,13 @@ func (s *Service) serveDeliver(boxID string, req *httpx.Request) *httpx.Response
 		return faultResponse(httpx.StatusNotFound, soap.FaultClient, "no such mailbox")
 	}
 	// Stored messages outlive the exchange (ROADMAP "Wire codec"
-	// copy-out rule), so the body is copied rather than retained.
-	payload := make([]byte, len(req.Body))
-	copy(payload, req.Body)
+	// copy-out rule), so the request body — itself a pooled buffer the
+	// HTTP server releases after this response — is copied into a
+	// buffer of the mailbox's own before Serve returns. From here the
+	// payload buffer has single-release ownership: storeMessage's
+	// refusal path, rpcTake, or releaseBox returns it to the pool.
+	payload := xmlsoap.GetBuffer()
+	payload.B = append(payload.B, req.Body...)
 
 	switch s.cfg.Mode {
 	case ModeBuggy:
@@ -220,9 +239,10 @@ func (s *Service) serveDeliver(boxID string, req *httpx.Request) *httpx.Response
 }
 
 // deliverFixed hands the store to the bounded pool: the redesign.
-func (s *Service) deliverFixed(mb *Mailbox, payload []byte) *httpx.Response {
+func (s *Service) deliverFixed(mb *Mailbox, payload *xmlsoap.Buffer) *httpx.Response {
 	err := s.store.TrySubmit(func() { s.storeMessage(mb, payload) })
 	if err != nil {
+		xmlsoap.PutBuffer(payload)
 		s.StoreFailures.Inc()
 		return faultResponse(httpx.StatusServiceUnavailable, soap.FaultServer, "mailbox store overloaded")
 	}
@@ -233,8 +253,9 @@ func (s *Service) deliverFixed(mb *Mailbox, payload []byte) *httpx.Response {
 // message, each lingering while it "tries to send a reply message". The
 // thread stack is charged to the ledger; exhaustion is the
 // OutOfMemoryError of §4.3.2.
-func (s *Service) deliverBuggy(mb *Mailbox, payload []byte) *httpx.Response {
+func (s *Service) deliverBuggy(mb *Mailbox, payload *xmlsoap.Buffer) *httpx.Response {
 	if err := s.cfg.Ledger.SpawnThread(); err != nil {
+		xmlsoap.PutBuffer(payload)
 		s.OOMEvents.Inc()
 		s.StoreFailures.Inc()
 		return faultResponse(httpx.StatusInternalServerError, soap.FaultServer,
@@ -253,8 +274,9 @@ func (s *Service) deliverBuggy(mb *Mailbox, payload []byte) *httpx.Response {
 	return httpx.NewResponse(httpx.StatusAccepted, nil)
 }
 
-func (s *Service) storeMessage(mb *Mailbox, payload []byte) {
+func (s *Service) storeMessage(mb *Mailbox, payload *xmlsoap.Buffer) {
 	if err := mb.msgs.TryPut(payload); err != nil {
+		xmlsoap.PutBuffer(payload)
 		s.StoreFailures.Inc()
 		return
 	}
@@ -296,7 +318,7 @@ func (s *Service) rpcCreate(v soap.Version) *httpx.Response {
 		ID:      randomID(16),
 		Token:   randomID(16),
 		Created: s.cfg.Clock.Now(),
-		msgs:    queue.New[[]byte](s.cfg.BoxCap),
+		msgs:    queue.New[*xmlsoap.Buffer](s.cfg.BoxCap),
 	}
 	s.boxes.Put(mb.ID, mb)
 	s.Created.Inc()
@@ -341,7 +363,10 @@ func (s *Service) rpcTake(v soap.Version, call *soap.Call) *httpx.Response {
 			break
 		}
 		n++
-		params = append(params, soap.Param{Name: fmt.Sprintf("msg%d", n), Value: string(payload)})
+		// The string conversion copies the payload into the response
+		// being built, which is the taken buffer's last use.
+		params = append(params, soap.Param{Name: fmt.Sprintf("msg%d", n), Value: string(payload.B)})
+		xmlsoap.PutBuffer(payload)
 	}
 	params[0].Value = strconv.Itoa(n)
 	s.Taken.Add(int64(n))
@@ -361,8 +386,8 @@ func (s *Service) rpcDestroy(v soap.Version, call *soap.Call) *httpx.Response {
 	if failure != nil {
 		return failure
 	}
-	mb.msgs.Close()
 	s.boxes.Delete(mb.ID)
+	releaseBox(mb)
 	s.Destroyed.Inc()
 	return rpcOK(v, OpDestroy, soap.Param{Name: "destroyed", Value: "true"})
 }

@@ -316,10 +316,11 @@ func (r *Registry) CheckAlive(client *httpx.Client, timeout time.Duration) int {
 				continue
 			}
 			req := httpx.NewRequest("GET", path, nil)
-			if _, err := client.DoTimeout(addr, req, timeout); err != nil {
+			if resp, err := client.DoTimeout(addr, req, timeout); err != nil {
 				ep.alive.Store(false)
 				dead++
 			} else {
+				resp.Release() // liveness only needs the status line
 				ep.alive.Store(true)
 			}
 		}

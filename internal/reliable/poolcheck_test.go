@@ -1,0 +1,17 @@
+package reliable
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/xmlsoap"
+)
+
+// TestMain turns on the pooled-buffer lifecycle checker for this suite:
+// every PutBuffer poisons the released bytes, and a double release or a
+// write through a stale alias panics instead of corrupting another
+// exchange's message. See xmlsoap.EnablePoolCheck.
+func TestMain(m *testing.M) {
+	xmlsoap.EnablePoolCheck()
+	os.Exit(m.Run())
+}

@@ -11,6 +11,7 @@
 package reliable
 
 import (
+	"strings"
 	"sync"
 	"time"
 
@@ -139,13 +140,20 @@ func (c *Courier) Send(destURL string, env *soap.Envelope) (string, error) {
 // SendPayload enqueues an already-serialized message. The MSG-Dispatcher
 // uses it to hand failed deliveries over for hold/retry without
 // re-parsing. An empty id gets a fresh MessageID.
+//
+// Ownership: the payload, id and destination are copied out — the store
+// holds them until delivery or TTL expiry, while callers routinely pass
+// bytes and strings that alias a pooled message buffer they release on
+// return.
 func (c *Courier) SendPayload(destURL, id string, payload []byte) (string, error) {
 	if id == "" {
 		id = wsa.NewMessageID()
+	} else {
+		id = strings.Clone(id)
 	}
 	m := &store.Message{
 		ID:          id,
-		Destination: destURL,
+		Destination: strings.Clone(destURL),
 		Payload:     append([]byte(nil), payload...),
 		Expires:     c.cfg.Clock.Now().Add(c.cfg.DefaultTTL),
 	}
@@ -232,5 +240,9 @@ func (c *Courier) deliverOnce(m *store.Message) bool {
 	req := httpx.NewRequest("POST", path, m.Payload)
 	req.Header.Set("Content-Type", soap.V11.ContentType())
 	resp, err := c.client.DoTimeout(addr, req, c.cfg.AttemptTimeout)
-	return err == nil && resp.Status < 300
+	if err != nil {
+		return false
+	}
+	resp.Release() // only the status matters; the pooled ack body is unused
+	return resp.Status < 300
 }

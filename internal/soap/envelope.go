@@ -165,7 +165,9 @@ func (e *Envelope) Marshal() ([]byte, error) {
 	return xmlsoap.Render(e.AppendTo)
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. Strings still alias their source (for a
+// parsed envelope, the input buffer); use Detach when the copy must
+// outlive the buffer the envelope was parsed from.
 func (e *Envelope) Clone() *Envelope {
 	c := &Envelope{Version: e.Version}
 	for _, h := range e.Header {
@@ -173,6 +175,22 @@ func (e *Envelope) Clone() *Envelope {
 	}
 	for _, b := range e.Body {
 		c.Body = append(c.Body, b.Clone())
+	}
+	return c
+}
+
+// Detach returns a deep copy whose strings are freshly allocated, so the
+// copy stays valid after the buffer the envelope was parsed from is
+// released or recycled. Any parsed envelope handed across an exchange
+// boundary (the MSG-Dispatcher's anonymous-reply waiter is the canonical
+// case) must travel detached.
+func (e *Envelope) Detach() *Envelope {
+	c := &Envelope{Version: e.Version}
+	for _, h := range e.Header {
+		c.Header = append(c.Header, h.Detach())
+	}
+	for _, b := range e.Body {
+		c.Body = append(c.Body, b.Detach())
 	}
 	return c
 }
@@ -189,10 +207,12 @@ var (
 // aliasing contract): data must not be modified while the envelope is
 // live, and header values or body elements retained past the exchange
 // that produced data must be copied out first (strings.Clone,
-// xmlsoap.Element.Detach, wsa.Headers.Detach). HTTP bodies in this stack
-// are GC-owned, so the envelope keeps them alive automatically; parsing
-// bytes from a pooled buffer additionally requires detaching before the
-// buffer is released.
+// xmlsoap.Element.Detach, wsa.Headers.Detach, Envelope.Detach). HTTP
+// bodies in this stack live in pooled buffers (httpx reads request and
+// response bodies into xmlsoap.GetBuffer storage), so an envelope parsed
+// from one is valid only until the exchange's owner releases the buffer
+// — within an httpx handler, until Serve returns; for an httpx client
+// response, until Response.Release.
 func Parse(data []byte) (*Envelope, error) {
 	root, err := xmlsoap.Parse(data)
 	if err != nil {

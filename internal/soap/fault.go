@@ -2,6 +2,7 @@ package soap
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/xmlsoap"
 )
@@ -28,6 +29,18 @@ const (
 // Error implements error so services can return faults directly.
 func (f *Fault) Error() string {
 	return fmt.Sprintf("soap fault %s: %s", f.Code, f.Reason)
+}
+
+// Detach returns a copy with freshly allocated strings. A fault
+// extracted from a parsed envelope aliases the message buffer (the
+// xmlsoap aliasing contract); callers that surface it as an error after
+// releasing a pooled body must detach it first.
+func (f *Fault) Detach() *Fault {
+	return &Fault{
+		Code:   strings.Clone(f.Code),
+		Reason: strings.Clone(f.Reason),
+		Detail: strings.Clone(f.Detail),
+	}
 }
 
 // Envelope wraps the fault in an envelope of the given version.

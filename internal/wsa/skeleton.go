@@ -53,6 +53,74 @@ func MarshalEnvelope(env *soap.Envelope) ([]byte, error) {
 	})
 }
 
+// AppendRewritten appends env's document bytes to dst with h replacing
+// every WS-Addressing header block — the dispatcher's rewrite-and-
+// re-marshal step fused into one render. When env carries only
+// WS-Addressing headers and h fits a skeleton shape (text fields plus
+// Address-only EPRs), the header values are spliced straight from h's
+// fields without materializing a single header element; otherwise it
+// falls back to h.Apply(env) followed by the general streaming path.
+// Output is byte-identical to Apply+AppendEnvelope in all cases. env may
+// be mutated (the fallback applies h in place), so it must not be reused
+// as the pre-rewrite message afterwards.
+func AppendRewritten(dst []byte, env *soap.Envelope, h *Headers) ([]byte, error) {
+	var vals [len(fieldLocals)]string
+	mask, n, ok := classifyHeaders(env, h, &vals)
+	if !ok {
+		h.Apply(env)
+		return AppendEnvelope(dst, env)
+	}
+	sk, err := skeletonFor(env.Version, mask)
+	if err != nil {
+		h.Apply(env)
+		return env.AppendTo(dst)
+	}
+	return sk.Append(dst, vals[:n], env.Body)
+}
+
+// classifyHeaders is classify's twin for a Headers struct standing in
+// for the blocks Apply would emit: it reports whether rendering h over
+// env's body can use a skeleton, mirroring Apply's emission rules (empty
+// text fields and nil EPRs are omitted) and classify's shape limits
+// (non-empty body, no foreign header blocks left in env, EPRs carrying
+// only a non-empty Address).
+func classifyHeaders(env *soap.Envelope, h *Headers, vals *[len(fieldLocals)]string) (mask uint8, n int, ok bool) {
+	if len(env.Body) == 0 {
+		return 0, 0, false
+	}
+	// Apply removes only the seven addressing fields before re-emitting
+	// h, so any other header block — foreign namespace or an unknown
+	// WS-Addressing local — survives the rewrite and needs the general
+	// path; the skeleton cannot frame it.
+	for _, block := range env.Header {
+		if block.Name.Space != NS || fieldIndex(block.Name.Local) < 0 {
+			return 0, 0, false
+		}
+	}
+	texts := [eprFieldStart]string{h.To, h.Action, h.MessageID, h.RelatesTo}
+	for f, v := range texts {
+		if v == "" {
+			continue
+		}
+		vals[n] = v
+		mask |= 1 << f
+		n++
+	}
+	eprs := [...]*EPR{h.From, h.ReplyTo, h.FaultTo}
+	for i, e := range eprs {
+		if e == nil {
+			continue
+		}
+		if e.Address == "" || len(e.Properties) > 0 {
+			return 0, 0, false
+		}
+		vals[n] = e.Address
+		mask |= 1 << (eprFieldStart + i)
+		n++
+	}
+	return mask, n, true
+}
+
 // classify reports whether env can be rendered from a skeleton: every
 // header block must be a plain WS-Addressing field (no attributes, no
 // foreign blocks, non-empty values, canonical order, EPRs carrying only

@@ -144,6 +144,95 @@ func TestSkeletonMatchesApply(t *testing.T) {
 	checkIdentical(t, env)
 }
 
+// TestAppendRewrittenMatchesApply proves the fused rewrite path emits
+// bytes identical to the Apply + AppendEnvelope sequence it replaces,
+// across fast-path shapes and every fallback reason (reference
+// properties, foreign header blocks, empty bodies, empty EPR
+// addresses). Two envelope copies are rendered because both calls may
+// mutate their envelope's headers.
+func TestAppendRewrittenMatchesApply(t *testing.T) {
+	body := xmlsoap.NewText("urn:wsd:echo", "echo", "payload")
+	headerSets := map[string]*Headers{
+		"full": {
+			To: "http://ws:81/msg", Action: "urn:a", MessageID: "urn:uuid:1",
+			RelatesTo: "urn:uuid:2", From: &EPR{Address: "http://c:90/msg"},
+			ReplyTo: &EPR{Address: "http://wsd:9100/msg"}, FaultTo: &EPR{Address: "http://f:1/msg"},
+		},
+		"sparse":     {To: "logical:echo", ReplyTo: &EPR{Address: "http://wsd:9100/msg"}},
+		"to-only":    {To: `http://host:99/p?a=1&b="2"`},
+		"escaping":   {To: "urn:<a>&b", Action: `x"y'z`, MessageID: "urn:uuid:3"},
+		"properties": {To: "urn:t", ReplyTo: &EPR{Address: "http://m/box", Properties: map[string]string{"token": "t"}}},
+		"empty-addr": {To: "urn:t", ReplyTo: &EPR{Address: ""}},
+	}
+	envs := map[string]func() *soap.Envelope{
+		"plain-body": func() *soap.Envelope { return soap.New(soap.V11).SetBody(body.Clone()) },
+		"v12":        func() *soap.Envelope { return soap.New(soap.V12).SetBody(body.Clone()) },
+		"empty-body": func() *soap.Envelope { return soap.New(soap.V11) },
+		"stale-wsa-headers": func() *soap.Envelope {
+			e := soap.New(soap.V11).SetBody(body.Clone())
+			(&Headers{To: "urn:old", MessageID: "urn:uuid:old"}).Apply(e)
+			return e
+		},
+		"foreign-header": func() *soap.Envelope {
+			return soap.New(soap.V11).SetBody(body.Clone()).
+				AddHeader(xmlsoap.NewText("urn:other", "Security", "s"))
+		},
+		"unknown-wsa-local": func() *soap.Envelope {
+			// Apply preserves WSA-namespace blocks outside the seven
+			// addressing fields; the fused path must not drop them.
+			return soap.New(soap.V11).SetBody(body.Clone()).
+				AddHeader(xmlsoap.NewText(NS, "ProblemAction", "urn:x"))
+		},
+	}
+	for ename, mk := range envs {
+		for hname, h := range headerSets {
+			t.Run(ename+"/"+hname, func(t *testing.T) {
+				ref := mk()
+				h.Apply(ref)
+				want, err := MarshalEnvelope(ref)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := AppendRewritten(nil, mk(), h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("AppendRewritten drift:\napply: %q\nfused: %q", want, got)
+				}
+			})
+		}
+	}
+}
+
+// TestAppendRewrittenZeroAlloc gates the fused rewrite the dispatchers
+// pay per forwarded message: splicing header values straight from the
+// Headers struct into a reused buffer must not allocate.
+func TestAppendRewrittenZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool caching is randomized under the race detector")
+	}
+	env := soap.New(soap.V11).SetBody(xmlsoap.NewText("urn:wsd:echo", "echo", "payload"))
+	h := &Headers{
+		To:        "http://ws:81/msg",
+		Action:    "urn:wsd:echo:echo",
+		MessageID: "urn:uuid:00000000-0000-4000-8000-000000000000",
+		ReplyTo:   &EPR{Address: "http://wsd:9100/msg"},
+	}
+	dst := make([]byte, 0, 4096)
+	if _, err := AppendRewritten(dst, env, h); err != nil { // warm cache
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := AppendRewritten(dst, env, h); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendRewritten allocated %.1f times per op, want 0", allocs)
+	}
+}
+
 // TestSkeletonZeroAlloc is the allocation-regression gate for the
 // cached-skeleton hot path: rendering a fully addressed envelope into a
 // reused buffer must not allocate (budget: 0 allocs/op).

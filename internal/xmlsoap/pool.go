@@ -1,14 +1,17 @@
 package xmlsoap
 
 import (
+	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // Buffer is a reusable byte buffer drawn from the package-wide pool. The
 // dispatch hot path renders every envelope into one of these and hands the
-// bytes straight to the HTTP connection writer, so steady-state message
-// traffic allocates nothing per message.
+// bytes straight to the HTTP connection writer, and the HTTP codec reads
+// request and response bodies into them, so steady-state message traffic
+// allocates nothing per message.
 //
 // Ownership contract (ROADMAP.md "Wire codec"):
 //
@@ -22,7 +25,15 @@ import (
 //   - Bytes that outlive the exchange that produced them (queued payloads,
 //     store-and-forward records, parsed trees) must be copied out before
 //     the buffer is released.
-type Buffer struct{ B []byte }
+type Buffer struct {
+	B []byte
+
+	// pooled is the lifecycle checker's state bit: 1 while the buffer is
+	// inside the pool, 0 while a caller owns it. It is only maintained
+	// when pool checking is enabled (EnablePoolCheck or the poolcheck
+	// build tag), and costs one word per buffer otherwise.
+	pooled atomic.Uint32
+}
 
 // maxPooledBuffer caps the capacity the pool retains, so one oversized
 // message (a WSDL document, a batched mailbox download) cannot pin memory
@@ -31,19 +42,91 @@ const maxPooledBuffer = 64 << 10
 
 var bufPool = sync.Pool{New: func() any { return &Buffer{B: make([]byte, 0, 1024)} }}
 
+// poisonByte fills released buffers in check mode so a use-after-Put
+// write is detectable when the buffer next leaves the pool.
+const poisonByte = 0xDB
+
+// poolCheckOn gates the buffer-lifecycle checker; poolLive counts
+// buffers currently owned by callers (Gets minus Puts) while it is on.
+var (
+	poolCheckOn atomic.Bool
+	poolLive    atomic.Int64
+)
+
+// EnablePoolCheck turns on the buffer-lifecycle checker for the rest of
+// the process: PutBuffer poisons the released bytes and panics on a
+// double Put, and GetBuffer panics when a poisoned buffer was written to
+// while it sat in the pool (a use-after-Put). The test suites of every
+// package that touches pooled message bytes enable it in TestMain (and
+// the `poolcheck` build tag enables it for whole binaries), so lifecycle
+// bugs surface as panics in tier-1 rather than as corrupted messages in
+// production. Checking is append-only: there is no disable, because
+// buffers poisoned under the old mode would trip verification after a
+// toggle.
+func EnablePoolCheck() { poolCheckOn.Store(true) }
+
+// PoolCheckEnabled reports whether the lifecycle checker is on.
+func PoolCheckEnabled() bool { return poolCheckOn.Load() }
+
+// PoolLive returns the number of pooled buffers currently owned by
+// callers (Gets minus Puts since checking was enabled). Leak tests
+// snapshot it before an exchange and assert it returns to the baseline
+// after: a positive drift means a buffer was neither released nor
+// intentionally leaked to the GC. Always 0 while checking is disabled.
+func PoolLive() int64 { return poolLive.Load() }
+
 // GetBuffer returns a pooled buffer with length reset to zero.
 func GetBuffer() *Buffer {
 	b := bufPool.Get().(*Buffer)
+	if poolCheckOn.Load() {
+		if b.pooled.Swap(0) == 1 {
+			verifyPoison(b)
+		}
+		poolLive.Add(1)
+	}
 	b.B = b.B[:0]
 	return b
 }
 
 // PutBuffer returns buf to the pool. A nil buffer is ignored.
 func PutBuffer(buf *Buffer) {
-	if buf == nil || cap(buf.B) > maxPooledBuffer {
+	if buf == nil {
+		return
+	}
+	if poolCheckOn.Load() {
+		if buf.pooled.Swap(1) == 1 {
+			panic("xmlsoap: double PutBuffer of the same buffer")
+		}
+		poolLive.Add(-1)
+		poison(buf)
+	}
+	if cap(buf.B) > maxPooledBuffer {
 		return
 	}
 	bufPool.Put(buf)
+}
+
+// poison overwrites the buffer's full capacity with the poison pattern.
+// Any caller that kept an alias past PutBuffer now reads garbage
+// immediately instead of another exchange's bytes, and any write is
+// caught by verifyPoison when the buffer next leaves the pool.
+func poison(buf *Buffer) {
+	b := buf.B[:cap(buf.B)]
+	for i := range b {
+		b[i] = poisonByte
+	}
+}
+
+// verifyPoison panics if the poison pattern laid down by PutBuffer was
+// disturbed while the buffer sat in the pool — evidence that a caller
+// wrote through a retained alias after releasing.
+func verifyPoison(buf *Buffer) {
+	b := buf.B[:cap(buf.B)]
+	for i := range b {
+		if b[i] != poisonByte {
+			panic(fmt.Sprintf("xmlsoap: pooled buffer written after PutBuffer (offset %d of %d)", i, len(b)))
+		}
+	}
 }
 
 // Render runs an append-style serializer against a pooled buffer and

@@ -1,0 +1,9 @@
+//go:build poolcheck
+
+package xmlsoap
+
+// Building with the poolcheck tag turns the buffer-lifecycle checker on
+// for the whole binary (CI's race job does this), so double-Put and
+// use-after-Put bugs panic in any test or daemon, not only in the suites
+// that opt in via TestMain.
+func init() { EnablePoolCheck() }

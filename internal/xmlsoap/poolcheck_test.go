@@ -1,0 +1,82 @@
+package xmlsoap
+
+import (
+	"runtime"
+	"testing"
+)
+
+// The lifecycle checker is process-global and append-only, so these
+// tests enable it and leave it on; the rest of the xmlsoap suite runs
+// correctly either way (the alloc gates allocate nothing extra in check
+// mode, which TestParseSteadyStateAllocs would catch).
+
+func TestPoolCheckDoublePutPanics(t *testing.T) {
+	EnablePoolCheck()
+	buf := GetBuffer()
+	PutBuffer(buf)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second PutBuffer of the same buffer did not panic")
+		}
+	}()
+	PutBuffer(buf)
+}
+
+func TestPoolCheckUseAfterPutPanics(t *testing.T) {
+	EnablePoolCheck()
+	buf := GetBuffer()
+	buf.B = append(buf.B, "message being built"...)
+	held := buf.B // the bug under test: an alias retained past release
+	PutBuffer(buf)
+	held[3] = 'X' // use-after-Put write through the alias
+
+	// sync.Pool places the released buffer in the current P's private
+	// slot, so the very next Get on this goroutine draws it back and the
+	// poison verification must panic (the panicking Get removes the
+	// buffer from the pool first, so nothing tainted remains behind).
+	caught := func() (c bool) {
+		defer func() { c = recover() != nil }()
+		for i := 0; i < 64; i++ {
+			if b := GetBuffer(); b == buf {
+				t.Fatal("poisoned buffer handed out without panic")
+			}
+		}
+		return false
+	}()
+	// Purge the pool in case the runtime rearranged it and the tainted
+	// buffer was never re-drawn (two GC cycles empty sync.Pool), so it
+	// cannot ambush a later test's GetBuffer.
+	runtime.GC()
+	runtime.GC()
+	if !caught {
+		t.Skip("poisoned buffer not re-drawn by this goroutine; pool purged")
+	}
+}
+
+func TestPoolCheckPoisonsReleasedBytes(t *testing.T) {
+	EnablePoolCheck()
+	buf := GetBuffer()
+	buf.B = append(buf.B, "sensitive payload"...)
+	held := buf.B
+	PutBuffer(buf)
+	for i, c := range held {
+		if c != poisonByte {
+			t.Fatalf("byte %d = %#x after PutBuffer, want poison %#x", i, c, poisonByte)
+		}
+	}
+	// Un-poison nothing: the buffer is only legal to touch via GetBuffer.
+}
+
+func TestPoolLiveCountsOutstandingBuffers(t *testing.T) {
+	EnablePoolCheck()
+	base := PoolLive()
+	a, b := GetBuffer(), GetBuffer()
+	if got := PoolLive(); got != base+2 {
+		t.Fatalf("PoolLive = %d after two Gets, want %d", got, base+2)
+	}
+	PutBuffer(a)
+	PutBuffer(b)
+	if got := PoolLive(); got != base {
+		t.Fatalf("PoolLive = %d after releases, want baseline %d", got, base)
+	}
+}
