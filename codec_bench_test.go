@@ -11,9 +11,13 @@
 package repro_test
 
 import (
+	"bufio"
+	"bytes"
 	"testing"
 
 	"repro/internal/echoservice"
+	"repro/internal/httpx"
+	"repro/internal/httpx/refhead"
 	"repro/internal/soap"
 	"repro/internal/wsa"
 	"repro/internal/xmlsoap"
@@ -164,6 +168,42 @@ func BenchmarkRoundTrip(b *testing.B) {
 			rewritten.To = "http://ws1:81/msg"
 			rewritten.ReplyTo = selfEPR
 			if _, err := wsa.AppendRewritten(dst, env, &rewritten); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkReadHead measures one HTTP request read — head parse plus
+// body framing — end to end over an in-memory reader: the unit every
+// dispatch hop pays on both sides of a connection. "pooled" is the
+// in-place parser reading into a pooled head+body buffer (steady state:
+// one allocation, the *Request itself); "refhead" is the frozen
+// map-based seed parser kept as the FuzzHead oracle. Run without the
+// poolcheck tag for representative numbers — poison scans dominate
+// otherwise.
+func BenchmarkReadHead(b *testing.B) {
+	raw := []byte("POST /msg HTTP/1.1\r\nContent-Type: text/xml; charset=utf-8\r\nContent-Length: 7\r\nHost: wsd:9100\r\n\r\n<soap/>")
+	src := bytes.NewReader(raw)
+	br := bufio.NewReader(src)
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			src.Reset(raw)
+			br.Reset(src)
+			req, err := httpx.ReadRequestPooled(br)
+			if err != nil {
+				b.Fatal(err)
+			}
+			req.Release()
+		}
+	})
+	b.Run("refhead", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			src.Reset(raw)
+			br.Reset(src)
+			if _, err := refhead.ReadRequest(br); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -41,16 +41,43 @@ type Timer struct {
 	// AfterFunc timers.
 	C <-chan time.Time
 
-	stop func() bool
+	// Exactly one of rt/vt is set; dispatching on a field instead of
+	// closures keeps timer construction lean — experiment workloads
+	// create timers by the hundred thousand.
+	rt *time.Timer
+	vt *vtimer
 }
 
 // Stop cancels the timer. It reports whether the call prevented the timer
 // from firing. Stop is idempotent.
 func (t *Timer) Stop() bool {
-	if t == nil || t.stop == nil {
+	switch {
+	case t == nil:
 		return false
+	case t.rt != nil:
+		return t.rt.Stop()
+	case t.vt != nil:
+		return t.vt.stop()
 	}
-	return t.stop()
+	return false
+}
+
+// Reset re-arms the timer to fire after d, reporting whether it was
+// still pending. It carries time.Timer.Reset's caveat: callers that may
+// have let the timer fire must Stop and drain C before Reset, or a
+// stale fire can satisfy the next wait immediately. Loops that would
+// otherwise allocate a fresh timer per iteration (hold-open windows,
+// per-message waits) Reset one timer instead.
+func (t *Timer) Reset(d time.Duration) bool {
+	switch {
+	case t == nil:
+		return false
+	case t.rt != nil:
+		return t.rt.Reset(d)
+	case t.vt != nil:
+		return t.vt.reset(d)
+	}
+	return false
 }
 
 // Real is the wall Clock backed by package time. The zero value is ready to
@@ -76,11 +103,10 @@ func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
 // NewTimer implements Clock.
 func (Real) NewTimer(d time.Duration) *Timer {
 	t := time.NewTimer(d)
-	return &Timer{C: t.C, stop: t.Stop}
+	return &Timer{C: t.C, rt: t}
 }
 
 // AfterFunc implements Clock.
 func (Real) AfterFunc(d time.Duration, f func()) *Timer {
-	t := time.AfterFunc(d, f)
-	return &Timer{stop: t.Stop}
+	return &Timer{rt: time.AfterFunc(d, f)}
 }

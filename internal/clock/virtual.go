@@ -110,15 +110,61 @@ func (v *Virtual) After(d time.Duration) <-chan time.Time {
 
 // NewTimer implements Clock.
 func (v *Virtual) NewTimer(d time.Duration) *Timer {
-	ch := make(chan time.Time, 1)
-	w := v.register(d, func(t time.Time) { ch <- t })
-	return &Timer{C: ch, stop: func() bool { return v.cancel(w) }}
+	t := &vtimer{v: v, ch: make(chan time.Time, 1)}
+	t.fireFn = t.fire
+	t.w = v.register(d, t.fireFn)
+	return &Timer{C: t.ch, vt: t}
 }
 
 // AfterFunc implements Clock.
 func (v *Virtual) AfterFunc(d time.Duration, f func()) *Timer {
-	w := v.register(d, func(time.Time) { go f() })
-	return &Timer{stop: func() bool { return v.cancel(w) }}
+	t := &vtimer{v: v, f: f}
+	t.fireFn = t.fire
+	t.w = v.register(d, t.fireFn)
+	return &Timer{vt: t}
+}
+
+// vtimer is a Virtual-clock timer that can be stopped and re-armed:
+// Stop and Reset swap the underlying heap waiter under a lock,
+// mirroring time.Timer semantics (including the stale-fire caveat on
+// Reset). The fire callback is bound once (fireFn) so registration and
+// re-registration allocate nothing beyond the waiter itself.
+type vtimer struct {
+	v  *Virtual
+	ch chan time.Time // channel timers; nil for AfterFunc
+	f  func()         // AfterFunc callback; nil for channel timers
+
+	fireFn func(time.Time)
+
+	mu sync.Mutex
+	w  *waiter
+}
+
+func (t *vtimer) fire(now time.Time) {
+	if t.f != nil {
+		go t.f()
+		return
+	}
+	// Non-blocking send, like time.Timer's sendTime: with Reset reuse a
+	// stale fire may still sit in C, and the pump must never block on it.
+	select {
+	case t.ch <- now:
+	default:
+	}
+}
+
+func (t *vtimer) stop() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.v.cancel(t.w)
+}
+
+func (t *vtimer) reset(d time.Duration) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	active := t.v.cancel(t.w)
+	t.w = t.v.register(d, t.fireFn)
+	return active
 }
 
 // Advance manually moves the clock forward by d, firing every timer whose

@@ -75,21 +75,24 @@ func (n memNet) DialTimeout(addr string, _ time.Duration) (net.Conn, error) {
 // render, WsThread delivery to an RPC echo service, synchronous-answer
 // bridge, anonymous-reply hand-back — measured bytes-in to bytes-out.
 //
-// The bound it enforces is the tentpole claim: zero GC-owned
-// message-body allocations in the steady state. Per-exchange small
-// allocations remain (header maps and strings on four HTTP hops, the
-// pending-reply entry, timers, channel ops) and are budgeted by
-// maxAllocs below; what may not appear is the ~5 KiB of body-sized
-// buffers the seed path allocated per message (2 request bodies, 2
-// response bodies, 2 envelope renders) — maxBytes is set well under
-// one envelope-per-hop of regression but above small-alloc noise.
+// The bound it enforces is the tentpole claim, ratcheted twice: zero
+// GC-owned message-body allocations (PR 3) and zero httpx-layer head
+// allocations (PR 4 — heads parse in place inside each message's pooled
+// buffer, so no header maps, no per-line strings, no release closures).
+// Per-exchange small allocations remain (message structs, parse arenas,
+// net deadline timers, channel ops, the pending-reply entry) and are
+// budgeted by maxAllocs below; what may not appear is either the ~5 KiB
+// of body-sized buffers the seed path allocated per message or a
+// revival of the per-head cluster (~10 allocations per HTTP hop) the
+// head rewrite removed — maxBytes is set under one envelope-per-hop of
+// regression and maxAllocs under one head-cluster-per-hop.
 func TestRoundTripSteadyStateAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("sync.Pool caching is randomized under the race detector")
 	}
 	const (
-		maxAllocs = 190   // measured ~134 on linux/amd64 go1.24; headroom for GC-emptied pools
-		maxBytes  = 14500 // measured ~10.7 KiB (parse arenas, header maps, timers); a seed-style body-per-hop regression adds ~5 KiB
+		maxAllocs = 60   // measured ~51 on linux/amd64 go1.24; headroom for GC-emptied pools
+		maxBytes  = 9500 // measured ~6.7 KiB (message structs, parse arenas, timers); a body-per-hop regression adds ~5 KiB
 	)
 
 	nets := memNet{}

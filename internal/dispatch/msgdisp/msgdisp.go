@@ -167,8 +167,21 @@ type pendingReply struct {
 	// waiter, when non-nil, is an RPC-style caller blocked on its HTTP
 	// connection; the reply is handed over the channel instead of
 	// being forwarded.
-	waiter  chan *soap.Envelope
+	waiter  chan anonReply
 	expires time.Time
+}
+
+// anonReply is a reply rendered for a blocked anonymous-RPC caller. The
+// routing goroutine renders the envelope into a pooled buffer while the
+// reply's own exchange is still live (its parse tree aliases that
+// exchange's pooled body), and hands the buffer — ownership included —
+// across the channel; the waiter wraps it in a response whose release
+// duty the HTTP server assumes. Moving rendered bytes instead of a tree
+// removes the deep Envelope.Detach clone (~25 allocations per exchange)
+// the old hand-off paid.
+type anonReply struct {
+	buf     *xmlsoap.Buffer
+	version soap.Version
 }
 
 // New builds a MSG-Dispatcher. client must dial from the dispatcher's
@@ -216,16 +229,23 @@ func (d *Dispatcher) Stop() {
 // past it — pending-reply state, queued payloads, waiter envelopes — is
 // detached or rendered into its own buffer).
 func (d *Dispatcher) Serve(req *httpx.Request) *httpx.Response {
-	result := make(chan *httpx.Response, 1)
+	result := resultChanPool.Get().(chan *httpx.Response)
 	body := req.Body
 	err := d.cx.TrySubmit(func() { result <- d.route(body) })
 	if err != nil {
+		resultChanPool.Put(result)
 		d.Rejected.Inc()
 		return faultResponse(httpx.StatusServiceUnavailable, soap.FaultServer,
 			"dispatcher overloaded: "+err.Error())
 	}
-	return <-result
+	resp := <-result
+	resultChanPool.Put(result)
+	return resp
 }
+
+// resultChanPool recycles the one-shot verdict channels Serve blocks on;
+// a channel is always drained (or never written) before it is returned.
+var resultChanPool = sync.Pool{New: func() any { return make(chan *httpx.Response, 1) }}
 
 // route is the CxThread body: parse, classify (request vs response),
 // resolve, rewrite, enqueue.
@@ -297,7 +317,7 @@ func (d *Dispatcher) routeRequest(env *soap.Envelope, h *wsa.Headers) *httpx.Res
 	// outbound into the WsThread's bridge — while the parsed value
 	// aliases the pooled request body. One detached copy serves both.
 	msgID := strings.Clone(h.MessageID)
-	var waiter chan *soap.Envelope
+	var waiter chan anonReply
 	// The rewrite is a shallow copy: untouched fields (Action,
 	// MessageID, From, ...) are shared read-only with h, and the two
 	// constant ReplyTo substitutions are prebuilt on the Dispatcher.
@@ -305,7 +325,7 @@ func (d *Dispatcher) routeRequest(env *soap.Envelope, h *wsa.Headers) *httpx.Res
 	rewritten.To = destURL
 	if expectReply {
 		if anonymous {
-			waiter = make(chan *soap.Envelope, 1)
+			waiter = make(chan anonReply, 1)
 		}
 		d.pending.Put(msgID, pendingReply{
 			replyTo: h.ReplyTo.Detach(),
@@ -355,21 +375,28 @@ func (d *Dispatcher) routeRequest(env *soap.Envelope, h *wsa.Headers) *httpx.Res
 // the wait budget expires. This is Table 1's quadrant (2): it works only
 // when the messaging service answers before the RPC-side timeout, and it
 // ties up a CxThread for the whole wait — the "very limited" interaction.
-func (d *Dispatcher) awaitAnonymous(msgID string, waiter chan *soap.Envelope) *httpx.Response {
+func (d *Dispatcher) awaitAnonymous(msgID string, waiter chan anonReply) *httpx.Response {
 	t := d.cfg.Clock.NewTimer(d.cfg.AnonymousWait)
 	defer t.Stop()
 	select {
-	case env := <-waiter:
-		resp, err := httpx.NewPooledResponse(httpx.StatusOK, func(dst []byte) ([]byte, error) {
-			return wsa.AppendEnvelope(dst, env)
-		})
-		if err != nil {
-			return faultResponse(httpx.StatusInternalServerError, soap.FaultServer, err.Error())
-		}
-		resp.Header.Set("Content-Type", env.Version.ContentType())
+	case r := <-waiter:
+		// The reply arrives pre-rendered in a pooled buffer whose
+		// ownership travels with it; the HTTP server releases it after
+		// writing the response.
+		resp := httpx.NewBufferResponse(httpx.StatusOK, r.buf)
+		resp.Header.Set("Content-Type", r.version.ContentType())
 		return resp
 	case <-t.C:
 		d.pending.Delete(msgID)
+		// A reply racing this timeout may already sit in the channel;
+		// return its buffer rather than stranding it until the GC. (A
+		// send that lands after this drain is still only a leak-to-GC,
+		// never a corruption — nobody else owns that buffer.)
+		select {
+		case r := <-waiter:
+			xmlsoap.PutBuffer(r.buf)
+		default:
+		}
 		d.DeliveryFailures.Inc()
 		return faultResponse(httpx.StatusGatewayTimeout, soap.FaultServer,
 			"no reply within the anonymous-response window")
@@ -382,16 +409,27 @@ func (d *Dispatcher) awaitAnonymous(msgID string, waiter chan *soap.Envelope) *h
 func (d *Dispatcher) routeReply(env *soap.Envelope, h *wsa.Headers, entry pendingReply) *httpx.Response {
 	d.RepliesRouted.Inc()
 	if entry.waiter != nil {
+		// The waiter consumes the reply on another exchange's goroutine
+		// after this one's pooled body is released, so the envelope is
+		// rendered here — while its tree is still valid — into a pooled
+		// buffer whose ownership crosses with the channel send. h
+		// carries the reply's addressing (parsed from the wire or
+		// synthesized by the bridge), so this is the identity rewrite.
+		buf := xmlsoap.GetBuffer()
+		b, err := wsa.AppendRewritten(buf.B, env, h)
+		if err != nil {
+			xmlsoap.PutBuffer(buf)
+			d.Rejected.Inc()
+			return faultResponse(httpx.StatusInternalServerError, soap.FaultServer, err.Error())
+		}
+		buf.B = b
 		select {
-		// The waiter consumes the envelope on another exchange's
-		// goroutine after this one's pooled body is released, so the
-		// handoff must detach (not just Clone, whose strings still
-		// alias the buffer).
-		case entry.waiter <- env.Detach():
+		case entry.waiter <- anonReply{buf: buf, version: env.Version}:
 			d.RepliesDelivered.Inc()
 		default:
 			// The waiter gave up (timeout); the reply is dropped
 			// exactly as a late RPC response would be.
+			xmlsoap.PutBuffer(buf)
 			d.DeliveryFailures.Inc()
 		}
 		return httpx.NewResponse(httpx.StatusAccepted, nil)

@@ -98,6 +98,17 @@ func (dq *destQueue) close() {
 // while MSG-Dispatcher + WS-MsgBox (whose reply deliveries are fast) is
 // the fastest.
 func (d *Dispatcher) wsThread(dq *destQueue) {
+	// One reusable hold-open timer for the binding's whole life: After
+	// would allocate a timer and channel on every loop iteration, i.e.
+	// per delivered message. Stale fires are filtered by deadline, not
+	// just by Stop-and-drain: a Virtual-clock fire runs asynchronously
+	// after its waiter is popped, so it can land in C after the drain
+	// below came up empty — the deadline check keeps such a late fire
+	// from cutting the freshly re-armed window short.
+	clk := d.cfg.Clock
+	idle := clk.NewTimer(d.cfg.HoldOpen)
+	deadline := clk.Now().Add(d.cfg.HoldOpen)
+	defer idle.Stop()
 	for {
 		select {
 		case msg := <-dq.ch:
@@ -107,7 +118,23 @@ func (d *Dispatcher) wsThread(dq *destQueue) {
 			d.wsSlots <- struct{}{}
 			d.deliver(dq.url, msg)
 			<-d.wsSlots
-		case <-d.cfg.Clock.After(d.cfg.HoldOpen):
+			// Re-arm the full hold-open window, draining a stale fire
+			// first so it cannot satisfy the next wait immediately.
+			if !idle.Stop() {
+				select {
+				case <-idle.C:
+				default:
+				}
+			}
+			idle.Reset(d.cfg.HoldOpen)
+			deadline = clk.Now().Add(d.cfg.HoldOpen)
+		case <-idle.C:
+			if now := clk.Now(); now.Before(deadline) {
+				// Stale fire from an arm preceding the last Reset;
+				// wait out the remainder of the current window.
+				idle.Reset(deadline.Sub(now))
+				continue
+			}
 			// Idle: release the destination binding if the queue
 			// is (still) empty; otherwise keep draining.
 			dq.mu.Lock()
@@ -117,6 +144,8 @@ func (d *Dispatcher) wsThread(dq *destQueue) {
 				return
 			}
 			dq.mu.Unlock()
+			idle.Reset(d.cfg.HoldOpen)
+			deadline = clk.Now().Add(d.cfg.HoldOpen)
 		}
 	}
 }
@@ -212,9 +241,10 @@ func (d *Dispatcher) bridgeRPCResponse(msg outbound, body []byte) {
 		MessageID: wsa.NewMessageID(),
 		RelatesTo: msg.origMessageID,
 	}
-	// The headers go onto the envelope itself, not just alongside it:
-	// routeReply's anonymous-waiter branch hands the envelope over
-	// as-is, and the blocked caller correlates by its RelatesTo.
-	h2.Apply(reply)
+	// No Apply: both routeReply legs render through wsa.AppendRewritten,
+	// which splices h2 into the output in place of whatever WS-Addressing
+	// headers the envelope carries, so the wire reply the blocked caller
+	// correlates on carries h2's RelatesTo without building header
+	// elements that would be rendered once and thrown away.
 	d.routeReply(reply, h2, entry)
 }

@@ -133,21 +133,17 @@ func (c *Client) DoTimeout(addr string, req *Request, timeout time.Duration) (*R
 // on success.
 func (c *Client) exchange(pc *persistConn, addr string, req *Request, deadline time.Time) (*Response, error) {
 	pc.conn.SetDeadline(deadline)
-	r := *req
-	if r.Header == nil {
-		r.Header = Header{}
-	}
 	// Host and Connection are supplied at encode time rather than by
-	// cloning the header map: nothing is allocated and req is never
+	// cloning the header set: nothing is allocated and req is never
 	// mutated, so retries re-encode the identical message.
-	if err := r.encode(pc.conn, addr, c.cfg.DisableKeepAlive); err != nil {
+	if err := req.encode(pc.conn, addr, c.cfg.DisableKeepAlive); err != nil {
 		return nil, fmt.Errorf("httpx: write to %s: %w", addr, err)
 	}
 	resp, err := ReadResponsePooled(pc.br)
 	if err != nil {
 		return nil, fmt.Errorf("httpx: read from %s: %w", addr, err)
 	}
-	if c.cfg.DisableKeepAlive || wantsClose(resp.Proto, resp.Header) {
+	if c.cfg.DisableKeepAlive || wantsClose(resp.Proto, &resp.Header) {
 		pc.conn.Close()
 	} else {
 		pc.conn.SetDeadline(time.Time{})

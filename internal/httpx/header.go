@@ -14,6 +14,21 @@
 // Scope: HTTP/1.0 and 1.1, Content-Length and chunked bodies, persistent
 // connections, and the handful of headers SOAP messaging needs. It is not a
 // general-purpose web server.
+//
+// # Pooled heads
+//
+// The read path is fasthttp-shaped: the whole head (request/status line plus
+// header section) is read into one pooled buffer owned by the message, and
+// the request line, status line, and headers are parsed in place. Method,
+// Path, Proto, Reason, and every Header key and value alias that buffer —
+// nothing is copied and nothing per-header is allocated. Header itself is a
+// small kv-span list (see Header below), not a map, and key lookups compare
+// case-insensitively against the wire bytes instead of rewriting them to
+// canonical case. The message body is framed into the same buffer right
+// after the head, so one Release returns the whole message — head strings
+// included — to the pool. The ownership rules live on Request
+// (buffer-lifecycle diagram in message.go) and in ROADMAP.md's "Wire codec"
+// section.
 package httpx
 
 import (
@@ -21,15 +36,47 @@ import (
 	"strings"
 )
 
-// Header holds HTTP headers as single-valued canonical-case keys. SOAP
-// traffic never needs repeated header fields, so a flat map keeps the codec
-// small; the last write wins on duplicates.
-type Header map[string]string
+// headerKV is one header field as it appeared on the wire (or as Set stored
+// it): key keeps its original spelling, value is already trimmed. For parsed
+// messages both strings alias the message's pooled head buffer.
+type headerKV struct {
+	key, value string
+}
+
+// inlineHeaderKVs is how many header fields a message carries before Header
+// spills to a heap slice. SOAP traffic runs 2–3 headers per message
+// (Content-Type, Content-Length, Host, sometimes SOAPAction or the auth
+// token), so a small inline array makes steady-state head parsing
+// allocation-free without bloating every message struct — Header is
+// embedded by value in Request and Response.
+const inlineHeaderKVs = 4
+
+// Header holds HTTP headers as single-valued, case-insensitive keys stored
+// in wire order. SOAP traffic never needs repeated header fields, so a flat
+// list keeps the codec small; the last write wins on duplicates (matching
+// the previous map-based Header, which is frozen as the refhead oracle).
+//
+// Keys are stored with whatever spelling they arrived with and compared
+// without rewriting: two keys are the same header iff their canonical forms
+// (CanonicalKey) are equal, which for ASCII keys is a plain case-insensitive
+// compare. Rendering (appendWire) emits canonical-case keys in sorted
+// order, so wire output is byte-identical to the map era.
+//
+// The zero value is an empty, ready-to-use Header. Methods take pointer
+// receivers; copying a Header value gives an independent view for the
+// inline fields (a shared spill slice is fine because nothing mutates
+// through a copy on the paths that copy — Client.Do's shallow request
+// copy never touches headers).
+type Header struct {
+	n      int
+	inline [inlineHeaderKVs]headerKV
+	spill  []headerKV // fields inline has no room for
+}
 
 // CanonicalKey converts k to HTTP canonical form (Content-Type,
 // SOAPAction → Soapaction is avoided by special-casing known mixed-case
 // names). Keys already in canonical form — the overwhelmingly common
-// case on the wire, and every header op pays this call — are returned
+// case on the wire, and every render pays this call — are returned
 // unchanged without allocating.
 func CanonicalKey(k string) string {
 	if isCanonicalKey(k) {
@@ -84,75 +131,213 @@ func isCanonicalKey(k string) bool {
 	return true
 }
 
-// Set stores value under the canonical form of key.
-func (h Header) Set(key, value string) { h[CanonicalKey(key)] = value }
-
-// Get returns the value stored under the canonical form of key, or "".
-func (h Header) Get(key string) string { return h[CanonicalKey(key)] }
-
-// Del removes key.
-func (h Header) Del(key string) { delete(h, CanonicalKey(key)) }
-
-// Has reports whether key is present.
-func (h Header) Has(key string) bool {
-	_, ok := h[CanonicalKey(key)]
-	return ok
+// isASCII reports whether s contains only single-byte characters.
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
 }
 
-// Clone returns a deep copy.
-func (h Header) Clone() Header {
-	c := make(Header, len(h))
-	for k, v := range h {
-		c[k] = v
+// asciiEqualFold reports whether a and b are equal under ASCII case
+// folding only. It allocates nothing and never considers Unicode fold
+// pairs (so the Kelvin sign does not match 'k', which is what HTTP wants).
+func asciiEqualFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// sameKey reports whether two header-key spellings name the same header:
+// equal canonical forms. The hot path — both spellings pure ASCII, which is
+// every key real HTTP traffic carries — is a byte-wise case-insensitive
+// compare with no allocation. Keys with non-ASCII bytes (fuzzer territory)
+// fall back to comparing canonical forms, because Unicode case mapping can
+// identify byte strings ASCII folding cannot (U+212A 'K' lowercases to
+// 'k'), and the frozen map oracle deduplicated by exactly that relation.
+func sameKey(a, b string) bool {
+	if isASCII(a) && isASCII(b) {
+		return asciiEqualFold(a, b)
+	}
+	return CanonicalKey(a) == CanonicalKey(b)
+}
+
+// at returns the i'th field.
+func (h *Header) at(i int) *headerKV {
+	if i < inlineHeaderKVs {
+		return &h.inline[i]
+	}
+	return &h.spill[i-inlineHeaderKVs]
+}
+
+// Len reports the number of header fields.
+func (h *Header) Len() int { return h.n }
+
+// Range calls f for each header field in wire order, stopping early if f
+// returns false. Keys are reported with their stored spelling; canonicalize
+// with CanonicalKey if a stable form is needed.
+func (h *Header) Range(f func(key, value string) bool) {
+	for i := 0; i < h.n; i++ {
+		kv := h.at(i)
+		if !f(kv.key, kv.value) {
+			return
+		}
+	}
+}
+
+// index returns the position of key's field, or -1.
+func (h *Header) index(key string) int {
+	for i := 0; i < h.n; i++ {
+		if sameKey(h.at(i).key, key) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Set stores value under key, replacing any existing spelling of it.
+func (h *Header) Set(key, value string) {
+	if i := h.index(key); i >= 0 {
+		h.at(i).value = value
+		return
+	}
+	h.append(key, value)
+}
+
+// append adds a field without the duplicate scan; Set (which both the
+// parser and construction paths go through) does the scan first.
+func (h *Header) append(key, value string) {
+	if h.n < inlineHeaderKVs {
+		h.inline[h.n] = headerKV{key, value}
+	} else {
+		h.spill = append(h.spill, headerKV{key, value})
+	}
+	h.n++
+}
+
+// Get returns the value stored under key, or "".
+func (h *Header) Get(key string) string {
+	if i := h.index(key); i >= 0 {
+		return h.at(i).value
+	}
+	return ""
+}
+
+// Del removes key.
+func (h *Header) Del(key string) {
+	i := h.index(key)
+	if i < 0 {
+		return
+	}
+	for j := i; j < h.n-1; j++ {
+		*h.at(j) = *h.at(j + 1)
+	}
+	h.n--
+	if h.n >= inlineHeaderKVs {
+		h.spill = h.spill[:h.n-inlineHeaderKVs]
+	} else {
+		h.spill = h.spill[:0]
+	}
+}
+
+// Has reports whether key is present.
+func (h *Header) Has(key string) bool { return h.index(key) >= 0 }
+
+// Clone returns a deep copy whose keys and values are detached from any
+// pooled head buffer the original aliased.
+func (h *Header) Clone() Header {
+	var c Header
+	for i := 0; i < h.n; i++ {
+		kv := h.at(i)
+		c.append(strings.Clone(kv.key), strings.Clone(kv.value))
 	}
 	return c
 }
 
-// appendWire renders headers in sorted order (deterministic wire output
-// makes tests and traces stable) followed by the blank line, appending to
-// b. Content-Length is always emitted from contentLength (overriding any
-// stored value), hostIfMissing supplies Host only when absent, and
-// forceClose overrides Connection with "close" — all without touching the
-// map, so encoding never clones it. The key scratch lives on the stack
-// for the header counts SOAP traffic has.
-func (h Header) appendWire(b []byte, contentLength int, hostIfMissing string, forceClose bool) []byte {
-	var arr [16]string
-	keys := arr[:0]
-	for k := range h {
-		if k == "Content-Length" {
-			continue
-		}
-		if forceClose && k == "Connection" {
-			continue
-		}
-		keys = append(keys, k)
+// Detach copies every key and value out of the pooled head buffer in
+// place. Call it on a header that must outlive its message's Release —
+// the head-side twin of Element.Detach for tree strings.
+func (h *Header) Detach() {
+	for i := 0; i < h.n; i++ {
+		kv := h.at(i)
+		kv.key = strings.Clone(kv.key)
+		kv.value = strings.Clone(kv.value)
 	}
-	keys = append(keys, "Content-Length")
+}
+
+// wireKeyScratch is the stack scratch appendWire sorts header keys in. More
+// keys than this simply spill the scratch slice to the heap (append grows
+// it); the constant is named — and the spill tested — so the limit is a
+// deliberate fast-path size, not a silent cap.
+const wireKeyScratch = 16
+
+// appendWire renders headers in sorted canonical-key order (deterministic
+// wire output makes tests and traces stable) followed by the blank line,
+// appending to b. Content-Length is always emitted from contentLength
+// (overriding any stored value), hostIfMissing supplies Host only when
+// absent, and forceClose overrides Connection with "close" — all without
+// touching the stored fields, so encoding never copies them. The key
+// scratch lives on the stack for the header counts SOAP traffic has.
+func (h *Header) appendWire(b []byte, contentLength int, hostIfMissing string, forceClose bool) []byte {
+	type wireKV struct {
+		key   string // canonical form
+		value string
+		kind  byte // 0 stored, 1 Content-Length, 2 Host, 3 Connection: close
+	}
+	var arr [wireKeyScratch]wireKV
+	keys := arr[:0]
+	for i := 0; i < h.n; i++ {
+		kv := h.at(i)
+		ck := CanonicalKey(kv.key)
+		if ck == "Content-Length" {
+			continue
+		}
+		if forceClose && ck == "Connection" {
+			continue
+		}
+		keys = append(keys, wireKV{key: ck, value: kv.value})
+	}
+	keys = append(keys, wireKV{key: "Content-Length", kind: 1})
 	if hostIfMissing != "" && !h.Has("Host") {
-		keys = append(keys, "Host")
+		keys = append(keys, wireKV{key: "Host", kind: 2})
 	}
 	if forceClose {
-		keys = append(keys, "Connection")
+		keys = append(keys, wireKV{key: "Connection", kind: 3})
 	}
-	// Insertion sort: n is tiny and this avoids sort.Strings' interface
+	// Insertion sort: n is tiny and this avoids sort.Slice's interface
 	// machinery on the hot path.
 	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+		for j := i; j > 0 && keys[j].key < keys[j-1].key; j-- {
 			keys[j], keys[j-1] = keys[j-1], keys[j]
 		}
 	}
-	for _, k := range keys {
-		b = append(b, k...)
+	for _, kv := range keys {
+		b = append(b, kv.key...)
 		b = append(b, ':', ' ')
-		switch {
-		case k == "Content-Length":
+		switch kv.kind {
+		case 1:
 			b = strconv.AppendInt(b, int64(contentLength), 10)
-		case forceClose && k == "Connection":
-			b = append(b, "close"...)
-		case k == "Host" && !h.Has("Host"):
+		case 2:
 			b = append(b, hostIfMissing...)
+		case 3:
+			b = append(b, "close"...)
 		default:
-			b = append(b, h[k]...)
+			b = append(b, kv.value...)
 		}
 		b = append(b, '\r', '\n')
 	}

@@ -7,12 +7,14 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"unsafe"
 
 	"repro/internal/xmlsoap"
 )
 
-// maxHeaderBytes bounds header section size to keep a malicious or broken
-// peer from ballooning memory.
+// maxHeaderBytes bounds the head section — request/status line, header
+// lines, and their CR/LF terminators — to keep a malicious or broken peer
+// from ballooning memory.
 const maxHeaderBytes = 64 << 10
 
 // maxBodyBytes bounds message bodies. SOAP envelopes in this system are a
@@ -24,36 +26,47 @@ const maxBodyBytes = 8 << 20
 //
 // # Buffer lifecycle
 //
-// Message bodies on the hot path live in pooled buffers
-// (xmlsoap.GetBuffer storage) with single-release ownership at every
-// seam. One server-side exchange, from bytes on the socket to bytes
-// out, moves exactly two pooled buffers:
+// Messages on the hot path live in pooled buffers (xmlsoap.GetBuffer
+// storage) with single-release ownership at every seam. A message read
+// from the wire occupies exactly one pooled buffer holding head and body
+// back to back: Method, Path, Proto, Reason, and every Header key and
+// value alias the head bytes, and Body aliases the tail. One server-side
+// exchange, from bytes on the socket to bytes out, therefore moves
+// exactly two pooled buffers:
 //
-//	socket ──ReadRequestPooled──▶ Request.Body (pooled)
-//	                                 │ aliased by soap.Parse trees
+//	socket ──ReadRequestPooled──▶ Request buffer (head + body, pooled)
+//	                                 │ head: Method/Path/Proto/Header alias it
+//	                                 │ body: req.Body, aliased by soap.Parse trees
 //	                                 ▼
 //	                            Handler.Serve ──▶ Response.Body (pooled,
 //	                                 │               via NewPooledResponse)
 //	                                 ▼
 //	socket ◀──Response.Encode── server writes, then releases BOTH:
 //	            resp.Release() ─▶ response buffer back to pool
-//	            req.Release()  ─▶ request buffer back to pool
+//	            req.Release()  ─▶ request head+body buffer back to pool
 //
-// The server owns the request buffer: handlers may read Body (and parse
-// trees that alias it) freely until Serve returns, and must either
-// finish with it by then, copy out what survives (Element.Detach,
-// Envelope.Detach, strings.Clone), or take over the release duty with
-// TakeBody — echoservice.Async's reply goroutine is the canonical
-// taker. On the client side the same shape applies to responses:
-// Client.Do returns a Response whose pooled body the caller releases
-// via Response.Release (or forwards via TakeBody). Forgetting a release
-// is safe — the buffer falls to the GC and only pooling is lost; a
-// double release or a use-after-release is a bug the pool's check mode
-// (xmlsoap.EnablePoolCheck) turns into a panic.
+// The server owns the request buffer: handlers may read Body, the head
+// fields, and parse trees aliasing Body freely until Serve returns, and
+// must either finish with them by then, copy out what survives
+// (Element.Detach, Envelope.Detach, Header.Detach, strings.Clone), or
+// take over the release duty with TakeBody — echoservice.Async's reply
+// goroutine is the canonical taker. TakeBody moves the whole buffer, so
+// a taker keeps the head fields alive too; conversely, once a handler
+// has taken the body the server no longer trusts the head (it snapshots
+// its keep-alive decision before dispatching). On the client side the
+// same shape applies to responses: Client.Do returns a Response whose
+// pooled head+body the caller releases via Response.Release (or
+// forwards via TakeBody; rpcdisp relays a service response's buffer
+// straight into its own server response this way — header values it
+// copies across stay alive because the buffer's release moves with
+// them). Forgetting a release is safe — the buffer falls to the GC and
+// only pooling is lost; a double release or a use-after-release is a
+// bug the pool's check mode (xmlsoap.EnablePoolCheck) turns into a
+// panic.
 //
-// Bodies read with plain ReadRequest/ReadResponse remain freshly
-// allocated and GC-owned; those constructors exist for cold paths and
-// tests that want no release obligation.
+// Messages read with plain ReadRequest/ReadResponse are fully detached —
+// GC-owned strings and body, no release obligation; those constructors
+// exist for cold paths and tests.
 type Request struct {
 	Method string
 	// Path is the request-URI as sent on the wire, e.g. "/wsd/echo".
@@ -70,51 +83,67 @@ type Request struct {
 
 // pooledBody is the shared release-duty mechanism embedded in Request
 // and Response, so both sides of an exchange follow one lifecycle
-// contract.
+// contract. It can hold a pooled buffer directly (the reader and
+// NewPooledResponse paths, allocation-free) and/or an arbitrary release
+// hook (relays and takers).
 type pooledBody struct {
-	// ReleaseBody, when non-nil, returns Body's pooled buffer; it is
-	// called exactly once by the buffer's owner (the server after the
-	// response is written, the Client.Do caller, or whoever TakeBody
-	// transferred the duty to). Body and anything aliasing it must not
-	// be touched afterwards. Use Release or TakeBody rather than
+	// buf is the message's pooled storage: head+body for messages read
+	// off the wire, the rendered body for NewPooledResponse. Owned by
+	// the message until Release or TakeBody.
+	buf *xmlsoap.Buffer
+	// ReleaseBody, when non-nil, is an additional release hook run
+	// exactly once by the buffer's owner; rpcdisp wires a relayed
+	// response's duty through it. Use Release or TakeBody rather than
 	// calling the field directly.
 	ReleaseBody func()
 }
 
-// Release returns the message's pooled body to the pool, if it has one
-// and it was not already released or taken. It is idempotent, so owners
-// can call it unconditionally on every exit path.
+// Release returns the message's pooled buffer (head and body) to the
+// pool, if it has one and it was not already released or taken. It is
+// idempotent, so owners can call it unconditionally on every exit path.
+// Body, the head fields, and anything aliasing them must not be touched
+// afterwards.
 func (p *pooledBody) Release() {
+	if b := p.buf; b != nil {
+		p.buf = nil
+		xmlsoap.PutBuffer(b)
+	}
 	if f := p.ReleaseBody; f != nil {
 		p.ReleaseBody = nil
 		f()
 	}
 }
 
-// TakeBody transfers ownership of the pooled body to the caller: the
+// TakeBody transfers ownership of the pooled buffer to the caller: the
 // previous owner will no longer release it when the exchange ends, and
 // the returned function must be called exactly once after the last use
-// of Body or anything aliasing it. For a GC-owned body it returns a
-// no-op, so takers need no special case. A proxy relaying a client
-// response as its own server response moves the obligation with it
-// (rpcdisp does exactly this); echoservice.Async's reply goroutine is
-// the canonical request-side taker.
+// of Body, the head fields, or anything aliasing them. For a fully
+// GC-owned message it returns a no-op, so takers need no special case.
+// A proxy relaying a client response as its own server response moves
+// the obligation with it (rpcdisp does exactly this); echoservice.Async's
+// reply goroutine is the canonical request-side taker.
 func (p *pooledBody) TakeBody() func() {
-	f := p.ReleaseBody
-	p.ReleaseBody = nil
-	if f == nil {
-		return func() {}
+	b, f := p.buf, p.ReleaseBody
+	p.buf, p.ReleaseBody = nil, nil
+	switch {
+	case b != nil && f != nil:
+		return func() { xmlsoap.PutBuffer(b); f() }
+	case b != nil:
+		return func() { xmlsoap.PutBuffer(b) }
+	case f != nil:
+		return f
 	}
-	return f
+	return func() {}
 }
 
 // NewRequest builds a request with sensible defaults for this stack:
 // HTTP/1.1, Content-Length set from body.
 func NewRequest(method, path string, body []byte) *Request {
-	return &Request{Method: method, Path: path, Proto: "HTTP/1.1", Header: Header{}, Body: body}
+	return &Request{Method: method, Path: path, Proto: "HTTP/1.1", Body: body}
 }
 
-// Response is an HTTP response with a fully buffered body.
+// Response is an HTTP response with a fully buffered body. It follows the
+// same buffer lifecycle as Request (see there).
 type Response struct {
 	Status int
 	Reason string
@@ -127,13 +156,13 @@ type Response struct {
 
 // NewResponse builds a response with status code and body.
 func NewResponse(status int, body []byte) *Response {
-	return &Response{Status: status, Reason: StatusText(status), Proto: "HTTP/1.1", Header: Header{}, Body: body}
+	return &Response{Status: status, Reason: StatusText(status), Proto: "HTTP/1.1", Body: body}
 }
 
 // NewPooledResponse builds a response whose body is produced by an
 // append-style render into a pooled buffer; the server releases the
-// buffer via ReleaseBody after writing the response. On render error
-// the buffer is released immediately and the error returned, so the
+// buffer after writing the response. On render error the buffer is
+// released immediately and the error returned, so the
 // ownership-sensitive sequence lives in exactly one place.
 func NewPooledResponse(status int, render func(dst []byte) ([]byte, error)) (*Response, error) {
 	buf := xmlsoap.GetBuffer()
@@ -144,8 +173,20 @@ func NewPooledResponse(status int, render func(dst []byte) ([]byte, error)) (*Re
 	}
 	buf.B = b
 	resp := NewResponse(status, b)
-	resp.ReleaseBody = func() { xmlsoap.PutBuffer(buf) }
+	resp.buf = buf
 	return resp, nil
+}
+
+// NewBufferResponse builds a response that takes ownership of an
+// already-rendered pooled buffer: Body is buf.B and the buffer is
+// released by whoever owns the response (for a handler return value,
+// the server after writing). The MSG-Dispatcher's anonymous-reply
+// hand-back uses this to move a reply rendered on another goroutine
+// into the waiting connection's response without copying or cloning.
+func NewBufferResponse(status int, buf *xmlsoap.Buffer) *Response {
+	resp := NewResponse(status, buf.B)
+	resp.buf = buf
+	return resp
 }
 
 // errors surfaced by the codec.
@@ -226,121 +267,257 @@ func (r *Response) Encode(w io.Writer) error {
 	return nil
 }
 
-// ReadRequest parses one request from br. The body is freshly
-// allocated and GC-owned; the server's hot path uses ReadRequestPooled
-// instead.
+// bstr views b as a string without copying. The result aliases b: it is
+// valid exactly as long as the backing buffer and must be detached
+// (strings.Clone) to outlive it — the same contract as xmlsoap's span
+// strings.
+func bstr(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// ReadRequest parses one request from br. The returned request is fully
+// detached — GC-owned strings and body, nothing pooled, no release
+// obligation. The server's hot path uses ReadRequestPooled instead.
 func ReadRequest(br *bufio.Reader) (*Request, error) {
-	req, err := readRequestHead(br)
+	req, err := ReadRequestPooled(br)
 	if err != nil {
 		return nil, err
 	}
-	req.Body, err = readBody(br, req.Header)
-	if err != nil {
-		return nil, err
+	req.Method = strings.Clone(req.Method)
+	req.Path = strings.Clone(req.Path)
+	req.Proto = strings.Clone(req.Proto)
+	req.Header.Detach()
+	if req.Body != nil {
+		req.Body = append([]byte(nil), req.Body...)
 	}
+	req.Release()
 	return req, nil
 }
 
-// ReadRequestPooled is ReadRequest with the body read into a pooled
-// buffer: the returned request's ReleaseBody returns it to the pool.
-// The caller owns the buffer per the lifecycle contract above; on error
-// nothing is retained.
+// ReadRequestPooled is the zero-allocation request reader: the whole
+// message — head and body — lands in one pooled buffer owned by the
+// returned request, whose head fields and Body alias it. The caller
+// owns the buffer per the lifecycle contract above; on error nothing is
+// retained.
 func ReadRequestPooled(br *bufio.Reader) (*Request, error) {
-	req, err := readRequestHead(br)
+	buf := xmlsoap.GetBuffer()
+	head, err := readHead(br, buf)
 	if err != nil {
+		xmlsoap.PutBuffer(buf)
 		return nil, err
 	}
-	req.Body, req.ReleaseBody, err = readBodyPooled(br, req.Header)
-	if err != nil {
+	req := &Request{}
+	if err := req.parseHead(head); err != nil {
+		xmlsoap.PutBuffer(buf)
 		return nil, err
 	}
+	body, n, err := readBodyInto(br, &req.Header, buf.B)
+	if err != nil {
+		xmlsoap.PutBuffer(buf)
+		return nil, err
+	}
+	buf.B = body
+	if n > 0 {
+		req.Body = body[len(body)-n:]
+	}
+	req.buf = buf
 	return req, nil
 }
 
-func readRequestHead(br *bufio.Reader) (*Request, error) {
-	line, err := readLine(br)
-	if err != nil {
-		return nil, err
+// parseHead splits the request line and headers in place; every string it
+// produces aliases head.
+func (r *Request) parseHead(head []byte) error {
+	line, rest := nextLine(head)
+	// Replicate strings.SplitN(line, " ", 3): exactly two single-space
+	// cuts, the remainder (which may itself contain spaces) is the
+	// protocol version.
+	i1 := strings.IndexByte(line, ' ')
+	if i1 < 0 {
+		return fmt.Errorf("%w: bad request line %q", ErrMalformed, line)
 	}
-	parts := strings.SplitN(line, " ", 3)
-	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
-		return nil, fmt.Errorf("%w: bad request line %q", ErrMalformed, line)
+	i2 := strings.IndexByte(line[i1+1:], ' ')
+	if i2 < 0 {
+		return fmt.Errorf("%w: bad request line %q", ErrMalformed, line)
 	}
-	req := &Request{Method: parts[0], Path: parts[1], Proto: parts[2]}
-	req.Header, err = readHeaders(br)
-	if err != nil {
-		return nil, err
+	proto := line[i1+1+i2+1:]
+	if !strings.HasPrefix(proto, "HTTP/") {
+		return fmt.Errorf("%w: bad request line %q", ErrMalformed, line)
 	}
-	return req, nil
+	r.Method = line[:i1]
+	r.Path = line[i1+1 : i1+1+i2]
+	r.Proto = proto
+	return parseHeaderLines(rest, &r.Header)
 }
 
-// ReadResponse parses one response from br. The body is freshly
-// allocated and GC-owned; the client's hot path uses ReadResponsePooled
-// instead.
+// ReadResponse parses one response from br. The returned response is
+// fully detached — GC-owned strings and body, no release obligation.
+// The client's hot path uses ReadResponsePooled instead.
 func ReadResponse(br *bufio.Reader) (*Response, error) {
-	resp, err := readResponseHead(br)
+	resp, err := ReadResponsePooled(br)
 	if err != nil {
 		return nil, err
 	}
-	resp.Body, err = readBody(br, resp.Header)
-	if err != nil {
-		return nil, err
+	resp.Proto = strings.Clone(resp.Proto)
+	resp.Reason = strings.Clone(resp.Reason)
+	resp.Header.Detach()
+	if resp.Body != nil {
+		resp.Body = append([]byte(nil), resp.Body...)
 	}
+	resp.Release()
 	return resp, nil
 }
 
-// ReadResponsePooled is ReadResponse with the body read into a pooled
-// buffer; the returned response's ReleaseBody returns it to the pool.
+// ReadResponsePooled is the zero-allocation response reader; like
+// ReadRequestPooled, head and body share one pooled buffer owned by the
+// returned response.
 func ReadResponsePooled(br *bufio.Reader) (*Response, error) {
-	resp, err := readResponseHead(br)
+	buf := xmlsoap.GetBuffer()
+	head, err := readHead(br, buf)
 	if err != nil {
+		xmlsoap.PutBuffer(buf)
 		return nil, err
 	}
-	resp.Body, resp.ReleaseBody, err = readBodyPooled(br, resp.Header)
-	if err != nil {
+	resp := &Response{}
+	if err := resp.parseHead(head); err != nil {
+		xmlsoap.PutBuffer(buf)
 		return nil, err
 	}
+	body, n, err := readBodyInto(br, &resp.Header, buf.B)
+	if err != nil {
+		xmlsoap.PutBuffer(buf)
+		return nil, err
+	}
+	buf.B = body
+	if n > 0 {
+		resp.Body = body[len(body)-n:]
+	}
+	resp.buf = buf
 	return resp, nil
 }
 
-func readResponseHead(br *bufio.Reader) (*Response, error) {
-	line, err := readLine(br)
+// parseHead splits the status line and headers in place.
+func (r *Response) parseHead(head []byte) error {
+	line, rest := nextLine(head)
+	i1 := strings.IndexByte(line, ' ')
+	if i1 < 0 || !strings.HasPrefix(line, "HTTP/") {
+		return fmt.Errorf("%w: bad status line %q", ErrMalformed, line)
+	}
+	statusReason := line[i1+1:]
+	statusStr := statusReason
+	if i2 := strings.IndexByte(statusReason, ' '); i2 >= 0 {
+		statusStr = statusReason[:i2]
+		r.Reason = statusReason[i2+1:]
+	}
+	status, err := strconv.Atoi(statusStr)
 	if err != nil {
-		return nil, err
+		return fmt.Errorf("%w: bad status code %q", ErrMalformed, statusStr)
 	}
-	parts := strings.SplitN(line, " ", 3)
-	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
-		return nil, fmt.Errorf("%w: bad status line %q", ErrMalformed, line)
+	r.Proto = line[:i1]
+	r.Status = status
+	return parseHeaderLines(rest, &r.Header)
+}
+
+// nextLine cuts the first line off head, stripping exactly one "\r\n" (or
+// bare "\n") terminator — a value byte that happens to be '\r' is data,
+// not framing. readHead guarantees every line in head ends in '\n'.
+func nextLine(head []byte) (line string, rest []byte) {
+	i := 0
+	for i < len(head) && head[i] != '\n' {
+		i++
 	}
-	status, err := strconv.Atoi(parts[1])
-	if err != nil {
-		return nil, fmt.Errorf("%w: bad status code %q", ErrMalformed, parts[1])
+	end := i
+	if end > 0 && head[end-1] == '\r' {
+		end--
 	}
-	resp := &Response{Proto: parts[0], Status: status}
-	if len(parts) == 3 {
-		resp.Reason = parts[2]
+	if i < len(head) {
+		i++
 	}
-	resp.Header, err = readHeaders(br)
-	if err != nil {
-		return nil, err
+	return bstr(head[:end]), head[i:]
+}
+
+// parseHeaderLines fills h from the header section (everything after the
+// start line, including the terminating blank line). Keys keep their wire
+// spelling; keys and values alias the head buffer. Duplicate keys (under
+// sameKey) keep the first spelling and the last value, matching the
+// frozen map parser's last-write-wins.
+func parseHeaderLines(rest []byte, h *Header) error {
+	for len(rest) > 0 {
+		var line string
+		line, rest = nextLine(rest)
+		if line == "" {
+			return nil
+		}
+		i := strings.IndexByte(line, ':')
+		if i <= 0 {
+			return fmt.Errorf("%w: bad header line %q", ErrMalformed, line)
+		}
+		key := strings.TrimSpace(line[:i])
+		if key == "" {
+			// A whitespace-only name would round-trip as ": value",
+			// which parses as malformed; reject it at the source.
+			return fmt.Errorf("%w: bad header line %q", ErrMalformed, line)
+		}
+		h.Set(key, strings.TrimSpace(line[i+1:]))
 	}
-	return resp, nil
+	// readHead always ends the head with the blank line, so this is
+	// unreachable; keep the loop total regardless.
+	return nil
 }
 
 // wantsClose reports whether the message's Connection header asks to drop
-// the connection after this exchange, honouring HTTP/1.0 defaults.
-func wantsClose(proto string, h Header) bool {
-	c := strings.ToLower(h.Get("Connection"))
+// the connection after this exchange, honouring HTTP/1.0 defaults. The
+// token compare is ASCII-case-insensitive and allocation-free (the old
+// path lowercased the value, allocating on every mixed-case Keep-Alive).
+func wantsClose(proto string, h *Header) bool {
+	c := h.Get("Connection")
 	if proto == "HTTP/1.0" {
-		return c != "keep-alive"
+		return !asciiEqualFold(c, "keep-alive")
 	}
-	return c == "close"
+	return asciiEqualFold(c, "close")
 }
 
-// readLine reads one LF-terminated line, enforcing maxHeaderBytes as it
-// accumulates so an unterminated or oversized head line fails with
-// ErrHeaderTooBig instead of ballooning memory first.
-func readLine(br *bufio.Reader) (string, error) {
+// readHead reads the whole head — start line through the terminating
+// blank line, CR/LFs included — into buf and returns the slice holding
+// it. It enforces maxHeaderBytes on the raw head size as it accumulates,
+// so an unterminated or oversized head fails with ErrHeaderTooBig
+// instead of ballooning memory first. Lines may be split across the
+// bufio buffer; fragments are copied out immediately, so the reader's
+// internal buffer is never aliased.
+func readHead(br *bufio.Reader, buf *xmlsoap.Buffer) ([]byte, error) {
+	b := buf.B
+	lineStart := 0
+	for {
+		frag, err := br.ReadSlice('\n')
+		b = append(b, frag...)
+		buf.B = b
+		if len(b) > maxHeaderBytes {
+			return nil, ErrHeaderTooBig
+		}
+		if err == bufio.ErrBufferFull {
+			continue // current line continues in the next fragment
+		}
+		if err != nil {
+			return nil, err
+		}
+		// One complete line landed; blank (just the terminator) ends
+		// the head unless it is the start line position.
+		n := len(b) - lineStart
+		if lineStart > 0 && (n == 1 || (n == 2 && b[lineStart] == '\r')) {
+			return b, nil
+		}
+		lineStart = len(b)
+	}
+}
+
+// readLineAlloc reads one LF-terminated line for the chunked-framing
+// paths (chunk-size lines, post-chunk CRLFs, trailers), stripping
+// exactly one "\r\n" or bare "\n". These lines are framing discarded
+// after parsing, so an allocated string is fine off the hot path; the
+// per-line maxHeaderBytes bound prevents ballooning.
+func readLineAlloc(br *bufio.Reader) (string, error) {
 	var long []byte
 	for {
 		frag, err := br.ReadSlice('\n')
@@ -352,13 +529,13 @@ func readLine(br *bufio.Reader) (string, error) {
 					// caller's buffer size.
 					return "", ErrHeaderTooBig
 				}
-				return strings.TrimRight(string(frag), "\r\n"), nil
+				return trimLineEnd(string(frag)), nil
 			}
 			long = append(long, frag...)
 			if len(long) > maxHeaderBytes {
 				return "", ErrHeaderTooBig
 			}
-			return strings.TrimRight(string(long), "\r\n"), nil
+			return trimLineEnd(string(long)), nil
 		}
 		if err != bufio.ErrBufferFull {
 			return "", err
@@ -371,76 +548,18 @@ func readLine(br *bufio.Reader) (string, error) {
 	}
 }
 
-func readHeaders(br *bufio.Reader) (Header, error) {
-	// Presized for the handful of headers SOAP traffic carries, so the
-	// map does not reallocate while filling.
-	h := make(Header, 8)
-	total := 0
-	for {
-		line, err := readLine(br)
-		if err != nil {
-			return nil, err
-		}
-		if line == "" {
-			return h, nil
-		}
-		total += len(line)
-		if total > maxHeaderBytes {
-			return nil, ErrHeaderTooBig
-		}
-		i := strings.IndexByte(line, ':')
-		if i <= 0 {
-			return nil, fmt.Errorf("%w: bad header line %q", ErrMalformed, line)
-		}
-		key := strings.TrimSpace(line[:i])
-		if key == "" {
-			// A whitespace-only name would round-trip as ": value",
-			// which parses as malformed; reject it at the source.
-			return nil, fmt.Errorf("%w: bad header line %q", ErrMalformed, line)
-		}
-		h.Set(key, strings.TrimSpace(line[i+1:]))
-	}
+// trimLineEnd strips exactly one "\r\n" (or bare "\n") terminator.
+func trimLineEnd(line string) string {
+	line = strings.TrimSuffix(line, "\n")
+	return strings.TrimSuffix(line, "\r")
 }
 
-// readBody reads the message body into a fresh GC-owned slice.
-func readBody(br *bufio.Reader, h Header) ([]byte, error) {
-	body, _, err := readBodyInto(br, h, nil)
-	return body, err
-}
-
-// readBodyPooled reads the message body into a pooled buffer and
-// returns its release function. Bodiless messages return (nil, nil) —
-// no buffer is drawn and there is nothing to release. On error the
-// buffer is released before returning.
-func readBodyPooled(br *bufio.Reader, h Header) ([]byte, func(), error) {
-	if !hasBody(h) {
-		return nil, nil, nil
-	}
-	buf := xmlsoap.GetBuffer()
-	body, n, err := readBodyInto(br, h, buf.B)
-	if err != nil {
-		xmlsoap.PutBuffer(buf)
-		return nil, nil, err
-	}
-	if n == 0 {
-		// Declared but empty body (Content-Length: 0, or a chunked
-		// stream with only the terminator).
-		xmlsoap.PutBuffer(buf)
-		return nil, nil, nil
-	}
-	buf.B = body
-	return body, func() { xmlsoap.PutBuffer(buf) }, nil
-}
-
-// hasBody reports whether the framing headers declare a body at all.
-func hasBody(h Header) bool {
-	return strings.EqualFold(h.Get("Transfer-Encoding"), "chunked") || h.Get("Content-Length") != ""
-}
-
-// readBodyInto appends the framed body to dst (which may be nil for a
-// fresh allocation or a pooled buffer's storage) and returns the
-// extended slice plus the number of body bytes read.
-func readBodyInto(br *bufio.Reader, h Header, dst []byte) ([]byte, int, error) {
+// readBodyInto appends the framed body to dst (the message's pooled
+// buffer, already holding the head) and returns the extended slice plus
+// the number of body bytes read. Growing dst may move it to a fresh
+// array; head strings keep aliasing the old bytes, which stay valid for
+// the message's lifetime either way.
+func readBodyInto(br *bufio.Reader, h *Header, dst []byte) ([]byte, int, error) {
 	if strings.EqualFold(h.Get("Transfer-Encoding"), "chunked") {
 		return readChunkedInto(br, dst)
 	}
@@ -466,7 +585,7 @@ func readBodyInto(br *bufio.Reader, h Header, dst []byte) ([]byte, int, error) {
 func readChunkedInto(br *bufio.Reader, dst []byte) ([]byte, int, error) {
 	start := len(dst)
 	for {
-		line, err := readLine(br)
+		line, err := readLineAlloc(br)
 		if err != nil {
 			return dst, 0, err
 		}
@@ -481,7 +600,7 @@ func readChunkedInto(br *bufio.Reader, dst []byte) ([]byte, int, error) {
 		if size == 0 {
 			// Trailer section: read until blank line.
 			for {
-				t, err := readLine(br)
+				t, err := readLineAlloc(br)
 				if err != nil {
 					return dst, 0, err
 				}
@@ -499,7 +618,7 @@ func readChunkedInto(br *bufio.Reader, dst []byte) ([]byte, int, error) {
 			return dst, 0, err
 		}
 		// Trailing CRLF after each chunk.
-		if _, err := readLine(br); err != nil {
+		if _, err := readLineAlloc(br); err != nil {
 			return dst, 0, err
 		}
 	}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package httpx
+
+const raceEnabled = false

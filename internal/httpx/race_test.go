@@ -1,0 +1,8 @@
+//go:build race
+
+package httpx
+
+// raceEnabled skips the head-parsing allocation gate under the race
+// detector, which deliberately randomizes sync.Pool caching and adds
+// its own per-op allocations, making AllocsPerRun budgets meaningless.
+const raceEnabled = true

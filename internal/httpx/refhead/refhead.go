@@ -1,0 +1,287 @@
+// Package refhead is the frozen map-based HTTP head parser: the seed
+// httpx read path as it stood before the pooled in-place head rewrite,
+// kept as the differential oracle for httpx's FuzzHead. It is the
+// head-parsing twin of internal/xmlsoap/refcodec and refparser — do not
+// optimize it; change it only together with the httpx parser and the
+// fuzz fence when the accepted grammar itself changes.
+//
+// Two deliberate fixes agreed for the rewrite are applied here so the
+// oracle defines the intended grammar rather than the seed's accidents:
+//
+//   - Line terminators: readLine strips exactly one "\r\n" (or bare
+//     "\n"). The seed used strings.TrimRight(line, "\r\n"), which also
+//     ate data bytes — a line "X: v\r\r\n" lost its trailing '\r'
+//     before value trimming, and a bare "\r\r\n" line parsed as the
+//     end-of-head blank line instead of a malformed header line.
+//   - Head size: the maxHeaderBytes bound applies to the raw head —
+//     start line, header lines, and their terminators — rather than to
+//     the sum of trimmed header-line lengths only, matching what the
+//     in-place parser can account for without bookkeeping.
+//
+// Bodies are read exactly as the seed read them (Content-Length and
+// chunked framing, shared limits), into GC-owned slices.
+package refhead
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Limits mirror internal/httpx.
+const (
+	maxHeaderBytes = 64 << 10
+	maxBodyBytes   = 8 << 20
+)
+
+// Errors mirror internal/httpx's sentinel split; only the verdict
+// (error vs nil) participates in the differential check.
+var (
+	ErrMalformed    = errors.New("refhead: malformed message")
+	ErrHeaderTooBig = errors.New("refhead: header section too large")
+	ErrBodyTooBig   = errors.New("refhead: body exceeds limit")
+)
+
+// Header is the seed's header representation: single-valued
+// canonical-case keys, last write wins.
+type Header map[string]string
+
+// CanonicalKey is the seed canonicalization (special-cased mixed-case
+// names, Title-Case segments otherwise), including the seed's
+// already-canonical fast path — which is semantic, not just an
+// optimization: keys it classifies as canonical are returned unchanged,
+// while the slow path's ToUpper/ToLower would fold non-ASCII bytes
+// through U+FFFD.
+func CanonicalKey(k string) string {
+	if isCanonicalKey(k) {
+		return k
+	}
+	switch strings.ToLower(k) {
+	case "soapaction":
+		return "SOAPAction"
+	case "www-authenticate":
+		return "WWW-Authenticate"
+	}
+	parts := strings.Split(k, "-")
+	for i, p := range parts {
+		if p == "" {
+			continue
+		}
+		parts[i] = strings.ToUpper(p[:1]) + strings.ToLower(p[1:])
+	}
+	return strings.Join(parts, "-")
+}
+
+// isCanonicalKey mirrors the seed's fast-path classifier: segment-initial
+// letters uppercase, all other letters lowercase, the two special
+// spellings matched exactly.
+func isCanonicalKey(k string) bool {
+	if k == "SOAPAction" || k == "WWW-Authenticate" {
+		return true
+	}
+	if strings.EqualFold(k, "SOAPAction") || strings.EqualFold(k, "WWW-Authenticate") {
+		return false
+	}
+	segStart := true
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		if c == '-' {
+			segStart = true
+			continue
+		}
+		if segStart {
+			if 'a' <= c && c <= 'z' {
+				return false
+			}
+			segStart = false
+			continue
+		}
+		if 'A' <= c && c <= 'Z' {
+			return false
+		}
+	}
+	return true
+}
+
+// Request is a parsed request head plus body.
+type Request struct {
+	Method string
+	Path   string
+	Proto  string
+	Header Header
+	Body   []byte
+}
+
+// Response is a parsed response head plus body.
+type Response struct {
+	Status int
+	Reason string
+	Proto  string
+	Header Header
+	Body   []byte
+}
+
+// ReadRequest parses one request from br.
+func ReadRequest(br *bufio.Reader) (*Request, error) {
+	line, budget, err := readLine(br, maxHeaderBytes)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+		return nil, fmt.Errorf("%w: bad request line %q", ErrMalformed, line)
+	}
+	req := &Request{Method: parts[0], Path: parts[1], Proto: parts[2]}
+	req.Header, err = readHeaders(br, budget)
+	if err != nil {
+		return nil, err
+	}
+	req.Body, err = readBody(br, req.Header)
+	if err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// ReadResponse parses one response from br.
+func ReadResponse(br *bufio.Reader) (*Response, error) {
+	line, budget, err := readLine(br, maxHeaderBytes)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return nil, fmt.Errorf("%w: bad status line %q", ErrMalformed, line)
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad status code %q", ErrMalformed, parts[1])
+	}
+	resp := &Response{Proto: parts[0], Status: status}
+	if len(parts) == 3 {
+		resp.Reason = parts[2]
+	}
+	resp.Header, err = readHeaders(br, budget)
+	if err != nil {
+		return nil, err
+	}
+	resp.Body, err = readBody(br, resp.Header)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// readLine reads one LF-terminated line, strips exactly one "\r\n" or
+// "\n", and returns the remaining raw-byte budget (budget counts the
+// line including its terminator).
+func readLine(br *bufio.Reader, budget int) (string, int, error) {
+	var long []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		budget -= len(frag)
+		if err == nil {
+			long = append(long, frag...)
+			if budget < 0 {
+				return "", 0, ErrHeaderTooBig
+			}
+			line := strings.TrimSuffix(string(long), "\n")
+			return strings.TrimSuffix(line, "\r"), budget, nil
+		}
+		if err != bufio.ErrBufferFull {
+			return "", 0, err
+		}
+		if budget < 0 {
+			return "", 0, ErrHeaderTooBig
+		}
+		// frag aliases br's internal buffer; copy before reading on.
+		long = append(long, frag...)
+	}
+}
+
+func readHeaders(br *bufio.Reader, budget int) (Header, error) {
+	h := make(Header, 8)
+	for {
+		line, rest, err := readLine(br, budget)
+		if err != nil {
+			return nil, err
+		}
+		budget = rest
+		if line == "" {
+			return h, nil
+		}
+		i := strings.IndexByte(line, ':')
+		if i <= 0 {
+			return nil, fmt.Errorf("%w: bad header line %q", ErrMalformed, line)
+		}
+		key := strings.TrimSpace(line[:i])
+		if key == "" {
+			return nil, fmt.Errorf("%w: bad header line %q", ErrMalformed, line)
+		}
+		h[CanonicalKey(key)] = strings.TrimSpace(line[i+1:])
+	}
+}
+
+func readBody(br *bufio.Reader, h Header) ([]byte, error) {
+	if strings.EqualFold(h["Transfer-Encoding"], "chunked") {
+		return readChunked(br)
+	}
+	cl := h["Content-Length"]
+	if cl == "" {
+		return nil, nil
+	}
+	n, err := strconv.Atoi(cl)
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("%w: bad Content-Length %q", ErrMalformed, cl)
+	}
+	if n > maxBodyBytes {
+		return nil, ErrBodyTooBig
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+func readChunked(br *bufio.Reader) ([]byte, error) {
+	var body []byte
+	for {
+		line, _, err := readLine(br, maxHeaderBytes)
+		if err != nil {
+			return nil, err
+		}
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		size, err := strconv.ParseInt(strings.TrimSpace(line), 16, 32)
+		if err != nil || size < 0 {
+			return nil, fmt.Errorf("%w: bad chunk size %q", ErrMalformed, line)
+		}
+		if size == 0 {
+			for {
+				t, _, terr := readLine(br, maxHeaderBytes)
+				if terr != nil {
+					return nil, terr
+				}
+				if t == "" {
+					return body, nil
+				}
+			}
+		}
+		if len(body)+int(size) > maxBodyBytes {
+			return nil, ErrBodyTooBig
+		}
+		chunk := make([]byte, size)
+		if _, err := io.ReadFull(br, chunk); err != nil {
+			return nil, err
+		}
+		body = append(body, chunk...)
+		if _, _, err := readLine(br, maxHeaderBytes); err != nil {
+			return nil, err
+		}
+	}
+}

@@ -181,6 +181,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.Requests.Inc()
 		req.RemoteAddr = conn.RemoteAddr().String()
 
+		// Snapshot the request's keep-alive verdict before the handler
+		// runs: req.Proto and req.Header alias the pooled head buffer,
+		// and a handler that takes the body (TakeBody moves head and
+		// body together) may release it from another goroutine as soon
+		// as it is done — echoservice.Async's reply leg can finish
+		// before the response is written.
+		reqClose := wantsClose(req.Proto, &req.Header)
+
 		resp := s.dispatch(req)
 		if resp == nil {
 			resp = NewResponse(StatusInternalServerError, nil)
@@ -190,18 +198,20 @@ func (s *Server) serveConn(conn net.Conn) {
 			conn.SetWriteDeadline(clk.Now().Add(s.cfg.WriteTimeout))
 		}
 		err = resp.Encode(conn)
-		// Both pooled bodies are done once the response bytes are out
+		// Both pooled buffers are done once the response bytes are out
 		// (the response may alias the request body it echoes, so the
 		// request buffer is only released after the write). A handler
-		// that called req.TakeBody cleared ReleaseBody, making the
-		// request release a no-op here.
+		// that called req.TakeBody emptied the request's duty, making
+		// its release a no-op here. The response's close verdict is
+		// read before its head is released.
+		close := reqClose || wantsClose(resp.Proto, &resp.Header)
 		resp.Release()
 		req.Release()
 		if err != nil {
 			s.Errors.Inc()
 			return
 		}
-		if wantsClose(req.Proto, req.Header) || wantsClose(resp.Proto, resp.Header) {
+		if close {
 			return
 		}
 	}

@@ -1,6 +1,9 @@
 package httpx
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestSplitURL(t *testing.T) {
 	cases := []struct {
@@ -13,10 +16,26 @@ func TestSplitURL(t *testing.T) {
 		{"http://host:9000", "host:9000", "/", true},
 		{"host:9000/x", "host:9000", "/x", true},
 		{"host:9000", "host:9000", "/", true},
+		// Trailing slash and empty path segments survive verbatim.
+		{"http://host:80/", "host:80", "/", true},
+		{"http://host:80//", "host:80", "//", true},
+		{"http://host:80/a//b/", "host:80", "/a//b/", true},
+		// Query-ish and fragment-ish suffixes ride along as path bytes —
+		// SplitURL does not interpret them.
+		{"http://host:80/p?q=1", "host:80", "/p?q=1", true},
+		// IPv4 and multi-colon (IPv6-ish) hosts only need some colon.
+		{"http://127.0.0.1:9000/x", "127.0.0.1:9000", "/x", true},
+		{"[::1]:9000/x", "[::1]:9000", "/x", true},
+		// Rejections: wrong scheme, missing port, empty pieces.
 		{"https://host:443/x", "", "", false},
+		{"ftp://host:21/x", "", "", false},
 		{"http://hostonly/x", "", "", false},
+		{"hostonly/x", "", "", false},
 		{"", "", "", false},
 		{"http://", "", "", false},
+		{"http:///path", "", "", false},
+		{"://host:80/x", "", "", false}, // empty scheme is not http
+		{"/just/a/path", "", "", false},
 	}
 	for _, c := range cases {
 		addr, path, err := SplitURL(c.in)
@@ -36,11 +55,41 @@ func TestSplitURL(t *testing.T) {
 	}
 }
 
-func TestJoinURL(t *testing.T) {
-	if got := JoinURL("h:80", "svc"); got != "http://h:80/svc" {
-		t.Fatalf("JoinURL = %q", got)
+// TestSplitJoinRoundTrip: any URL SplitURL accepts is reassembled by
+// JoinURL into a URL that splits identically.
+func TestSplitJoinRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		"http://host:80/svc/echo",
+		"http://host:9000",
+		"host:9000/x",
+		"http://h:1/a//b/",
+	} {
+		addr, path, err := SplitURL(in)
+		if err != nil {
+			t.Fatalf("SplitURL(%q): %v", in, err)
+		}
+		joined := JoinURL(addr, path)
+		addr2, path2, err := SplitURL(joined)
+		if err != nil || addr2 != addr || path2 != path {
+			t.Fatalf("round trip %q -> %q -> %q %q (err %v)", in, joined, addr2, path2, err)
+		}
+		if !strings.HasPrefix(joined, "http://") {
+			t.Fatalf("JoinURL(%q, %q) = %q lacks scheme", addr, path, joined)
+		}
 	}
-	if got := JoinURL("h:80", "/svc"); got != "http://h:80/svc" {
-		t.Fatalf("JoinURL = %q", got)
+}
+
+func TestJoinURL(t *testing.T) {
+	cases := []struct{ addr, path, want string }{
+		{"h:80", "svc", "http://h:80/svc"},
+		{"h:80", "/svc", "http://h:80/svc"},
+		{"h:80", "", "http://h:80/"},
+		{"h:80", "/", "http://h:80/"},
+		{"h:80", "//x", "http://h:80//x"},
+	}
+	for _, c := range cases {
+		if got := JoinURL(c.addr, c.path); got != c.want {
+			t.Errorf("JoinURL(%q, %q) = %q, want %q", c.addr, c.path, got, c.want)
+		}
 	}
 }

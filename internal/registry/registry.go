@@ -193,6 +193,16 @@ func (r *Registry) Resolve(logical string) (*Endpoint, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownService, logical)
 	}
+	// Single-endpoint fast path: the common deployment (one physical
+	// service per logical name) resolves without building the live set —
+	// every policy picks the only live endpoint anyway. Dispatchers call
+	// Resolve per forwarded message, so this is on the hot path.
+	if len(entry.Endpoints) == 1 {
+		if e := entry.Endpoints[0]; e.Alive() {
+			return e, nil
+		}
+		return nil, fmt.Errorf("%w for %q", ErrNoLiveEndpoint, logical)
+	}
 	live := make([]*Endpoint, 0, len(entry.Endpoints))
 	for _, e := range entry.Endpoints {
 		if e.Alive() {

@@ -106,8 +106,21 @@ func NewMessageID() string {
 	// RFC 4122 version 4 variant bits.
 	b[6] = (b[6] & 0x0f) | 0x40
 	b[8] = (b[8] & 0x3f) | 0x80
-	h := hex.EncodeToString(b[:])
-	return "urn:uuid:" + h[0:8] + "-" + h[8:12] + "-" + h[12:16] + "-" + h[16:20] + "-" + h[20:]
+	// Build "urn:uuid:xxxxxxxx-xxxx-xxxx-xxxx-xxxxxxxxxxxx" in a stack
+	// scratch so the whole ID costs one allocation (the returned string);
+	// dispatchers mint one per forwarded message.
+	var dst [9 + 36]byte
+	copy(dst[:9], "urn:uuid:")
+	hex.Encode(dst[9:17], b[0:4])
+	dst[17] = '-'
+	hex.Encode(dst[18:22], b[4:6])
+	dst[22] = '-'
+	hex.Encode(dst[23:27], b[6:8])
+	dst[27] = '-'
+	hex.Encode(dst[28:32], b[8:10])
+	dst[32] = '-'
+	hex.Encode(dst[33:], b[10:16])
+	return string(dst[:])
 }
 
 // Apply writes the headers into the envelope, replacing any existing
