@@ -227,9 +227,10 @@ func newMsgBenchRig(b *testing.B, opt msgBenchOptions) *msgBenchRig {
 		if err != nil {
 			return err
 		}
+		status := resp.Status
 		resp.Release()
-		if resp.Status != httpx.StatusAccepted {
-			return fmt.Errorf("HTTP %d", resp.Status)
+		if status != httpx.StatusAccepted {
+			return fmt.Errorf("HTTP %d", status)
 		}
 		return nil
 	}

@@ -64,9 +64,10 @@ func main() {
 			if err != nil {
 				return err
 			}
+			status := resp.Status
 			resp.Release()
-			if resp.Status != httpx.StatusOK {
-				return fmt.Errorf("HTTP %d", resp.Status)
+			if status != httpx.StatusOK {
+				return fmt.Errorf("HTTP %d", status)
 			}
 			return nil
 		}
@@ -96,9 +97,10 @@ func main() {
 			if err != nil {
 				return err
 			}
+			status := resp.Status
 			resp.Release()
-			if resp.Status != httpx.StatusAccepted && resp.Status != httpx.StatusOK {
-				return fmt.Errorf("HTTP %d", resp.Status)
+			if status != httpx.StatusAccepted && status != httpx.StatusOK {
+				return fmt.Errorf("HTTP %d", status)
 			}
 			return nil
 		}

@@ -13,7 +13,11 @@ package repro_test
 import (
 	"bufio"
 	"bytes"
+	"errors"
+	"net"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/echoservice"
 	"repro/internal/httpx"
@@ -206,6 +210,167 @@ func BenchmarkReadHead(b *testing.B) {
 			if _, err := refhead.ReadRequest(br); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// benchListener is a one-shot in-memory net.Listener fed net.Pipe conns
+// by benchDialer — the same no-sockets rig the msgdisp allocation gate
+// uses, duplicated here because these root benchmarks run without the
+// poolcheck TestMain (poison scans would dominate sub-µs paths).
+type benchListener struct {
+	ch     chan net.Conn
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newBenchListener() *benchListener {
+	return &benchListener{ch: make(chan net.Conn, 4), closed: make(chan struct{})}
+}
+
+func (l *benchListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.closed:
+		return nil, errors.New("benchListener: closed")
+	}
+}
+
+func (l *benchListener) Close() error {
+	l.once.Do(func() { close(l.closed) })
+	return nil
+}
+
+func (l *benchListener) Addr() net.Addr { return benchAddr("mem") }
+
+type benchAddr string
+
+func (a benchAddr) Network() string { return "mem" }
+func (a benchAddr) String() string  { return string(a) }
+
+type benchDialer map[string]*benchListener
+
+func (d benchDialer) DialTimeout(addr string, _ time.Duration) (net.Conn, error) {
+	ln, ok := d[addr]
+	if !ok {
+		return nil, errors.New("benchDialer: no listener at " + addr)
+	}
+	local, remote := net.Pipe()
+	ln.ch <- remote
+	return local, nil
+}
+
+// benchEchoHandler is the minimal Exchange handler: echo the body, no
+// parsing — so the benchmarks below isolate the HTTP layer itself.
+func benchEchoHandler(ex *httpx.Exchange) {
+	ex.Header().Set("Content-Type", ex.Req.Header.Get("Content-Type"))
+	ex.ReplyBytes(httpx.StatusOK, ex.Req.Body)
+}
+
+// BenchmarkServeConnPipelined measures the server side of the Exchange
+// redesign in isolation: one keep-alive connection carrying batches of
+// back-to-back (pipelined) requests, served by serveConn's reused
+// Exchange with single-write replies. The per-op unit is ONE request.
+// Steady state allocates nothing per request in the httpx layer; what
+// remains is net.Pipe deadline machinery.
+func BenchmarkServeConnPipelined(b *testing.B) {
+	ln := newBenchListener()
+	srv := httpx.NewServer(httpx.HandlerFunc(benchEchoHandler), httpx.ServerConfig{})
+	srv.Start(ln)
+	defer srv.Close()
+
+	local, remote := net.Pipe()
+	ln.ch <- remote
+	defer local.Close()
+
+	const batch = 16
+	var reqBytes bytes.Buffer
+	req := httpx.NewRequest("POST", "/echo", []byte("<soap:Envelope>ping</soap:Envelope>"))
+	req.Header.Set("Content-Type", "text/xml; charset=utf-8")
+	for i := 0; i < batch; i++ {
+		if err := req.Encode(&reqBytes); err != nil {
+			b.Fatal(err)
+		}
+	}
+	blob := reqBytes.Bytes()
+	br := bufio.NewReader(local)
+	writeErr := make(chan error, 1)
+
+	var resp httpx.Response // the bench side reuses its struct too
+	runBatch := func() {
+		go func() {
+			_, err := local.Write(blob)
+			writeErr <- err
+		}()
+		for i := 0; i < batch; i++ {
+			if err := httpx.ReadResponseInto(br, &resp); err != nil {
+				b.Fatal(err)
+			}
+			if resp.Status != httpx.StatusOK {
+				b.Fatalf("HTTP %d", resp.Status)
+			}
+			resp.Release()
+		}
+		if err := <-writeErr; err != nil {
+			b.Fatal(err)
+		}
+	}
+	runBatch() // warm pools and the connection's Exchange
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		runBatch()
+	}
+}
+
+// BenchmarkClientStream measures the client side: Stream.Do pipelining
+// consecutive exchanges over one pinned connection with the
+// per-connection Response reuse, vs Client.Do taking the idle-pool path
+// on every exchange.
+func BenchmarkClientStream(b *testing.B) {
+	nets := benchDialer{"echo:80": newBenchListener()}
+	srv := httpx.NewServer(httpx.HandlerFunc(benchEchoHandler), httpx.ServerConfig{})
+	srv.Start(nets["echo:80"])
+	defer srv.Close()
+
+	req := httpx.NewRequest("POST", "/echo", []byte("<soap:Envelope>ping</soap:Envelope>"))
+	req.Header.Set("Content-Type", "text/xml; charset=utf-8")
+
+	b.Run("stream", func(b *testing.B) {
+		cli := httpx.NewClient(nets, httpx.ClientConfig{})
+		defer cli.Close()
+		s := cli.Stream("echo:80")
+		defer s.Close()
+		exchange := func() {
+			resp, err := s.Do(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp.Release()
+		}
+		exchange()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			exchange()
+		}
+	})
+	b.Run("do", func(b *testing.B) {
+		cli := httpx.NewClient(nets, httpx.ClientConfig{})
+		defer cli.Close()
+		exchange := func() {
+			resp, err := cli.Do("echo:80", req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp.Release()
+		}
+		exchange()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			exchange()
 		}
 	})
 }

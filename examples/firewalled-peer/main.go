@@ -74,15 +74,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srvPeer := httpx.NewServer(httpx.HandlerFunc(func(req *httpx.Request) *httpx.Response {
-		env, perr := soap.Parse(req.Body)
+	srvPeer := httpx.NewServer(httpx.HandlerFunc(func(ex *httpx.Exchange) {
+		env, perr := soap.Parse(ex.Req.Body)
 		if perr != nil {
-			return httpx.NewResponse(httpx.StatusBadRequest, nil)
+			ex.ReplyBytes(httpx.StatusBadRequest, nil)
+			return
 		}
 		// Detached: the channel consumer reads the envelope after this
 		// exchange's pooled request body is released.
 		replies <- env.Detach()
-		return httpx.NewResponse(httpx.StatusAccepted, nil)
+		ex.ReplyBytes(httpx.StatusAccepted, nil)
 	}), httpx.ServerConfig{Clock: clk})
 	srvPeer.Start(lnPeer)
 	defer srvPeer.Close()

@@ -83,4 +83,32 @@ func main() {
 	}
 	fmt.Printf("echo replied: %q\n", results[0].Value)
 	fmt.Printf("dispatcher forwarded %d call(s)\n", server.RPC.Forwarded.Value())
+
+	// Under the hood every service is an httpx.Handler working in
+	// connection-scoped Exchanges: the connection owns one reusable
+	// request struct, the handler reads ex.Req and answers through the
+	// exchange (ex.ReplyBytes here; ex.Reply renders into a pooled
+	// buffer, ex.Hijack/ex.TakeBody serve async repliers), and the
+	// reply's head and body leave in a single write. A minimal raw
+	// handler, called directly:
+	ops := nw.AddHost("ops", netsim.ProfileLAN())
+	lnOps, err := ops.Listen(8080)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srvOps := httpx.NewServer(httpx.HandlerFunc(func(ex *httpx.Exchange) {
+		ex.Header().Set("Content-Type", "text/plain")
+		ex.ReplyBytes(httpx.StatusOK, append([]byte("pong: "), ex.Req.Body...))
+	}), httpx.ServerConfig{Clock: clk})
+	srvOps.Start(lnOps)
+	defer srvOps.Close()
+
+	resp, err := httpCli.Do("ops:8080", httpx.NewRequest("POST", "/ping", []byte("raw")))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("raw httpx exchange: HTTP %d %q\n", resp.Status, resp.Body)
+	// Releasing the response frees its pooled buffer AND returns the
+	// kept-alive connection to the client's idle pool.
+	resp.Release()
 }

@@ -256,90 +256,91 @@ func (s *Server) scheduleSweep() {
 // enabled), /registry and /wsdl/* to the directory, /login to the token
 // service.
 func (s *Server) rpcMux() httpx.Handler {
-	return httpx.HandlerFunc(func(req *httpx.Request) *httpx.Response {
+	return httpx.HandlerFunc(func(ex *httpx.Exchange) {
 		switch {
-		case strings.HasPrefix(req.Path, "/rpc/"):
-			if resp := s.checkToken(req); resp != nil {
-				return resp
+		case strings.HasPrefix(ex.Req.Path, "/rpc/"):
+			if s.denied(ex) {
+				return
 			}
-			return s.RPC.Serve(req)
-		case req.Path == "/registry":
-			resp := httpx.NewResponse(httpx.StatusOK, rpcdisp.DirectoryPage(s.Registry))
-			resp.Header.Set("Content-Type", "text/xml; charset=utf-8")
-			return resp
-		case strings.HasPrefix(req.Path, "/wsdl/"):
-			return s.serveWSDL(strings.TrimPrefix(req.Path, "/wsdl/"))
-		case req.Path == "/login" && s.cfg.Authority != nil:
-			return s.serveLogin(req)
+			s.RPC.Serve(ex)
+		case ex.Req.Path == "/registry":
+			ex.Header().Set("Content-Type", "text/xml; charset=utf-8")
+			ex.ReplyBytes(httpx.StatusOK, rpcdisp.DirectoryPage(s.Registry))
+		case strings.HasPrefix(ex.Req.Path, "/wsdl/"):
+			s.serveWSDL(ex, strings.TrimPrefix(ex.Req.Path, "/wsdl/"))
+		case ex.Req.Path == "/login" && s.cfg.Authority != nil:
+			s.serveLogin(ex)
 		default:
-			return httpx.NewResponse(httpx.StatusNotFound, []byte("unknown path "+req.Path))
+			ex.ReplyBytes(httpx.StatusNotFound, []byte("unknown path "+ex.Req.Path))
 		}
 	})
 }
 
 // msgMux routes the message port. SSO applies to /msg when enabled.
 func (s *Server) msgMux() httpx.Handler {
-	return httpx.HandlerFunc(func(req *httpx.Request) *httpx.Response {
-		if req.Path != "/msg" {
-			return httpx.NewResponse(httpx.StatusNotFound, []byte("unknown path "+req.Path))
+	return httpx.HandlerFunc(func(ex *httpx.Exchange) {
+		if ex.Req.Path != "/msg" {
+			ex.ReplyBytes(httpx.StatusNotFound, []byte("unknown path "+ex.Req.Path))
+			return
 		}
-		if resp := s.checkToken(req); resp != nil {
-			return resp
+		if s.denied(ex) {
+			return
 		}
-		return s.Msg.Serve(req)
+		s.Msg.Serve(ex)
 	})
 }
 
-// checkToken enforces SSO when an Authority is configured. It returns a
-// 401 response to send, or nil when the request may proceed.
-func (s *Server) checkToken(req *httpx.Request) *httpx.Response {
+// denied enforces SSO when an Authority is configured, answering the
+// exchange with 401 and reporting true when the request must stop.
+func (s *Server) denied(ex *httpx.Exchange) bool {
 	if s.cfg.Authority == nil {
-		return nil
+		return false
 	}
-	if _, err := s.cfg.Authority.Verify(req.Header.Get(auth.HeaderName)); err != nil {
-		body := soap.FaultBytes(soap.V11, soap.FaultClient, "authentication required: "+err.Error())
-		resp := httpx.NewResponse(httpx.StatusUnauthorized, body)
-		resp.Header.Set("Content-Type", soap.V11.ContentType())
-		return resp
+	if _, err := s.cfg.Authority.Verify(ex.Req.Header.Get(auth.HeaderName)); err != nil {
+		soap.ReplyFault(ex, httpx.StatusUnauthorized, soap.FaultClient,
+			"authentication required: "+err.Error())
+		return true
 	}
-	return nil
+	return false
 }
 
 // serveLogin implements the SSO token service as SOAP-RPC:
 // login(principal, secret) -> token.
-func (s *Server) serveLogin(req *httpx.Request) *httpx.Response {
-	env, err := soap.Parse(req.Body)
+func (s *Server) serveLogin(ex *httpx.Exchange) {
+	env, err := soap.Parse(ex.Req.Body)
 	if err != nil {
-		return httpx.NewResponse(httpx.StatusBadRequest, []byte(err.Error()))
+		ex.ReplyBytes(httpx.StatusBadRequest, []byte(err.Error()))
+		return
 	}
 	call, err := soap.ParseRPC(env)
 	if err != nil {
-		return httpx.NewResponse(httpx.StatusBadRequest, []byte(err.Error()))
+		ex.ReplyBytes(httpx.StatusBadRequest, []byte(err.Error()))
+		return
 	}
 	principal, _ := call.Param("principal")
 	secret, _ := call.Param("secret")
 	token, err := s.cfg.Authority.Login(principal, secret)
 	if err != nil {
-		body := soap.FaultBytes(env.Version, soap.FaultClient, err.Error())
-		resp := httpx.NewResponse(httpx.StatusUnauthorized, body)
-		resp.Header.Set("Content-Type", env.Version.ContentType())
-		return resp
+		ex.Header().Set("Content-Type", env.Version.ContentType())
+		ex.ReplyBytes(httpx.StatusUnauthorized,
+			soap.FaultBytes(env.Version, soap.FaultClient, err.Error()))
+		return
 	}
-	body, err := soap.RPCResponse(env.Version, "urn:wsd:auth", "login",
-		soap.Param{Name: "token", Value: token}).Marshal()
-	if err != nil {
-		return httpx.NewResponse(httpx.StatusInternalServerError, []byte(err.Error()))
+	out := soap.RPCResponse(env.Version, "urn:wsd:auth", "login",
+		soap.Param{Name: "token", Value: token})
+	if err := ex.Reply(httpx.StatusOK, out.AppendTo); err != nil {
+		ex.ReplyBytes(httpx.StatusInternalServerError, []byte(err.Error()))
+		return
 	}
-	resp := httpx.NewResponse(httpx.StatusOK, body)
-	resp.Header.Set("Content-Type", env.Version.ContentType())
-	return resp
+	ex.Header().Set("Content-Type", env.Version.ContentType())
 }
 
 // serveWSDL renders registered WSDL metadata for one logical service.
-func (s *Server) serveWSDL(name string) *httpx.Response {
+func (s *Server) serveWSDL(ex *httpx.Exchange, name string) {
 	entry, ok := s.Registry.Lookup(name)
 	if !ok || entry.Doc == nil {
-		return httpx.NewResponse(httpx.StatusNotFound, []byte("no WSDL for "+name))
+		ex.ReplyBytes(httpx.StatusNotFound, []byte("no WSDL for "+name))
+		return
 	}
 	endpoint := ""
 	if s.cfg.RPCPort != 0 {
@@ -347,9 +348,9 @@ func (s *Server) serveWSDL(name string) *httpx.Response {
 	}
 	body, err := entry.DocBytes(endpoint)
 	if err != nil {
-		return httpx.NewResponse(httpx.StatusInternalServerError, []byte(err.Error()))
+		ex.ReplyBytes(httpx.StatusInternalServerError, []byte(err.Error()))
+		return
 	}
-	resp := httpx.NewResponse(httpx.StatusOK, body)
-	resp.Header.Set("Content-Type", "text/xml; charset=utf-8")
-	return resp
+	ex.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	ex.ReplyBytes(httpx.StatusOK, body)
 }

@@ -75,24 +75,29 @@ func (n memNet) DialTimeout(addr string, _ time.Duration) (net.Conn, error) {
 // render, WsThread delivery to an RPC echo service, synchronous-answer
 // bridge, anonymous-reply hand-back — measured bytes-in to bytes-out.
 //
-// The bound it enforces is the tentpole claim, ratcheted twice: zero
-// GC-owned message-body allocations (PR 3) and zero httpx-layer head
+// The bound it enforces is the tentpole claim, ratcheted three times:
+// zero GC-owned message-body allocations (PR 3), zero httpx-layer head
 // allocations (PR 4 — heads parse in place inside each message's pooled
-// buffer, so no header maps, no per-line strings, no release closures).
-// Per-exchange small allocations remain (message structs, parse arenas,
-// net deadline timers, channel ops, the pending-reply entry) and are
-// budgeted by maxAllocs below; what may not appear is either the ~5 KiB
-// of body-sized buffers the seed path allocated per message or a
-// revival of the per-head cluster (~10 allocations per HTTP hop) the
-// head rewrite removed — maxBytes is set under one envelope-per-hop of
-// regression and maxAllocs under one head-cluster-per-hop.
+// buffer, so no header maps, no per-line strings, no release closures),
+// and zero per-request message-struct allocations (PR 5 — the Exchange
+// API reuses one Request per server connection and one Response per
+// client connection, handlers reply on the exchange instead of building
+// Response structs, and the dispatcher's verdict channel is gone).
+// Per-exchange small allocations remain (parse arenas, net deadline
+// timers, channel ops, the pending-reply entry, the CxThread closure)
+// and are budgeted by maxAllocs below; what may not appear is the ~5 KiB
+// of body-sized buffers the seed path allocated per message, a revival
+// of the per-head cluster (~10 allocations per HTTP hop), or a revival
+// of the per-message struct cluster (~6 structs per exchange) — maxBytes
+// is set under one envelope-per-hop of regression and maxAllocs under
+// one cluster of either kind.
 func TestRoundTripSteadyStateAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("sync.Pool caching is randomized under the race detector")
 	}
 	const (
-		maxAllocs = 60   // measured ~51 on linux/amd64 go1.24; headroom for GC-emptied pools
-		maxBytes  = 9500 // measured ~6.7 KiB (message structs, parse arenas, timers); a body-per-hop regression adds ~5 KiB
+		maxAllocs = 40   // measured ~35 on linux/amd64 go1.24; headroom for GC-emptied pools
+		maxBytes  = 7000 // measured ~4.3 KiB (parse arenas, timers, channel ops); a body-per-hop regression adds ~5 KiB
 	)
 
 	nets := memNet{}
@@ -137,9 +142,11 @@ func TestRoundTripSteadyStateAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// One request, reused for every exchange: Do never mutates it, and
+	// connection-scoped reuse is exactly what the Exchange API is for.
+	req := httpx.NewRequest("POST", "/msg", raw)
+	req.Header.Set("Content-Type", soap.V11.ContentType())
 	roundTrip := func() {
-		req := httpx.NewRequest("POST", "/msg", raw)
-		req.Header.Set("Content-Type", soap.V11.ContentType())
 		resp, err := cli.Do("wsd:9100", req)
 		if err != nil {
 			t.Fatal(err)
@@ -225,9 +232,9 @@ func BenchmarkDispatchExchange(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	req := httpx.NewRequest("POST", "/msg", raw)
+	req.Header.Set("Content-Type", soap.V11.ContentType())
 	exchange := func() {
-		req := httpx.NewRequest("POST", "/msg", raw)
-		req.Header.Set("Content-Type", soap.V11.ContentType())
 		resp, err := cli.Do("wsd:9100", req)
 		if err != nil {
 			b.Fatal(err)

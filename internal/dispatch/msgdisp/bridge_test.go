@@ -63,11 +63,11 @@ func newBridgeRig(t *testing.T, serviceTime time.Duration, anonWait time.Duratio
 
 	// Client's own endpoint for bridged replies.
 	lnC, _ := cli.Listen(90)
-	srvC := httpx.NewServer(httpx.HandlerFunc(func(req *httpx.Request) *httpx.Response {
-		if env, err := soap.Parse(req.Body); err == nil {
+	srvC := httpx.NewServer(httpx.HandlerFunc(func(ex *httpx.Exchange) {
+		if env, err := soap.Parse(ex.Req.Body); err == nil {
 			r.inbox <- env.Detach()
 		}
-		return httpx.NewResponse(httpx.StatusAccepted, nil)
+		ex.ReplyBytes(httpx.StatusAccepted, nil)
 	}), httpx.ServerConfig{Clock: clk})
 	srvC.Start(lnC)
 	t.Cleanup(func() { srvC.Close() })
@@ -219,14 +219,16 @@ func TestBridgedEchoBody(t *testing.T) {
 	// fully addressed reply envelope (some stacks do this instead of
 	// opening a new connection).
 	ln, _ := ws.Listen(81)
-	srvWS := httpx.NewServer(httpx.HandlerFunc(func(req *httpx.Request) *httpx.Response {
-		in, err := soap.Parse(req.Body)
+	srvWS := httpx.NewServer(httpx.HandlerFunc(func(ex *httpx.Exchange) {
+		in, err := soap.Parse(ex.Req.Body)
 		if err != nil {
-			return httpx.NewResponse(httpx.StatusBadRequest, nil)
+			ex.ReplyBytes(httpx.StatusBadRequest, nil)
+			return
 		}
 		h, err := wsa.FromEnvelope(in)
 		if err != nil {
-			return httpx.NewResponse(httpx.StatusBadRequest, nil)
+			ex.ReplyBytes(httpx.StatusBadRequest, nil)
+			return
 		}
 		out := soap.New(soap.V11).SetBody(in.BodyElement().Clone())
 		(&wsa.Headers{
@@ -235,9 +237,8 @@ func TestBridgedEchoBody(t *testing.T) {
 			RelatesTo: h.MessageID,
 		}).Apply(out)
 		raw, _ := out.Marshal()
-		resp := httpx.NewResponse(httpx.StatusOK, raw)
-		resp.Header.Set("Content-Type", soap.V11.ContentType())
-		return resp
+		ex.Header().Set("Content-Type", soap.V11.ContentType())
+		ex.ReplyBytes(httpx.StatusOK, raw)
 	}), httpx.ServerConfig{Clock: clk})
 	srvWS.Start(ln)
 	defer srvWS.Close()
@@ -257,11 +258,11 @@ func TestBridgedEchoBody(t *testing.T) {
 
 	inbox := make(chan *soap.Envelope, 1)
 	lnC, _ := cli.Listen(90)
-	srvC := httpx.NewServer(httpx.HandlerFunc(func(req *httpx.Request) *httpx.Response {
-		if env, err := soap.Parse(req.Body); err == nil {
+	srvC := httpx.NewServer(httpx.HandlerFunc(func(ex *httpx.Exchange) {
+		if env, err := soap.Parse(ex.Req.Body); err == nil {
 			inbox <- env.Detach()
 		}
-		return httpx.NewResponse(httpx.StatusAccepted, nil)
+		ex.ReplyBytes(httpx.StatusAccepted, nil)
 	}), httpx.ServerConfig{Clock: clk})
 	srvC.Start(lnC)
 	defer srvC.Close()

@@ -140,6 +140,10 @@ type Dispatcher struct {
 	wsSlots chan struct{}
 	pending *cmap.Map[pendingReply]
 
+	// timers recycles anonymous-wait timers across exchanges (see
+	// awaitAnonymous for the stale-fire discipline).
+	timers sync.Pool
+
 	// selfEPR and noneEPR are the two constant ReplyTo rewrites, built
 	// once so the per-message rewrite allocates nothing. They are shared
 	// read-only across messages.
@@ -222,43 +226,47 @@ func (d *Dispatcher) Stop() {
 	})
 }
 
-// Serve implements httpx.Handler. The HTTP goroutine hands the message to
-// a CxThread and relays its verdict: 202 Accepted on admission, a fault
-// otherwise. Serve blocks until route finishes, so the pooled request
-// body stays valid for the whole routing pass (everything route retains
-// past it — pending-reply state, queued payloads, waiter envelopes — is
-// detached or rendered into its own buffer).
-func (d *Dispatcher) Serve(req *httpx.Request) *httpx.Response {
-	result := resultChanPool.Get().(chan *httpx.Response)
-	body := req.Body
-	err := d.cx.TrySubmit(func() { result <- d.route(body) })
+// Serve implements httpx.Handler. The exchange is hijacked and handed to
+// a CxThread whole: the worker routes the message and replies on the
+// exchange directly — 202 Accepted on admission, a fault otherwise —
+// then finishes it. This is what removed the old per-request
+// verdict-channel round trip between the HTTP goroutine and the worker;
+// the connection's one reusable completion channel (inside the Exchange)
+// is touched only on this hijacked path. The connection holds the pooled
+// request body until Finish, so it stays valid for the whole routing
+// pass (everything route retains past it — pending-reply state, queued
+// payloads, waiter envelopes — is detached or rendered into its own
+// buffer).
+func (d *Dispatcher) Serve(ex *httpx.Exchange) {
+	ex.Hijack()
+	err := d.cx.TrySubmit(func() {
+		defer ex.Finish()
+		d.route(ex, ex.Req.Body)
+	})
 	if err != nil {
-		resultChanPool.Put(result)
 		d.Rejected.Inc()
-		return faultResponse(httpx.StatusServiceUnavailable, soap.FaultServer,
+		d.fault(ex, httpx.StatusServiceUnavailable, soap.FaultServer,
 			"dispatcher overloaded: "+err.Error())
+		ex.Finish()
 	}
-	resp := <-result
-	resultChanPool.Put(result)
-	return resp
 }
 
-// resultChanPool recycles the one-shot verdict channels Serve blocks on;
-// a channel is always drained (or never written) before it is returned.
-var resultChanPool = sync.Pool{New: func() any { return make(chan *httpx.Response, 1) }}
-
 // route is the CxThread body: parse, classify (request vs response),
-// resolve, rewrite, enqueue.
-func (d *Dispatcher) route(body []byte) *httpx.Response {
+// resolve, rewrite, enqueue. Verdicts are replied on ex; the bridge
+// re-enters routing with a nil exchange (its delivery connection already
+// got its answer), in which case verdicts are counted but sent nowhere.
+func (d *Dispatcher) route(ex *httpx.Exchange, body []byte) {
 	env, err := soap.Parse(body)
 	if err != nil {
 		d.Rejected.Inc()
-		return faultResponse(httpx.StatusBadRequest, soap.FaultClient, "invalid SOAP: "+err.Error())
+		d.fault(ex, httpx.StatusBadRequest, soap.FaultClient, "invalid SOAP: "+err.Error())
+		return
 	}
 	h, err := wsa.FromEnvelope(env)
 	if err != nil {
 		d.Rejected.Inc()
-		return faultResponse(httpx.StatusBadRequest, soap.FaultClient, "invalid WS-Addressing: "+err.Error())
+		d.fault(ex, httpx.StatusBadRequest, soap.FaultClient, "invalid WS-Addressing: "+err.Error())
+		return
 	}
 
 	// "Responses from WSs are also treated like requests from clients."
@@ -267,26 +275,29 @@ func (d *Dispatcher) route(body []byte) *httpx.Response {
 			d.pending.Delete(h.RelatesTo)
 			if entry.expires.Before(d.cfg.Clock.Now()) {
 				d.Rejected.Inc()
-				return faultResponse(httpx.StatusBadRequest, soap.FaultClient,
+				d.fault(ex, httpx.StatusBadRequest, soap.FaultClient,
 					"reply arrived after pending state expired")
+				return
 			}
-			return d.routeReply(env, h, entry)
+			d.routeReply(ex, env, h, entry)
+			return
 		}
 		d.UnmatchedReplies.Inc()
 		// Fall through: a RelatesTo we never saw may still carry a
 		// routable To (peer-managed conversation state).
 	}
-	return d.routeRequest(env, h)
+	d.routeRequest(ex, env, h)
 }
 
 // routeRequest forwards a client message toward the destination service.
-func (d *Dispatcher) routeRequest(env *soap.Envelope, h *wsa.Headers) *httpx.Response {
+func (d *Dispatcher) routeRequest(ex *httpx.Exchange, env *soap.Envelope, h *wsa.Headers) {
 	destURL := h.To
 	if logical, ok := strings.CutPrefix(h.To, LogicalScheme); ok {
 		ep, err := d.registry.Resolve(logical)
 		if err != nil {
 			d.Rejected.Inc()
-			return faultResponse(httpx.StatusNotFound, soap.FaultClient, err.Error())
+			d.fault(ex, httpx.StatusNotFound, soap.FaultClient, err.Error())
+			return
 		}
 		destURL = ep.URL
 	}
@@ -294,8 +305,9 @@ func (d *Dispatcher) routeRequest(env *soap.Envelope, h *wsa.Headers) *httpx.Res
 	// pending state would loop through the forwarder forever; refuse it.
 	if destURL == d.cfg.ReturnAddress {
 		d.Rejected.Inc()
-		return faultResponse(httpx.StatusBadRequest, soap.FaultClient,
+		d.fault(ex, httpx.StatusBadRequest, soap.FaultClient,
 			"message addressed to the dispatcher itself has no routable correlation")
+		return
 	}
 
 	// Remember where the real answer should go, then rewrite ReplyTo to
@@ -346,7 +358,8 @@ func (d *Dispatcher) routeRequest(env *soap.Envelope, h *wsa.Headers) *httpx.Res
 	if err != nil {
 		xmlsoap.PutBuffer(buf)
 		d.Rejected.Inc()
-		return faultResponse(httpx.StatusInternalServerError, soap.FaultServer, err.Error())
+		d.fault(ex, httpx.StatusInternalServerError, soap.FaultServer, err.Error())
+		return
 	}
 	buf.B = b
 	if !d.enqueue(outbound{
@@ -361,52 +374,100 @@ func (d *Dispatcher) routeRequest(env *soap.Envelope, h *wsa.Headers) *httpx.Res
 		}
 		d.QueueDrops.Inc()
 		d.Rejected.Inc()
-		return faultResponse(httpx.StatusServiceUnavailable, soap.FaultServer,
+		d.fault(ex, httpx.StatusServiceUnavailable, soap.FaultServer,
 			"destination queue full: "+destURL)
+		return
 	}
 	d.Accepted.Inc()
 	if anonymous {
-		return d.awaitAnonymous(msgID, waiter)
+		d.awaitAnonymous(ex, msgID, waiter)
+		return
 	}
-	return httpx.NewResponse(httpx.StatusAccepted, nil)
+	if ex != nil {
+		ex.ReplyBytes(httpx.StatusAccepted, nil)
+	}
 }
 
 // awaitAnonymous holds the caller's connection until its reply arrives or
 // the wait budget expires. This is Table 1's quadrant (2): it works only
 // when the messaging service answers before the RPC-side timeout, and it
 // ties up a CxThread for the whole wait — the "very limited" interaction.
-func (d *Dispatcher) awaitAnonymous(msgID string, waiter chan anonReply) *httpx.Response {
-	t := d.cfg.Clock.NewTimer(d.cfg.AnonymousWait)
-	defer t.Stop()
-	select {
-	case r := <-waiter:
-		// The reply arrives pre-rendered in a pooled buffer whose
-		// ownership travels with it; the HTTP server releases it after
-		// writing the response.
-		resp := httpx.NewBufferResponse(httpx.StatusOK, r.buf)
-		resp.Header.Set("Content-Type", r.version.ContentType())
-		return resp
-	case <-t.C:
-		d.pending.Delete(msgID)
-		// A reply racing this timeout may already sit in the channel;
-		// return its buffer rather than stranding it until the GC. (A
-		// send that lands after this drain is still only a leak-to-GC,
-		// never a corruption — nobody else owns that buffer.)
+// (A bridged message can land here with no exchange; the wait still
+// happens — matching the old discard-the-response behavior — and an
+// arriving reply's buffer is simply returned to the pool.)
+func (d *Dispatcher) awaitAnonymous(ex *httpx.Exchange, msgID string, waiter chan anonReply) {
+	// The wait timer is drawn from a pool: an anonymous RPC exchange
+	// happens per client call, and NewTimer per wait is three
+	// allocations on the steady-state path. A pooled timer can carry a
+	// stale fire from its previous life (a Virtual-clock fire lands in C
+	// asynchronously even after Stop — see wsThread), so fires are
+	// validated against the deadline and the remainder re-armed.
+	clk := d.cfg.Clock
+	deadline := clk.Now().Add(d.cfg.AnonymousWait)
+	t, _ := d.timers.Get().(*clock.Timer)
+	if t == nil {
+		t = clk.NewTimer(d.cfg.AnonymousWait)
+	} else {
+		t.Reset(d.cfg.AnonymousWait)
+	}
+	for {
 		select {
 		case r := <-waiter:
-			xmlsoap.PutBuffer(r.buf)
+			// The reply arrives pre-rendered in a pooled buffer whose
+			// ownership travels with it; handed to the exchange, the
+			// connection releases it after writing the reply.
+			if ex != nil {
+				ex.Header().Set("Content-Type", r.version.ContentType())
+				ex.ReplyBuffer(httpx.StatusOK, r.buf)
+			} else {
+				xmlsoap.PutBuffer(r.buf)
+			}
+			d.putTimer(t)
+			return
+		case <-t.C:
+			if now := clk.Now(); now.Before(deadline) {
+				// Stale fire inherited from the timer's previous owner;
+				// wait out the remainder of this window.
+				t.Reset(deadline.Sub(now))
+				continue
+			}
+			d.pending.Delete(msgID)
+			// A reply racing this timeout may already sit in the channel;
+			// return its buffer rather than stranding it until the GC. (A
+			// send that lands after this drain is still only a leak-to-GC,
+			// never a corruption — nobody else owns that buffer.)
+			select {
+			case r := <-waiter:
+				xmlsoap.PutBuffer(r.buf)
+			default:
+			}
+			d.DeliveryFailures.Inc()
+			d.fault(ex, httpx.StatusGatewayTimeout, soap.FaultServer,
+				"no reply within the anonymous-response window")
+			d.timers.Put(t)
+			return
+		}
+	}
+}
+
+// putTimer stops and drains t before pooling it; a Virtual-clock fire
+// that slips in after the drain is caught by the next owner's deadline
+// check.
+func (d *Dispatcher) putTimer(t *clock.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
 		default:
 		}
-		d.DeliveryFailures.Inc()
-		return faultResponse(httpx.StatusGatewayTimeout, soap.FaultServer,
-			"no reply within the anonymous-response window")
 	}
+	d.timers.Put(t)
 }
 
 // routeReply forwards a service response to the original requester's
 // ReplyTo (client endpoint or mailbox), or hands it to a blocked
-// anonymous-RPC waiter.
-func (d *Dispatcher) routeReply(env *soap.Envelope, h *wsa.Headers, entry pendingReply) *httpx.Response {
+// anonymous-RPC waiter. The delivering exchange (nil when the bridge
+// synthesized the reply) is acknowledged with 202.
+func (d *Dispatcher) routeReply(ex *httpx.Exchange, env *soap.Envelope, h *wsa.Headers, entry pendingReply) {
 	d.RepliesRouted.Inc()
 	if entry.waiter != nil {
 		// The waiter consumes the reply on another exchange's goroutine
@@ -420,7 +481,8 @@ func (d *Dispatcher) routeReply(env *soap.Envelope, h *wsa.Headers, entry pendin
 		if err != nil {
 			xmlsoap.PutBuffer(buf)
 			d.Rejected.Inc()
-			return faultResponse(httpx.StatusInternalServerError, soap.FaultServer, err.Error())
+			d.fault(ex, httpx.StatusInternalServerError, soap.FaultServer, err.Error())
+			return
 		}
 		buf.B = b
 		select {
@@ -432,7 +494,8 @@ func (d *Dispatcher) routeReply(env *soap.Envelope, h *wsa.Headers, entry pendin
 			xmlsoap.PutBuffer(buf)
 			d.DeliveryFailures.Inc()
 		}
-		return httpx.NewResponse(httpx.StatusAccepted, nil)
+		d.accepted(ex)
+		return
 	}
 	rewritten := *h
 	rewritten.To = entry.replyTo.Address
@@ -441,18 +504,27 @@ func (d *Dispatcher) routeReply(env *soap.Envelope, h *wsa.Headers, entry pendin
 	if err != nil {
 		xmlsoap.PutBuffer(buf)
 		d.Rejected.Inc()
-		return faultResponse(httpx.StatusInternalServerError, soap.FaultServer, err.Error())
+		d.fault(ex, httpx.StatusInternalServerError, soap.FaultServer, err.Error())
+		return
 	}
 	buf.B = b
 	if !d.enqueue(outbound{payload: buf, version: env.Version}, entry.replyTo.Address) {
 		xmlsoap.PutBuffer(buf)
 		d.QueueDrops.Inc()
 		d.Rejected.Inc()
-		return faultResponse(httpx.StatusServiceUnavailable, soap.FaultServer,
+		d.fault(ex, httpx.StatusServiceUnavailable, soap.FaultServer,
 			"reply queue full: "+entry.replyTo.Address)
+		return
 	}
 	d.Accepted.Inc()
-	return httpx.NewResponse(httpx.StatusAccepted, nil)
+	d.accepted(ex)
+}
+
+// accepted answers ex with 202, when there is an exchange to answer.
+func (d *Dispatcher) accepted(ex *httpx.Exchange) {
+	if ex != nil {
+		ex.ReplyBytes(httpx.StatusAccepted, nil)
+	}
 }
 
 // SweepPending drops expired reply-routing entries and returns how many
@@ -475,8 +547,11 @@ func (d *Dispatcher) SweepPending() int {
 // PendingLen reports retained reply-routing entries (for tests/metrics).
 func (d *Dispatcher) PendingLen() int { return d.pending.Len() }
 
-func faultResponse(status int, code, reason string) *httpx.Response {
-	resp := httpx.NewResponse(status, soap.FaultBytes(soap.V11, code, reason))
-	resp.Header.Set("Content-Type", soap.V11.ContentType())
-	return resp
+// fault answers ex with a SOAP 1.1 fault; on the bridge's exchange-less
+// re-entry (ex nil) the verdict was already counted and goes nowhere.
+func (d *Dispatcher) fault(ex *httpx.Exchange, status int, code, reason string) {
+	if ex == nil {
+		return
+	}
+	soap.ReplyFault(ex, status, code, reason)
 }

@@ -74,11 +74,11 @@ func newRig(t *testing.T, clientFirewalled bool, cfg Config) *rig {
 
 	// Client message endpoint on cli:90.
 	lnCli, _ := cli.Listen(90)
-	srvCli := httpx.NewServer(httpx.HandlerFunc(func(req *httpx.Request) *httpx.Response {
-		if env, err := soap.Parse(req.Body); err == nil {
+	srvCli := httpx.NewServer(httpx.HandlerFunc(func(ex *httpx.Exchange) {
+		if env, err := soap.Parse(ex.Req.Body); err == nil {
 			r.inbox <- env.Detach()
 		}
-		return httpx.NewResponse(httpx.StatusAccepted, nil)
+		ex.ReplyBytes(httpx.StatusAccepted, nil)
 	}), httpx.ServerConfig{Clock: clk})
 	srvCli.Start(lnCli)
 	t.Cleanup(func() { srvCli.Close() })

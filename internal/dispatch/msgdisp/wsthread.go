@@ -98,6 +98,24 @@ func (dq *destQueue) close() {
 // while MSG-Dispatcher + WS-MsgBox (whose reply deliveries are fast) is
 // the fastest.
 func (d *Dispatcher) wsThread(dq *destQueue) {
+	// The destination binding IS the paper's held connection: one
+	// httpx.Stream pins a connection to this destination for the
+	// binding's life, so consecutive queued messages pipeline over it
+	// without a round trip through the client's idle pool, and one
+	// request struct is reused across every delivery. Closing the
+	// stream on unbind parks a healthy connection back in the shared
+	// pool for the next binding.
+	var (
+		stream *httpx.Stream
+		path   string
+		req    httpx.Request
+	)
+	if addr, p, err := httpx.SplitURL(dq.url); err == nil {
+		stream = d.client.Stream(addr)
+		path = p
+		defer stream.Close()
+	}
+
 	// One reusable hold-open timer for the binding's whole life: After
 	// would allocate a timer and channel on every loop iteration, i.e.
 	// per delivered message. Stale fires are filtered by deadline, not
@@ -116,7 +134,7 @@ func (d *Dispatcher) wsThread(dq *destQueue) {
 			dq.queued--
 			dq.mu.Unlock()
 			d.wsSlots <- struct{}{}
-			d.deliver(dq.url, msg)
+			d.deliver(dq.url, stream, path, &req, msg)
 			<-d.wsSlots
 			// Re-arm the full hold-open window, draining a stale fire
 			// first so it cannot satisfy the next wait immediately.
@@ -150,20 +168,23 @@ func (d *Dispatcher) wsThread(dq *destQueue) {
 	}
 }
 
-// deliver posts one message to its destination and records the outcome.
-// A synchronous SOAP response from an RPC-style destination is bridged
-// back into the message flow.
-func (d *Dispatcher) deliver(destURL string, msg outbound) {
+// deliver posts one message to its destination over the binding's
+// stream and records the outcome. A synchronous SOAP response from an
+// RPC-style destination is bridged back into the message flow. req is
+// the binding's reusable request struct (deliver fully re-initializes
+// it); a nil stream means the destination URL never parsed.
+func (d *Dispatcher) deliver(destURL string, stream *httpx.Stream, path string, req *httpx.Request, msg outbound) {
 	defer xmlsoap.PutBuffer(msg.payload)
-	start := d.cfg.Clock.Now()
-	addr, path, err := httpx.SplitURL(destURL)
-	if err != nil {
+	if stream == nil {
 		d.DeliveryFailures.Inc()
 		return
 	}
-	req := httpx.NewRequest("POST", path, msg.payload.B)
+	start := d.cfg.Clock.Now()
+	req.Reset()
+	req.Method, req.Path, req.Proto = "POST", path, "HTTP/1.1"
+	req.Body = msg.payload.B
 	req.Header.Set("Content-Type", msg.version.ContentType())
-	resp, err := d.client.DoTimeout(addr, req, d.cfg.DeliveryTimeout)
+	resp, err := stream.DoTimeout(req, d.cfg.DeliveryTimeout)
 	// The response body (when any) is a pooled buffer owned by this
 	// delivery; it is released once the bridge — which parses it in
 	// place and detaches or re-renders everything it keeps — is done.
@@ -218,8 +239,9 @@ func (d *Dispatcher) bridgeRPCResponse(msg outbound, body []byte) {
 	h, err := wsa.FromEnvelope(env)
 	if err == nil && h.RelatesTo != "" {
 		// Already a fully addressed reply: route it as if it had been
-		// posted to us.
-		d.route(body)
+		// posted to us (with no exchange — the delivery connection
+		// already has its answer).
+		d.route(nil, body)
 		return
 	}
 	// Plain RPC response without addressing: synthesize reply headers
@@ -246,5 +268,5 @@ func (d *Dispatcher) bridgeRPCResponse(msg outbound, body []byte) {
 	// headers the envelope carries, so the wire reply the blocked caller
 	// correlates on carries h2's RelatesTo without building header
 	// elements that would be rendered once and thrown away.
-	d.routeReply(reply, h2, entry)
+	d.routeReply(nil, reply, h2, entry)
 }

@@ -79,44 +79,47 @@ func New(reg *registry.Registry, client *httpx.Client, cfg Config) *Dispatcher {
 }
 
 // Serve implements httpx.Handler: resolve, forward, relay.
-func (d *Dispatcher) Serve(req *httpx.Request) *httpx.Response {
+func (d *Dispatcher) Serve(ex *httpx.Exchange) {
 	start := d.cfg.Clock.Now()
 
-	logical, ok := strings.CutPrefix(req.Path, d.cfg.PathPrefix)
+	logical, ok := strings.CutPrefix(ex.Req.Path, d.cfg.PathPrefix)
 	if !ok || logical == "" || strings.Contains(logical, "/") {
 		d.BadRequests.Inc()
-		return faultResponse(httpx.StatusNotFound, soap.FaultClient,
+		soap.ReplyFault(ex, httpx.StatusNotFound, soap.FaultClient,
 			"request path must be "+d.cfg.PathPrefix+"<logical-service-name>")
+		return
 	}
 
 	if d.cfg.Validate {
-		if resp := d.validate(req.Body); resp != nil {
+		if d.validate(ex) {
 			d.BadRequests.Inc()
-			return resp
+			return
 		}
 	}
 
 	ep, err := d.registry.Resolve(logical)
 	if err != nil {
 		d.LookupFailures.Inc()
-		return faultResponse(httpx.StatusNotFound, soap.FaultClient,
+		soap.ReplyFault(ex, httpx.StatusNotFound, soap.FaultClient,
 			"unknown logical service "+logical+": "+err.Error())
+		return
 	}
 	addr, path, err := httpx.SplitURL(ep.URL)
 	if err != nil {
 		d.LookupFailures.Inc()
-		return faultResponse(httpx.StatusInternalServerError, soap.FaultServer,
+		soap.ReplyFault(ex, httpx.StatusInternalServerError, soap.FaultServer,
 			"registry holds invalid endpoint "+ep.URL)
+		return
 	}
 
 	// Copy the XML message into a fresh request (the paper's "copy the
 	// XML message from the request to a new XML document"): hop-by-hop
 	// headers must not leak through a proxy.
-	fwd := httpx.NewRequest("POST", path, req.Body)
-	if ct := req.Header.Get("Content-Type"); ct != "" {
+	fwd := httpx.NewRequest("POST", path, ex.Req.Body)
+	if ct := ex.Req.Header.Get("Content-Type"); ct != "" {
 		fwd.Header.Set("Content-Type", ct)
 	}
-	if sa := req.Header.Get("SOAPAction"); sa != "" {
+	if sa := ex.Req.Header.Get("SOAPAction"); sa != "" {
 		fwd.Header.Set("SOAPAction", sa)
 	}
 
@@ -128,50 +131,49 @@ func (d *Dispatcher) Serve(req *httpx.Request) *httpx.Response {
 		if d.cfg.MarkDeadOnError {
 			d.registry.MarkDead(logical, ep.URL)
 		}
-		return faultResponse(httpx.StatusBadGateway, soap.FaultServer,
+		soap.ReplyFault(ex, httpx.StatusBadGateway, soap.FaultServer,
 			"forward to "+ep.URL+" failed: "+err.Error())
+		return
 	}
 
 	// Relay the service's answer on the original connection. The
 	// service response's pooled body is not copied: the release duty
-	// moves with the bytes, and the HTTP server (the relayed response's
-	// owner) releases it after writing — one buffer, one release, two
-	// hops.
-	out := httpx.NewResponse(resp.Status, resp.Body)
-	out.ReleaseBody = resp.TakeBody()
+	// moves with the bytes — parked on the exchange's Defer hook, which
+	// runs after the reply is written — so one buffer crosses two hops
+	// with one release. That release also hands the forwarding
+	// connection (which owns resp's struct) back to the pool, so the
+	// copied Content-Type and the relayed body stay alive exactly as
+	// long as they are needed and not a write longer.
+	ex.Defer(resp.TakeBody())
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
-		out.Header.Set("Content-Type", ct)
+		ex.Header().Set("Content-Type", ct)
 	}
+	ex.ReplyBytes(resp.Status, resp.Body)
 	d.Forwarded.Inc()
 	d.Latency.Observe(d.cfg.Clock.Since(start))
-	return out
 }
 
 // validate checks the body parses as SOAP and carries no mustUnderstand
-// header block the dispatcher would silently violate. It returns a fault
-// response to send, or nil when the message is acceptable.
-func (d *Dispatcher) validate(body []byte) *httpx.Response {
-	env, err := soap.Parse(body)
+// header block the dispatcher would silently violate. It replies with a
+// fault and reports true when the message must be refused.
+func (d *Dispatcher) validate(ex *httpx.Exchange) bool {
+	env, err := soap.Parse(ex.Req.Body)
 	if err != nil {
-		return faultResponse(httpx.StatusBadRequest, soap.FaultClient,
+		soap.ReplyFault(ex, httpx.StatusBadRequest, soap.FaultClient,
 			"invalid SOAP envelope: "+err.Error())
+		return true
 	}
 	// The RPC dispatcher understands no header blocks itself; it only
 	// relays. Blocks targeted at intermediaries with mustUnderstand
 	// would be silently ignored, so refuse them.
 	if v := env.MustUnderstandViolation(); v != nil {
-		return faultResponse(httpx.StatusBadRequest, soap.FaultMustUnderstand,
+		soap.ReplyFault(ex, httpx.StatusBadRequest, soap.FaultMustUnderstand,
 			"header block "+v.Name.String()+" not understood by intermediary")
+		return true
 	}
-	return nil
+	return false
 }
 
-// faultResponse wraps a SOAP 1.1 fault in an HTTP response.
-func faultResponse(status int, code, reason string) *httpx.Response {
-	resp := httpx.NewResponse(status, soap.FaultBytes(soap.V11, code, reason))
-	resp.Header.Set("Content-Type", soap.V11.ContentType())
-	return resp
-}
 
 // WSDLFor returns a WSDL-ish directory page: the browseable service list
 // the paper imagines for the registry ("a simple browseable list of WSDL

@@ -54,37 +54,36 @@ func NewRPC(clk clock.Clock, serviceTime time.Duration) *RPC {
 }
 
 // Serve implements httpx.Handler.
-func (s *RPC) Serve(req *httpx.Request) *httpx.Response {
-	env, err := soap.Parse(req.Body)
+func (s *RPC) Serve(ex *httpx.Exchange) {
+	env, err := soap.Parse(ex.Req.Body)
 	if err != nil {
 		s.Rejected.Inc()
-		return faultResponse(httpx.StatusBadRequest, soap.FaultClient, "bad envelope: "+err.Error())
+		soap.ReplyFault(ex, httpx.StatusBadRequest, soap.FaultClient, "bad envelope: "+err.Error())
+		return
 	}
 	call, err := soap.ParseRPC(env)
 	if err != nil {
 		s.Rejected.Inc()
-		return faultResponse(httpx.StatusBadRequest, soap.FaultClient, "bad RPC call: "+err.Error())
+		soap.ReplyFault(ex, httpx.StatusBadRequest, soap.FaultClient, "bad RPC call: "+err.Error())
+		return
 	}
 	if s.ServiceTime > 0 {
 		s.Clock.Sleep(s.ServiceTime)
 	}
-	// Echo every parameter back, conventionally prefixing "return".
-	results := make([]soap.Param, 0, len(call.Params))
-	for _, p := range call.Params {
-		results = append(results, p)
-	}
-	// Render straight into a pooled buffer that the HTTP server releases
-	// after writing the response — no per-call body allocation.
-	out := soap.RPCResponse(env.Version, call.ServiceNS, call.Operation, results...)
-	resp, err := httpx.NewPooledResponse(httpx.StatusOK, func(dst []byte) ([]byte, error) {
+	// Echo every parameter back, unchanged — the parsed param slice is
+	// spliced into the response as-is (it dies with this exchange).
+	// Render straight into a pooled buffer that the connection releases
+	// after writing the reply — no per-call body or struct allocation.
+	out := soap.RPCResponse(env.Version, call.ServiceNS, call.Operation, call.Params...)
+	err = ex.Reply(httpx.StatusOK, func(dst []byte) ([]byte, error) {
 		return wsa.AppendEnvelope(dst, out)
 	})
 	if err != nil {
-		return faultResponse(httpx.StatusInternalServerError, soap.FaultServer, err.Error())
+		soap.ReplyFault(ex, httpx.StatusInternalServerError, soap.FaultServer, err.Error())
+		return
 	}
 	s.Handled.Inc()
-	resp.Header.Set("Content-Type", env.Version.ContentType())
-	return resp
+	ex.Header().Set("Content-Type", env.Version.ContentType())
 }
 
 // Async is the message-style echo service. It implements httpx.Handler.
@@ -147,38 +146,42 @@ func NewAsync(clk clock.Clock, client *httpx.Client, serviceTime time.Duration) 
 
 // Serve implements httpx.Handler: accept with 202, then reply
 // asynchronously to the message's ReplyTo.
-func (s *Async) Serve(req *httpx.Request) *httpx.Response {
-	env, err := soap.Parse(req.Body)
+func (s *Async) Serve(ex *httpx.Exchange) {
+	env, err := soap.Parse(ex.Req.Body)
 	if err != nil {
 		s.Rejected.Inc()
-		return faultResponse(httpx.StatusBadRequest, soap.FaultClient, "bad envelope: "+err.Error())
+		soap.ReplyFault(ex, httpx.StatusBadRequest, soap.FaultClient, "bad envelope: "+err.Error())
+		return
 	}
 	h, err := wsa.FromEnvelope(env)
 	if err != nil {
 		s.Rejected.Inc()
-		return faultResponse(httpx.StatusBadRequest, soap.FaultClient, "bad addressing: "+err.Error())
+		soap.ReplyFault(ex, httpx.StatusBadRequest, soap.FaultClient, "bad addressing: "+err.Error())
+		return
 	}
 	// The reply leg runs outside the accept path, as in the paper's
 	// message-oriented design: acceptance is decoupled from delivery.
-	// env (and through it req.Body, which the parsed tree aliases) must
-	// stay live until the reply renders, which outlasts this Serve call
-	// — so the reply leg takes over the pooled body's release duty and
-	// returns the buffer when it finishes. Taking happens before the
-	// submit so the worker cannot race the server's end-of-exchange
-	// release.
-	release := req.TakeBody()
+	// env (and through it ex.Req.Body, which the parsed tree aliases)
+	// must stay live until the reply renders, which outlasts this Serve
+	// call — so the reply leg takes over the pooled body's release duty
+	// and returns the buffer when it finishes. Taking happens before the
+	// submit so the worker cannot race the connection's end-of-exchange
+	// release; the worker holds the parsed data only, never the reused
+	// Exchange.
+	release := ex.TakeBody()
 	if s.replyPool != nil {
 		if err := s.replyPool.TrySubmit(func() { s.reply(env, h, release) }); err != nil {
 			release()
 			s.RefusedBusy.Inc()
-			return faultResponse(httpx.StatusServiceUnavailable, soap.FaultServer,
+			soap.ReplyFault(ex, httpx.StatusServiceUnavailable, soap.FaultServer,
 				"service reply workers exhausted")
+			return
 		}
 	} else {
 		go s.reply(env, h, release)
 	}
 	s.Accepted.Inc()
-	return httpx.NewResponse(httpx.StatusAccepted, nil)
+	ex.ReplyBytes(httpx.StatusAccepted, nil)
 }
 
 // reply builds and posts the echo reply. Failures (firewalled ReplyTo,
@@ -230,18 +233,17 @@ func (s *Async) reply(env *soap.Envelope, h *wsa.Headers, release func()) {
 		timeout = 21 * time.Second
 	}
 	resp, err := s.Client.DoTimeout(addr, post, timeout)
+	var status int
 	if resp != nil {
+		// Status is read before Release: the release returns the reused
+		// Response struct with its connection.
+		status = resp.Status
 		resp.Release() // ack body (if any) is unused
 	}
-	if err != nil || resp.Status >= 300 {
+	if err != nil || status >= 300 {
 		s.ReplyFailures.Inc()
 		return
 	}
 	s.RepliesSent.Inc()
 }
 
-func faultResponse(status int, code, reason string) *httpx.Response {
-	resp := httpx.NewResponse(status, soap.FaultBytes(soap.V11, code, reason))
-	resp.Header.Set("Content-Type", soap.V11.ContentType())
-	return resp
-}

@@ -137,9 +137,10 @@ func runFig5Point(opt Fig5Options, clients int, viaDispatcher bool) stats.RunRep
 		if err != nil {
 			return err
 		}
+		status := resp.Status
 		resp.Release()
-		if resp.Status != httpx.StatusOK {
-			return fmt.Errorf("HTTP %d", resp.Status)
+		if status != httpx.StatusOK {
+			return fmt.Errorf("HTTP %d", status)
 		}
 		return nil
 	})

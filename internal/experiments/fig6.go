@@ -214,9 +214,10 @@ func RunFig6Point(opt Fig6Options, clients int, series Fig6Series) stats.RunRepo
 		if err != nil {
 			return err
 		}
+		status := resp.Status
 		resp.Release()
-		if resp.Status != httpx.StatusAccepted && resp.Status != httpx.StatusOK {
-			return fmt.Errorf("HTTP %d", resp.Status)
+		if status != httpx.StatusAccepted && status != httpx.StatusOK {
+			return fmt.Errorf("HTTP %d", status)
 		}
 		return nil
 	})

@@ -185,9 +185,10 @@ func runFig6BugPoint(opt Fig6BugOptions, clients int, mode msgbox.Mode) (stats.R
 		if err != nil {
 			return err
 		}
+		status := resp.Status
 		resp.Release()
-		if resp.Status != httpx.StatusAccepted {
-			return fmt.Errorf("HTTP %d", resp.Status)
+		if status != httpx.StatusAccepted {
+			return fmt.Errorf("HTTP %d", status)
 		}
 		return nil
 	})

@@ -2,8 +2,10 @@ package httpx
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -38,6 +40,12 @@ type ClientConfig struct {
 	// MaxIdlePerHost caps pooled keep-alive connections per target.
 	// 0 means 4.
 	MaxIdlePerHost int
+	// IdleConnTTL closes pooled connections that have sat idle longer
+	// than this (the server side will have reaped them anyway — its
+	// default idle timeout is 30s — so holding them only accumulates
+	// dead sockets). 0 means DefaultIdleConnTTL; negative disables
+	// expiry.
+	IdleConnTTL time.Duration
 	// DisableKeepAlive forces one connection per exchange (ablation:
 	// the paper argues batching over held connections beats short-lived
 	// ones).
@@ -49,7 +57,27 @@ type ClientConfig struct {
 // outlive this kind of limit.
 const DefaultRequestTimeout = 30 * time.Second
 
+// DefaultIdleConnTTL is how long an unused pooled connection is kept
+// before eviction — comfortably past the server's 30s keep-alive reaper,
+// so the TTL only fires on connections that are already dead weight.
+const DefaultIdleConnTTL = 90 * time.Second
+
 // Client is a pooling HTTP/1.1 client over an arbitrary Dialer.
+//
+// # Connection-owned exchanges
+//
+// Each connection (persistConn) owns one reusable Response struct: Do
+// reads every response on that connection into the same struct, so a
+// kept-alive connection performs zero per-exchange message-struct
+// allocations. Ownership therefore gates reuse: the connection returns
+// to the idle pool when the caller releases the response (resp.Release,
+// or the function TakeBody returned). Until then the struct and its
+// pooled buffer are the caller's; after the release neither may be
+// touched — the connection's next exchange overwrites the struct, and
+// the poolcheck mode poisons the buffer. Skipping a release no longer
+// merely forfeits buffer reuse: it also strands the connection (never
+// pooled, closed only by GC finalizers), so the PR 3 rule — exactly one
+// release per message — is now load-bearing on the client side too.
 type Client struct {
 	dialer Dialer
 	cfg    ClientConfig
@@ -59,9 +87,29 @@ type Client struct {
 	closed bool
 }
 
+// persistConn is one client connection and the exchange state it owns:
+// the reusable Response struct and the release hook that returns the
+// connection to the pool (or a Stream) once the caller is done with the
+// response.
 type persistConn struct {
+	c    *Client
+	addr string
 	conn net.Conn
 	br   *bufio.Reader
+
+	// resp is the connection's reusable response. Valid from roundTrip
+	// until the caller's release; overwritten by the next exchange.
+	resp Response
+	// finish is resp's ReleaseBody hook, built once per connection so
+	// the steady state allocates no closures.
+	finish func()
+	// closeAfter records the exchange's close verdict for finish.
+	closeAfter bool
+	// stream, when non-nil, owns the connection instead of the idle
+	// pool; finish hands it back there.
+	stream *Stream
+	// idleSince timestamps entry into the idle pool for TTL eviction.
+	idleSince time.Time
 }
 
 // NewClient builds a client using dialer.
@@ -78,19 +126,25 @@ func NewClient(dialer Dialer, cfg ClientConfig) *Client {
 	if cfg.MaxIdlePerHost == 0 {
 		cfg.MaxIdlePerHost = 4
 	}
+	if cfg.IdleConnTTL == 0 {
+		cfg.IdleConnTTL = DefaultIdleConnTTL
+	}
 	return &Client{dialer: dialer, cfg: cfg, idle: make(map[string][]*persistConn)}
 }
 
 // Do sends req to addr ("host:port") and returns the response. Pooled
 // connections are reused; a stale pooled connection is retried once on a
 // fresh dial. The whole exchange is bounded by RequestTimeout (overridable
-// per call with DoTimeout).
+// per call with DoTimeout). req is never mutated — callers may reuse one
+// Request across any number of Do calls (and reset-and-refill one, as
+// the MSG-Dispatcher's delivery loop does).
 //
-// Ownership: the response body is read into a pooled buffer. The caller
-// owns it and should call resp.Release once the body — and anything
-// aliasing it, like a soap.Parse tree — is done with, or forward the
-// duty with resp.TakeBody. Skipping the release is safe (the buffer
-// falls to the GC) but forfeits reuse.
+// Ownership: the response — struct and pooled head+body buffer — is
+// owned by the underlying connection and lent to the caller until
+// resp.Release (or the release function resp.TakeBody returns) runs;
+// that same release returns the connection to the idle pool. Release
+// exactly once, after the body and anything aliasing it (a soap.Parse
+// tree, copied header strings) are done with.
 func (c *Client) Do(addr string, req *Request) (*Response, error) {
 	return c.DoTimeout(addr, req, c.cfg.RequestTimeout)
 }
@@ -102,13 +156,27 @@ func (c *Client) DoTimeout(addr string, req *Request, timeout time.Duration) (*R
 	// First try a pooled connection; it may have been closed by the
 	// server's idle timeout, in which case retry on a fresh dial.
 	if pc := c.takeIdle(addr); pc != nil {
-		resp, err := c.exchange(pc, addr, req, deadline)
+		resp, err := pc.roundTrip(req, deadline)
 		if err == nil {
 			return resp, nil
 		}
 		pc.conn.Close()
 	}
 
+	pc, err := c.dial(addr, deadline)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := pc.roundTrip(req, deadline)
+	if err != nil {
+		pc.conn.Close()
+		return nil, err
+	}
+	return resp, nil
+}
+
+// dial opens a fresh connection to addr within the exchange deadline.
+func (c *Client) dial(addr string, deadline time.Time) (*persistConn, error) {
 	dialBudget := c.cfg.DialTimeout
 	if remaining := deadline.Sub(c.cfg.Clock.Now()); remaining < dialBudget {
 		dialBudget = remaining
@@ -120,60 +188,134 @@ func (c *Client) DoTimeout(addr string, req *Request, timeout time.Duration) (*R
 	if err != nil {
 		return nil, fmt.Errorf("httpx: dial %s: %w", addr, err)
 	}
-	pc := &persistConn{conn: conn, br: bufio.NewReader(conn)}
-	resp, err := c.exchange(pc, addr, req, deadline)
-	if err != nil {
-		pc.conn.Close()
-		return nil, err
-	}
-	return resp, nil
+	return c.newPersistConn(addr, conn), nil
 }
 
-// exchange performs one request/response on pc and returns it to the pool
-// on success.
-func (c *Client) exchange(pc *persistConn, addr string, req *Request, deadline time.Time) (*Response, error) {
+func (c *Client) newPersistConn(addr string, conn net.Conn) *persistConn {
+	// The connection — and with it pc.addr, used as the idle-pool key
+	// and as the Host header of every request it carries — outlives the
+	// exchange that dialed it, whose addr may alias a pooled buffer
+	// (SplitURL slices the parsed To header). Detach once per dial.
+	pc := &persistConn{c: c, addr: strings.Clone(addr), conn: conn, br: bufio.NewReader(conn)}
+	pc.finish = func() {
+		if s := pc.stream; s != nil {
+			s.finished(pc)
+			return
+		}
+		if pc.closeAfter {
+			pc.conn.Close()
+			return
+		}
+		pc.c.putIdle(pc)
+	}
+	return pc
+}
+
+// roundTrip performs one request/response on pc. The response is read
+// into pc's reusable struct, and its release hook returns pc to the pool
+// (or its Stream) — the connection is out of circulation exactly as long
+// as the caller holds the response.
+func (pc *persistConn) roundTrip(req *Request, deadline time.Time) (*Response, error) {
+	c := pc.c
 	pc.conn.SetDeadline(deadline)
 	// Host and Connection are supplied at encode time rather than by
 	// cloning the header set: nothing is allocated and req is never
 	// mutated, so retries re-encode the identical message.
-	if err := req.encode(pc.conn, addr, c.cfg.DisableKeepAlive); err != nil {
-		return nil, fmt.Errorf("httpx: write to %s: %w", addr, err)
+	if err := req.encode(pc.conn, pc.addr, c.cfg.DisableKeepAlive); err != nil {
+		return nil, fmt.Errorf("httpx: write to %s: %w", pc.addr, err)
 	}
-	resp, err := ReadResponsePooled(pc.br)
-	if err != nil {
-		return nil, fmt.Errorf("httpx: read from %s: %w", addr, err)
+	resp := &pc.resp
+	if err := ReadResponseInto(pc.br, resp); err != nil {
+		return nil, fmt.Errorf("httpx: read from %s: %w", pc.addr, err)
 	}
-	if c.cfg.DisableKeepAlive || wantsClose(resp.Proto, &resp.Header) {
-		pc.conn.Close()
-	} else {
+	// The close verdict is snapshotted now (the caller may release from
+	// another goroutine, and the header strings die with the buffer).
+	pc.closeAfter = c.cfg.DisableKeepAlive || wantsClose(resp.Proto, &resp.Header)
+	if !pc.closeAfter {
 		pc.conn.SetDeadline(time.Time{})
-		c.putIdle(addr, pc)
 	}
+	resp.ReleaseBody = pc.finish
 	return resp, nil
 }
 
+// takeIdle pops the most recently parked connection for addr, evicting
+// any that have outlived IdleConnTTL along the way.
 func (c *Client) takeIdle(addr string) *persistConn {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	expired := c.pruneIdleLocked(addr)
 	list := c.idle[addr]
-	if len(list) == 0 {
-		return nil
+	var pc *persistConn
+	if len(list) > 0 {
+		pc = list[len(list)-1]
+		c.idle[addr] = list[:len(list)-1]
 	}
-	pc := list[len(list)-1]
-	c.idle[addr] = list[:len(list)-1]
+	c.mu.Unlock()
+	for _, dead := range expired {
+		dead.conn.Close()
+	}
 	return pc
 }
 
-func (c *Client) putIdle(addr string, pc *persistConn) {
+// putIdle parks pc for reuse, unless the pool is closed, full, or pc's
+// slot is taken by younger connections; TTL-expired entries are evicted
+// first. The pool is keyed on pc.addr, the detached per-connection copy.
+func (c *Client) putIdle(pc *persistConn) {
+	addr := pc.addr
+	now := c.cfg.Clock.Now()
 	c.mu.Lock()
+	expired := c.pruneIdleLocked(addr)
 	drop := c.closed || len(c.idle[addr]) >= c.cfg.MaxIdlePerHost
 	if !drop {
+		pc.idleSince = now
 		c.idle[addr] = append(c.idle[addr], pc)
 	}
 	c.mu.Unlock()
+	for _, dead := range expired {
+		dead.conn.Close()
+	}
 	if drop {
 		pc.conn.Close()
 	}
+}
+
+// pruneIdleLocked removes TTL-expired connections for addr from the pool
+// (oldest first — parking is LIFO, so expiry is a prefix) and returns
+// them for closing outside the lock. Caller holds c.mu.
+func (c *Client) pruneIdleLocked(addr string) []*persistConn {
+	ttl := c.cfg.IdleConnTTL
+	if ttl < 0 {
+		return nil
+	}
+	list := c.idle[addr]
+	cutoff := c.cfg.Clock.Now().Add(-ttl)
+	n := 0
+	for n < len(list) && list[n].idleSince.Before(cutoff) {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	expired := make([]*persistConn, n)
+	copy(expired, list[:n])
+	remaining := copy(list, list[n:])
+	for i := remaining; i < len(list); i++ {
+		list[i] = nil
+	}
+	c.idle[addr] = list[:remaining]
+	return expired
+}
+
+// IdleConns reports pooled connections for addr (tests/metrics); expired
+// entries are evicted first, so the count reflects usable connections.
+func (c *Client) IdleConns(addr string) int {
+	c.mu.Lock()
+	expired := c.pruneIdleLocked(addr)
+	n := len(c.idle[addr])
+	c.mu.Unlock()
+	for _, dead := range expired {
+		dead.conn.Close()
+	}
+	return n
 }
 
 // Close drops all pooled connections. In-flight exchanges are unaffected.
@@ -189,6 +331,143 @@ func (c *Client) Close() {
 	for _, pc := range all {
 		pc.conn.Close()
 	}
+}
+
+// Stream is a session pinned to one destination: consecutive exchanges
+// reuse the same connection directly, without re-entering the idle pool
+// between them. It is the client-side face of the paper's held delivery
+// connections — the MSG-Dispatcher's WsThread opens one Stream per
+// destination binding and pipelines every queued message through it.
+//
+// A Stream is a sequential session: the previous response must be
+// released before the next Do (the release is what hands the connection
+// back to the stream). Close returns a healthy connection to the shared
+// idle pool so the next binding can pick it up. Streams are not safe for
+// concurrent Do calls.
+type Stream struct {
+	c    *Client
+	addr string
+
+	mu     sync.Mutex
+	pc     *persistConn
+	busy   bool
+	closed bool
+}
+
+// Stream opens a session to addr. The connection is established lazily —
+// adopted from the idle pool when one is parked there, dialed otherwise —
+// on the first Do.
+func (c *Client) Stream(addr string) *Stream {
+	return &Stream{c: c, addr: addr}
+}
+
+// errors surfaced by Stream misuse.
+var (
+	ErrStreamClosed = errors.New("httpx: stream closed")
+	ErrStreamBusy   = errors.New("httpx: previous stream response not yet released")
+)
+
+// Do performs one exchange on the stream's connection with the client's
+// default RequestTimeout. Response ownership is exactly as Client.Do;
+// releasing the response is what makes the stream ready for the next Do.
+func (s *Stream) Do(req *Request) (*Response, error) {
+	return s.DoTimeout(req, s.c.cfg.RequestTimeout)
+}
+
+// DoTimeout is Do with an explicit exchange budget. A stale pinned
+// connection is retried once on a fresh dial, exactly as Client.Do.
+func (s *Stream) DoTimeout(req *Request, timeout time.Duration) (*Response, error) {
+	deadline := s.c.cfg.Clock.Now().Add(timeout)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrStreamClosed
+	}
+	if s.busy {
+		s.mu.Unlock()
+		return nil, ErrStreamBusy
+	}
+	pc := s.pc
+	if pc == nil {
+		// Adopt a parked connection to this destination, if any.
+		if pc = s.c.takeIdle(s.addr); pc != nil {
+			pc.stream = s
+			s.pc = pc
+		}
+	}
+	s.busy = true
+	s.mu.Unlock()
+
+	if pc != nil {
+		resp, err := pc.roundTrip(req, deadline)
+		if err == nil {
+			return resp, nil
+		}
+		pc.conn.Close()
+		s.mu.Lock()
+		s.pc = nil
+		s.mu.Unlock()
+	}
+	pc, err := s.c.dial(s.addr, deadline)
+	if err != nil {
+		s.mu.Lock()
+		s.busy = false
+		s.mu.Unlock()
+		return nil, err
+	}
+	pc.stream = s
+	s.mu.Lock()
+	s.pc = pc
+	s.mu.Unlock()
+	resp, err := pc.roundTrip(req, deadline)
+	if err != nil {
+		pc.conn.Close()
+		s.mu.Lock()
+		s.pc = nil
+		s.busy = false
+		s.mu.Unlock()
+		return nil, err
+	}
+	return resp, nil
+}
+
+// finished is the stream-mode release hook: the caller released the
+// exchange's response, so the connection is the stream's again — or, if
+// the exchange demanded close / the stream closed meanwhile, disposed of.
+func (s *Stream) finished(pc *persistConn) {
+	s.mu.Lock()
+	s.busy = false
+	dead := pc.closeAfter
+	closed := s.closed
+	if dead || closed {
+		s.pc = nil
+	}
+	s.mu.Unlock()
+	switch {
+	case dead:
+		pc.conn.Close()
+	case closed:
+		pc.stream = nil
+		pc.c.putIdle(pc)
+	}
+}
+
+// Close ends the session. An idle healthy connection is returned to the
+// client's shared pool (the next binding to this destination adopts it
+// back); a connection still lent out follows the same path when its
+// response is released.
+func (s *Stream) Close() {
+	s.mu.Lock()
+	s.closed = true
+	pc := s.pc
+	if s.busy || pc == nil {
+		s.mu.Unlock()
+		return // finished() hands the connection off
+	}
+	s.pc = nil
+	s.mu.Unlock()
+	pc.stream = nil
+	s.c.putIdle(pc)
 }
 
 // clientTimeoutError is returned when the exchange budget is exhausted

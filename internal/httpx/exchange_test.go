@@ -1,0 +1,254 @@
+package httpx
+
+import (
+	"bufio"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/xmlsoap"
+)
+
+// TestExchangeReplyForms exercises every reply shape through a real
+// server: render-into-pooled-buffer, adopted pooled buffer, plain bytes
+// echoing the request, an unanswered exchange (500), and a handler that
+// asks for close via the Connection header.
+func TestExchangeReplyForms(t *testing.T) {
+	handler := HandlerFunc(func(ex *Exchange) {
+		switch ex.Req.Path {
+		case "/render":
+			if err := ex.Reply(StatusOK, func(dst []byte) ([]byte, error) {
+				dst = append(dst, "rendered:"...)
+				return append(dst, ex.Req.Body...), nil
+			}); err != nil {
+				t.Errorf("Reply: %v", err)
+			}
+		case "/buffer":
+			buf := xmlsoap.GetBuffer()
+			buf.B = append(buf.B, "buffered"...)
+			ex.ReplyBuffer(StatusAccepted, buf)
+		case "/echo":
+			ex.ReplyBytes(StatusOK, ex.Req.Body)
+		case "/close":
+			ex.Header().Set("Connection", "close")
+			ex.ReplyBytes(StatusOK, nil)
+		case "/nothing":
+			// Unanswered: the connection must produce 500.
+		}
+	})
+	env := newSimEnv(t, handler, ServerConfig{}, ClientConfig{})
+
+	cases := []struct {
+		path   string
+		status int
+		body   string
+	}{
+		{"/render", StatusOK, "rendered:x"},
+		{"/buffer", StatusAccepted, "buffered"},
+		{"/echo", StatusOK, "x"},
+		{"/nothing", StatusInternalServerError, ""},
+		{"/close", StatusOK, ""},
+	}
+	for _, tc := range cases {
+		resp, err := env.client.Do(env.addr, NewRequest("POST", tc.path, []byte("x")))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.path, err)
+		}
+		if resp.Status != tc.status || string(resp.Body) != tc.body {
+			t.Fatalf("%s: got %d %q, want %d %q", tc.path, resp.Status, resp.Body, tc.status, tc.body)
+		}
+		resp.Release()
+	}
+}
+
+// TestExchangeDoubleReplyPanics pins the exactly-one-reply rule.
+func TestExchangeDoubleReplyPanics(t *testing.T) {
+	ex := &Exchange{}
+	ex.ReplyBytes(StatusOK, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second reply did not panic")
+		}
+	}()
+	ex.ReplyBytes(StatusOK, nil)
+}
+
+// TestExchangeHijack covers the async-reply path: the handler hijacks
+// the exchange, replies from another goroutine, and the connection stays
+// usable (keep-alive) afterwards.
+func TestExchangeHijack(t *testing.T) {
+	clkCh := make(chan clockSleeper, 1)
+	handler := HandlerFunc(func(ex *Exchange) {
+		ex.Hijack()
+		body := ex.Req.Body // valid until Finish: the connection holds the buffer
+		go func() {
+			clk := <-clkCh
+			clkCh <- clk
+			clk.Sleep(10 * time.Millisecond)
+			ex.ReplyBytes(StatusOK, body)
+			ex.Finish()
+		}()
+	})
+	env := newSimEnv(t, handler, ServerConfig{}, ClientConfig{})
+	clkCh <- env.clk
+	for i := 0; i < 3; i++ {
+		resp, err := env.client.Do(env.addr, NewRequest("POST", "/h", []byte("async")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status != StatusOK || string(resp.Body) != "async" {
+			t.Fatalf("hijacked reply = %d %q", resp.Status, resp.Body)
+		}
+		resp.Release()
+	}
+	if peak := env.server.ActiveConns.Peak(); peak != 1 {
+		t.Fatalf("peak conns = %d, want 1 (hijack must preserve keep-alive)", peak)
+	}
+}
+
+type clockSleeper interface{ Sleep(time.Duration) }
+
+// TestExchangeDefer checks the Defer hook runs after the reply is
+// written, exactly once.
+func TestExchangeDefer(t *testing.T) {
+	ran := make(chan struct{}, 2)
+	handler := HandlerFunc(func(ex *Exchange) {
+		ex.Defer(func() { ran <- struct{}{} })
+		ex.ReplyBytes(StatusOK, nil)
+	})
+	env := newSimEnv(t, handler, ServerConfig{}, ClientConfig{})
+	resp, err := env.client.Do(env.addr, NewRequest("POST", "/d", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Release()
+	select {
+	case <-ran:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Defer hook did not run")
+	}
+	select {
+	case <-ran:
+		t.Fatal("Defer hook ran twice")
+	default:
+	}
+}
+
+// TestExchangeReuseIsolation drives several distinct requests down one
+// keep-alive connection and checks nothing leaks between them through
+// the reused Request struct or reply header set.
+func TestExchangeReuseIsolation(t *testing.T) {
+	handler := HandlerFunc(func(ex *Exchange) {
+		if v := ex.Req.Header.Get("X-Tag"); v != "" {
+			ex.Header().Set("X-Tag-Back", v)
+		}
+		ex.ReplyBytes(StatusOK, ex.Req.Body)
+	})
+	env := newSimEnv(t, handler, ServerConfig{}, ClientConfig{})
+	bodies := []string{"first", "second with more bytes", "", "fourth"}
+	for i, body := range bodies {
+		req := NewRequest("POST", "/r", []byte(body))
+		if i%2 == 0 {
+			req.Header.Set("X-Tag", body)
+		}
+		resp, err := env.client.Do(env.addr, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(resp.Body) != body {
+			t.Fatalf("request %d: body %q, want %q", i, resp.Body, body)
+		}
+		back := resp.Header.Get("X-Tag-Back")
+		if i%2 == 0 && back != body {
+			t.Fatalf("request %d: X-Tag-Back = %q, want %q", i, back, body)
+		}
+		if i%2 == 1 && back != "" {
+			t.Fatalf("request %d: X-Tag-Back leaked %q from previous exchange", i, back)
+		}
+		resp.Release()
+	}
+	if peak := env.server.ActiveConns.Peak(); peak != 1 {
+		t.Fatalf("peak conns = %d, want 1", peak)
+	}
+}
+
+// TestExchangeRetainedBodyWritePanics is the reuse-lifecycle fence the
+// poolcheck mode provides (this suite's TestMain enables it; CI's race
+// job builds with -tags poolcheck): a handler that keeps an alias of the
+// request body past the release and writes through it is caught by the
+// poison verification when the buffer next leaves the pool.
+func TestExchangeRetainedBodyWritePanics(t *testing.T) {
+	if !xmlsoap.PoolCheckEnabled() {
+		t.Skip("pool lifecycle checker disabled")
+	}
+	var req Request
+	br := bufio.NewReader(strings.NewReader(
+		"POST /msg HTTP/1.1\r\nContent-Length: 9\r\n\r\nretainme!"))
+	if err := ReadRequestInto(br, &req); err != nil {
+		t.Fatal(err)
+	}
+	held := req.Body // the bug under test: an alias kept past the exchange
+	req.Release()
+	held[0] = 'X' // use-after-release write
+
+	// The released buffer sits in the current P's private pool slot, so
+	// the next Get on this goroutine draws it back and must panic on the
+	// disturbed poison (same idiom as xmlsoap's lifecycle tests; the
+	// panicking Get removes the buffer from the pool first).
+	caught := func() (c bool) {
+		defer func() { c = recover() != nil }()
+		for i := 0; i < 64; i++ {
+			xmlsoap.GetBuffer()
+		}
+		return false
+	}()
+	// Purge the pool in case the tainted buffer was never re-drawn, so
+	// it cannot ambush a later test's GetBuffer (two GC cycles empty
+	// sync.Pool).
+	runtime.GC()
+	runtime.GC()
+	if !caught {
+		t.Skip("poisoned buffer not re-drawn by this goroutine; pool purged")
+	}
+}
+
+// TestExchangeRetainedHeadStringsPoisoned pins the detach rule for head
+// strings on the reuse path: a header value retained raw across the
+// release reads poison garbage afterwards, while Header.Detach (and
+// strings.Clone) keep real copies alive.
+func TestExchangeRetainedHeadStringsPoisoned(t *testing.T) {
+	if !xmlsoap.PoolCheckEnabled() {
+		t.Skip("pool lifecycle checker disabled")
+	}
+	var req Request
+	br := bufio.NewReader(strings.NewReader(
+		"POST /msg HTTP/1.1\r\nContent-Type: text/xml; charset=utf-8\r\n\r\n"))
+	if err := ReadRequestInto(br, &req); err != nil {
+		t.Fatal(err)
+	}
+	raw := req.Header.Get("Content-Type") // aliases the pooled head buffer
+	detached := req.Header.Clone()        // copies out
+	req.Release()
+
+	if got := detached.Get("Content-Type"); got != "text/xml; charset=utf-8" {
+		t.Fatalf("detached header = %q", got)
+	}
+	if raw == "text/xml; charset=utf-8" {
+		t.Fatal("retained head string survived the release — poisoning is not covering heads")
+	}
+
+	// Header.Detach in place is the other sanctioned escape: after it,
+	// the set survives the release (and the next reuse of the struct).
+	br = bufio.NewReader(strings.NewReader(
+		"POST /msg HTTP/1.1\r\nSOAPAction: \"urn:op\"\r\n\r\n"))
+	if err := ReadRequestInto(br, &req); err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Detach()
+	kept := req.Header
+	req.Release()
+	if got := kept.Get("SOAPAction"); got != `"urn:op"` {
+		t.Fatalf("Header.Detach did not survive the release: %q", got)
+	}
+}

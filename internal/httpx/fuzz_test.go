@@ -36,6 +36,16 @@ func FuzzHead(f *testing.F) {
 		"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nfffffffff\r\n",
 		"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nWiki",
 		"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n-1\r\n\r\n",
+		// Chunked edge cases pinned by TestChunkedEdgeCases: multi-line
+		// trailers, quoted chunk extensions, the 0 terminator with
+		// pipelined bytes behind it, and truncated framing.
+		"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\nX-T1: a\r\nX-T2: b\r\n\r\n",
+		"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3;name=\"quoted;semi\"\r\nabc\r\n0\r\n\r\n",
+		"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n2\r\nab\r\n0\r\n\r\ntrailing-bytes",
+		"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc",
+		"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\n",
+		"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n8\r\nabc",
+		"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3;ext=" + strings.Repeat("e", 9000) + "\r\nabc\r\n0\r\n\r\n",
 		// Malformed request lines and headers.
 		"NOT-HTTP\r\n\r\n",
 		"GET /\r\n\r\n",

@@ -29,6 +29,23 @@
 // included — to the pool. The ownership rules live on Request
 // (buffer-lifecycle diagram in message.go) and in ROADMAP.md's "Wire codec"
 // section.
+//
+// # Exchanges
+//
+// The API is connection-scoped: the unit a Handler works in is the
+// Exchange, of which each server connection owns exactly one for its whole
+// life. Handlers read the parsed request from ex.Req and answer through
+// the exchange's reply API (Reply / ReplyBuffer / ReplyBytes; Hijack +
+// Finish for replies produced on another goroutine); the reply's head and
+// body leave in a single batched write. Because the Request struct, reply
+// header set, and hijack channel are all reused, a keep-alive connection
+// serves steady-state traffic with zero per-request message-struct
+// allocations. The client mirrors the shape: each pooled connection owns
+// one reusable Response, lent to the caller until Release — which is also
+// what returns the connection for reuse — and Client.Stream pins a
+// connection to one destination so consecutive exchanges pipeline over it
+// without re-entering the idle pool. Ownership details live on Exchange
+// and Client.
 package httpx
 
 import (
@@ -257,6 +274,25 @@ func (h *Header) Del(key string) {
 
 // Has reports whether key is present.
 func (h *Header) Has(key string) bool { return h.index(key) >= 0 }
+
+// Reset empties the header in place, keeping the spill slice's capacity
+// for the next fill. Stale entries are zeroed so a reused Header (one
+// embedded in a connection's Exchange) does not pin strings that alias a
+// released pooled buffer.
+func (h *Header) Reset() {
+	n := h.n
+	if n > inlineHeaderKVs {
+		n = inlineHeaderKVs
+	}
+	for i := 0; i < n; i++ {
+		h.inline[i] = headerKV{}
+	}
+	for i := range h.spill {
+		h.spill[i] = headerKV{}
+	}
+	h.spill = h.spill[:0]
+	h.n = 0
+}
 
 // Clone returns a deep copy whose keys and values are detached from any
 // pooled head buffer the original aliased.

@@ -197,10 +197,9 @@ func newSimEnv(t *testing.T, handler Handler, scfg ServerConfig, ccfg ClientConf
 	return &simEnv{clk: clk, nw: nw, server: srv, client: cli, addr: "server:80"}
 }
 
-func echoHandler(req *Request) *Response {
-	resp := NewResponse(StatusOK, req.Body)
-	resp.Header.Set("Content-Type", req.Header.Get("Content-Type"))
-	return resp
+func echoHandler(ex *Exchange) {
+	ex.Header().Set("Content-Type", ex.Req.Header.Get("Content-Type"))
+	ex.ReplyBytes(StatusOK, ex.Req.Body)
 }
 
 func TestClientServerOverSimNetwork(t *testing.T) {
@@ -213,6 +212,7 @@ func TestClientServerOverSimNetwork(t *testing.T) {
 	if resp.Status != StatusOK || string(resp.Body) != "ping" {
 		t.Fatalf("resp = %d %q", resp.Status, resp.Body)
 	}
+	resp.Release()
 	if env.server.Requests.Value() != 1 {
 		t.Fatalf("server requests = %d", env.server.Requests.Value())
 	}
@@ -221,9 +221,12 @@ func TestClientServerOverSimNetwork(t *testing.T) {
 func TestKeepAliveReusesConnection(t *testing.T) {
 	env := newSimEnv(t, HandlerFunc(echoHandler), ServerConfig{}, ClientConfig{})
 	for i := 0; i < 5; i++ {
-		if _, err := env.client.Do(env.addr, NewRequest("POST", "/echo", []byte("x"))); err != nil {
+		resp, err := env.client.Do(env.addr, NewRequest("POST", "/echo", []byte("x")))
+		if err != nil {
 			t.Fatal(err)
 		}
+		// The release is what returns the connection for reuse.
+		resp.Release()
 	}
 	// All five exchanges over one connection.
 	if peak := env.server.ActiveConns.Peak(); peak != 1 {
@@ -234,9 +237,11 @@ func TestKeepAliveReusesConnection(t *testing.T) {
 func TestDisableKeepAliveOpensPerRequest(t *testing.T) {
 	env := newSimEnv(t, HandlerFunc(echoHandler), ServerConfig{}, ClientConfig{DisableKeepAlive: true})
 	for i := 0; i < 3; i++ {
-		if _, err := env.client.Do(env.addr, NewRequest("POST", "/echo", []byte("x"))); err != nil {
+		resp, err := env.client.Do(env.addr, NewRequest("POST", "/echo", []byte("x")))
+		if err != nil {
 			t.Fatal(err)
 		}
+		resp.Release()
 	}
 	host := env.nw.Host("server")
 	if host.PeakConns() < 1 {
@@ -260,15 +265,16 @@ func TestServerHandles1_0Close(t *testing.T) {
 	if resp.Status != StatusOK {
 		t.Fatalf("status = %d", resp.Status)
 	}
+	resp.Release()
 }
 
 func TestSlowHandlerTimesOutClient(t *testing.T) {
 	clkCh := make(chan clock.Clock, 1)
-	slow := HandlerFunc(func(req *Request) *Response {
+	slow := HandlerFunc(func(ex *Exchange) {
 		clk := <-clkCh
 		clkCh <- clk
 		clk.Sleep(10 * time.Second) // longer than the client budget
-		return NewResponse(StatusOK, nil)
+		ex.ReplyBytes(StatusOK, nil)
 	})
 	env := newSimEnv(t, slow, ServerConfig{}, ClientConfig{RequestTimeout: 2 * time.Second})
 	clkCh <- env.clk
@@ -285,8 +291,10 @@ func TestSlowHandlerTimesOutClient(t *testing.T) {
 func TestPooledConnSurvivesServerIdleClose(t *testing.T) {
 	env := newSimEnv(t, HandlerFunc(echoHandler),
 		ServerConfig{IdleTimeout: time.Second}, ClientConfig{})
-	if _, err := env.client.Do(env.addr, NewRequest("POST", "/e", []byte("1"))); err != nil {
+	if resp, err := env.client.Do(env.addr, NewRequest("POST", "/e", []byte("1"))); err != nil {
 		t.Fatal(err)
+	} else {
+		resp.Release()
 	}
 	// Let the server's idle timeout reap the pooled connection, then
 	// issue another request: the client must retry on a fresh dial.
@@ -298,10 +306,11 @@ func TestPooledConnSurvivesServerIdleClose(t *testing.T) {
 	if string(resp.Body) != "2" {
 		t.Fatalf("body = %q", resp.Body)
 	}
+	resp.Release()
 }
 
 func TestPanicHandlerReturns500(t *testing.T) {
-	env := newSimEnv(t, HandlerFunc(func(*Request) *Response { panic("boom") }),
+	env := newSimEnv(t, HandlerFunc(func(*Exchange) { panic("boom") }),
 		ServerConfig{}, ClientConfig{})
 	resp, err := env.client.Do(env.addr, NewRequest("POST", "/p", nil))
 	if err != nil {
@@ -310,6 +319,7 @@ func TestPanicHandlerReturns500(t *testing.T) {
 	if resp.Status != StatusInternalServerError {
 		t.Fatalf("status = %d, want 500", resp.Status)
 	}
+	resp.Release()
 }
 
 func TestMaxHandlersLimitsConcurrency(t *testing.T) {
@@ -327,7 +337,7 @@ func TestMaxHandlersLimitsConcurrency(t *testing.T) {
 	}
 	cnt := &counter{mu: make(chan struct{}, 1)}
 	cnt.mu <- struct{}{}
-	handler := HandlerFunc(func(req *Request) *Response {
+	handler := HandlerFunc(func(ex *Exchange) {
 		<-cnt.mu
 		cnt.active++
 		if cnt.active > cnt.peak {
@@ -338,7 +348,7 @@ func TestMaxHandlersLimitsConcurrency(t *testing.T) {
 		<-cnt.mu
 		cnt.active--
 		cnt.mu <- struct{}{}
-		return NewResponse(StatusOK, nil)
+		ex.ReplyBytes(StatusOK, nil)
 	})
 	srv := NewServer(handler, ServerConfig{Clock: clk, MaxHandlers: 2})
 	srv.Start(ln)
@@ -348,7 +358,10 @@ func TestMaxHandlersLimitsConcurrency(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		go func() {
 			cli := NewClient(cliHost, ClientConfig{Clock: clk})
-			_, err := cli.Do("s2:80", NewRequest("POST", "/x", nil))
+			resp, err := cli.Do("s2:80", NewRequest("POST", "/x", nil))
+			if err == nil {
+				resp.Release()
+			}
 			done <- err
 		}()
 	}

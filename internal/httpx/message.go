@@ -30,39 +30,45 @@ const maxBodyBytes = 8 << 20
 // storage) with single-release ownership at every seam. A message read
 // from the wire occupies exactly one pooled buffer holding head and body
 // back to back: Method, Path, Proto, Reason, and every Header key and
-// value alias the head bytes, and Body aliases the tail. One server-side
-// exchange, from bytes on the socket to bytes out, therefore moves
-// exactly two pooled buffers:
+// value alias the head bytes, and Body aliases the tail. The message
+// STRUCTS, in turn, are connection-owned and reused (the server's
+// Exchange holds one Request; the client's persistConn holds one
+// Response), so one server-side exchange, from bytes on the socket to
+// bytes out, moves exactly two pooled buffers and allocates no structs:
 //
-//	socket ──ReadRequestPooled──▶ Request buffer (head + body, pooled)
+//	socket ──ReadRequestInto──▶ connection's Request (reused struct)
+//	                                 │ buffer: head + body, pooled
 //	                                 │ head: Method/Path/Proto/Header alias it
-//	                                 │ body: req.Body, aliased by soap.Parse trees
+//	                                 │ body: ex.Req.Body, aliased by soap.Parse trees
 //	                                 ▼
-//	                            Handler.Serve ──▶ Response.Body (pooled,
-//	                                 │               via NewPooledResponse)
+//	                            Handler.Serve(ex) ──▶ ex.Reply* records the
+//	                                 │                 reply (pooled render,
+//	                                 │                 adopted buffer, or bytes)
 //	                                 ▼
-//	socket ◀──Response.Encode── server writes, then releases BOTH:
-//	            resp.Release() ─▶ response buffer back to pool
-//	            req.Release()  ─▶ request head+body buffer back to pool
+//	socket ◀── one batched write (head+body), then the connection releases:
+//	            reply buffer ─▶ back to pool, Defer hooks run
+//	            req.Release() ─▶ request head+body buffer back to pool
 //
-// The server owns the request buffer: handlers may read Body, the head
-// fields, and parse trees aliasing Body freely until Serve returns, and
-// must either finish with them by then, copy out what survives
-// (Element.Detach, Envelope.Detach, Header.Detach, strings.Clone), or
-// take over the release duty with TakeBody — echoservice.Async's reply
-// goroutine is the canonical taker. TakeBody moves the whole buffer, so
-// a taker keeps the head fields alive too; conversely, once a handler
-// has taken the body the server no longer trusts the head (it snapshots
-// its keep-alive decision before dispatching). On the client side the
-// same shape applies to responses: Client.Do returns a Response whose
-// pooled head+body the caller releases via Response.Release (or
+// The connection owns the request buffer: handlers may read Body, the
+// head fields, and parse trees aliasing Body freely until Serve returns
+// (Finish, for hijacked exchanges), and must either finish with them by
+// then, copy out what survives (Element.Detach, Envelope.Detach,
+// Header.Detach, strings.Clone), or take over the release duty with
+// TakeBody — echoservice.Async's reply goroutine is the canonical taker.
+// TakeBody moves the whole buffer, so a taker keeps the head fields'
+// backing bytes alive too; conversely, once a handler has taken the body
+// the connection no longer trusts the head (it snapshots its keep-alive
+// decision before dispatching), and the taker must not touch the reused
+// structs — only the parsed data. On the client side the same shape
+// applies to responses: Client.Do lends out the connection's Response,
+// whose pooled head+body the caller releases via Response.Release (or
 // forwards via TakeBody; rpcdisp relays a service response's buffer
-// straight into its own server response this way — header values it
-// copies across stay alive because the buffer's release moves with
-// them). Forgetting a release is safe — the buffer falls to the GC and
-// only pooling is lost; a double release or a use-after-release is a
-// bug the pool's check mode (xmlsoap.EnablePoolCheck) turns into a
-// panic.
+// straight into its own reply this way — header values it copies across
+// stay alive because the buffer's release moves with them). That release
+// is also what returns the client connection to the idle pool, so
+// forgetting it now strands a connection besides forfeiting the buffer;
+// a double release or a use-after-release is a bug the pool's check mode
+// (xmlsoap.EnablePoolCheck) turns into a panic.
 //
 // Messages read with plain ReadRequest/ReadResponse are fully detached —
 // GC-owned strings and body, no release obligation; those constructors
@@ -83,13 +89,12 @@ type Request struct {
 
 // pooledBody is the shared release-duty mechanism embedded in Request
 // and Response, so both sides of an exchange follow one lifecycle
-// contract. It can hold a pooled buffer directly (the reader and
-// NewPooledResponse paths, allocation-free) and/or an arbitrary release
-// hook (relays and takers).
+// contract. It can hold a pooled buffer directly (the reader paths,
+// allocation-free) and/or an arbitrary release hook (relays and
+// takers).
 type pooledBody struct {
 	// buf is the message's pooled storage: head+body for messages read
-	// off the wire, the rendered body for NewPooledResponse. Owned by
-	// the message until Release or TakeBody.
+	// off the wire. Owned by the message until Release or TakeBody.
 	buf *xmlsoap.Buffer
 	// ReleaseBody, when non-nil, is an additional release hook run
 	// exactly once by the buffer's owner; rpcdisp wires a relayed
@@ -142,6 +147,20 @@ func NewRequest(method, path string, body []byte) *Request {
 	return &Request{Method: method, Path: path, Proto: "HTTP/1.1", Body: body}
 }
 
+// Reset clears the request in place for reuse, keeping allocated header
+// capacity. The pooled buffer, if still owned, is NOT released — owners
+// release before resetting (a reused request whose buffer was taken must
+// not double-free it). Connection-scoped reuse (Exchange, the
+// MSG-Dispatcher's delivery loop) goes through here so steady-state
+// traffic builds no fresh message structs.
+func (r *Request) Reset() {
+	r.Method, r.Path, r.Proto, r.RemoteAddr = "", "", "", ""
+	r.Header.Reset()
+	r.Body = nil
+	r.buf = nil
+	r.ReleaseBody = nil
+}
+
 // Response is an HTTP response with a fully buffered body. It follows the
 // same buffer lifecycle as Request (see there).
 type Response struct {
@@ -159,34 +178,15 @@ func NewResponse(status int, body []byte) *Response {
 	return &Response{Status: status, Reason: StatusText(status), Proto: "HTTP/1.1", Body: body}
 }
 
-// NewPooledResponse builds a response whose body is produced by an
-// append-style render into a pooled buffer; the server releases the
-// buffer after writing the response. On render error the buffer is
-// released immediately and the error returned, so the
-// ownership-sensitive sequence lives in exactly one place.
-func NewPooledResponse(status int, render func(dst []byte) ([]byte, error)) (*Response, error) {
-	buf := xmlsoap.GetBuffer()
-	b, err := render(buf.B)
-	if err != nil {
-		xmlsoap.PutBuffer(buf)
-		return nil, err
-	}
-	buf.B = b
-	resp := NewResponse(status, b)
-	resp.buf = buf
-	return resp, nil
-}
-
-// NewBufferResponse builds a response that takes ownership of an
-// already-rendered pooled buffer: Body is buf.B and the buffer is
-// released by whoever owns the response (for a handler return value,
-// the server after writing). The MSG-Dispatcher's anonymous-reply
-// hand-back uses this to move a reply rendered on another goroutine
-// into the waiting connection's response without copying or cloning.
-func NewBufferResponse(status int, buf *xmlsoap.Buffer) *Response {
-	resp := NewResponse(status, buf.B)
-	resp.buf = buf
-	return resp
+// Reset clears the response in place for reuse (see Request.Reset); the
+// client's persistConn reuses one Response per connection through it.
+func (r *Response) Reset() {
+	r.Status = 0
+	r.Reason, r.Proto = "", ""
+	r.Header.Reset()
+	r.Body = nil
+	r.buf = nil
+	r.ReleaseBody = nil
 }
 
 // errors surfaced by the codec.
@@ -196,9 +196,38 @@ var (
 	ErrBodyTooBig   = errors.New("httpx: body exceeds limit")
 )
 
+// coalesceLimit is the largest body that is copied into the head's
+// pooled buffer so head and body leave in ONE Write call (one syscall,
+// one netsim segment schedule) instead of a head flush followed by a
+// body flush. It sits below maxPooledBuffer so a coalesced SOAP message
+// never costs the pool its buffer; bigger bodies (WSDL documents,
+// batched mailbox downloads) fall back to two writes.
+const coalesceLimit = 32 << 10
+
+// writeMsg sends an assembled head followed by body, coalescing the two
+// into a single Write when the body is small (which on this stack is
+// every SOAP envelope). buf owns head.
+func writeMsg(w io.Writer, buf *xmlsoap.Buffer, head, body []byte) error {
+	if len(body) > 0 && len(body) <= coalesceLimit {
+		head = append(head, body...)
+		buf.B = head
+		_, err := w.Write(head)
+		return err
+	}
+	if _, err := w.Write(head); err != nil {
+		return err
+	}
+	if len(body) > 0 {
+		if _, err := w.Write(body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Encode serializes the request to w with Content-Length framing. The
-// head is assembled in a pooled buffer and the body bytes are written
-// straight from r.Body, so encoding allocates nothing per message.
+// head is assembled in a pooled buffer, the body is batched into the
+// same write when it fits, and nothing is allocated per message.
 func (r *Request) Encode(w io.Writer) error {
 	return r.encode(w, "", false)
 }
@@ -223,15 +252,7 @@ func (r *Request) encode(w io.Writer, hostIfMissing string, forceClose bool) err
 	b = append(b, '\r', '\n')
 	b = r.Header.appendWire(b, len(r.Body), hostIfMissing, forceClose)
 	buf.B = b
-	if _, err := w.Write(b); err != nil {
-		return err
-	}
-	if len(r.Body) > 0 {
-		if _, err := w.Write(r.Body); err != nil {
-			return err
-		}
-	}
-	return nil
+	return writeMsg(w, buf, b, r.Body)
 }
 
 // Encode serializes the response to w with Content-Length framing, using
@@ -256,15 +277,7 @@ func (r *Response) Encode(w io.Writer) error {
 	b = append(b, '\r', '\n')
 	b = r.Header.appendWire(b, len(r.Body), "", false)
 	buf.B = b
-	if _, err := w.Write(b); err != nil {
-		return err
-	}
-	if len(r.Body) > 0 {
-		if _, err := w.Write(r.Body); err != nil {
-			return err
-		}
-	}
-	return nil
+	return writeMsg(w, buf, b, r.Body)
 }
 
 // bstr views b as a string without copying. The result aliases b: it is
@@ -303,28 +316,43 @@ func ReadRequest(br *bufio.Reader) (*Request, error) {
 // owns the buffer per the lifecycle contract above; on error nothing is
 // retained.
 func ReadRequestPooled(br *bufio.Reader) (*Request, error) {
+	req := &Request{}
+	if err := ReadRequestInto(br, req); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// ReadRequestInto is ReadRequestPooled reading into a caller-owned,
+// reusable request struct: req is reset, a fresh pooled buffer is drawn
+// for head+body, and on success req owns it per the usual contract. The
+// server's Exchange reads every request on a connection through one
+// struct this way, so a keep-alive connection performs zero per-request
+// message-struct allocations. The previous message must have been
+// released (or its body taken) before the struct is reused.
+func ReadRequestInto(br *bufio.Reader, req *Request) error {
+	req.Reset()
 	buf := xmlsoap.GetBuffer()
 	head, err := readHead(br, buf)
 	if err != nil {
 		xmlsoap.PutBuffer(buf)
-		return nil, err
+		return err
 	}
-	req := &Request{}
 	if err := req.parseHead(head); err != nil {
 		xmlsoap.PutBuffer(buf)
-		return nil, err
+		return err
 	}
 	body, n, err := readBodyInto(br, &req.Header, buf.B)
 	if err != nil {
 		xmlsoap.PutBuffer(buf)
-		return nil, err
+		return err
 	}
 	buf.B = body
 	if n > 0 {
 		req.Body = body[len(body)-n:]
 	}
 	req.buf = buf
-	return req, nil
+	return nil
 }
 
 // parseHead splits the request line and headers in place; every string it
@@ -374,28 +402,39 @@ func ReadResponse(br *bufio.Reader) (*Response, error) {
 // ReadRequestPooled, head and body share one pooled buffer owned by the
 // returned response.
 func ReadResponsePooled(br *bufio.Reader) (*Response, error) {
+	resp := &Response{}
+	if err := ReadResponseInto(br, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// ReadResponseInto is ReadResponsePooled reading into a caller-owned,
+// reusable response struct (see ReadRequestInto); the client's
+// persistConn reads every response on a connection through one struct.
+func ReadResponseInto(br *bufio.Reader, resp *Response) error {
+	resp.Reset()
 	buf := xmlsoap.GetBuffer()
 	head, err := readHead(br, buf)
 	if err != nil {
 		xmlsoap.PutBuffer(buf)
-		return nil, err
+		return err
 	}
-	resp := &Response{}
 	if err := resp.parseHead(head); err != nil {
 		xmlsoap.PutBuffer(buf)
-		return nil, err
+		return err
 	}
 	body, n, err := readBodyInto(br, &resp.Header, buf.B)
 	if err != nil {
 		xmlsoap.PutBuffer(buf)
-		return nil, err
+		return err
 	}
 	buf.B = body
 	if n > 0 {
 		resp.Body = body[len(body)-n:]
 	}
 	resp.buf = buf
-	return resp, nil
+	return nil
 }
 
 // parseHead splits the status line and headers in place.

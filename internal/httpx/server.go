@@ -12,26 +12,30 @@ import (
 	"repro/internal/stats"
 )
 
-// Handler processes one request and returns the response to send. A nil
-// response produces 500.
+// Handler processes one exchange: it reads the parsed request from
+// ex.Req and answers through the exchange's reply API (ex.Reply,
+// ex.ReplyBuffer, ex.ReplyBytes); an exchange left unanswered produces
+// 500.
 //
-// Ownership: req.Body lives in a pooled buffer the server releases
-// after the response has been written, so the body — and any parsed
-// tree aliasing it (soap.Parse) — is valid until Serve returns and
-// while the returned response is encoded (a response may alias the
-// request body it echoes). A handler that needs the body past that
-// point must either copy out what survives (Element.Detach,
-// Envelope.Detach, strings.Clone) or assume the release duty with
-// req.TakeBody. See the buffer-lifecycle diagram on Request.
+// Ownership: ex.Req's head fields and Body live in a pooled buffer the
+// connection releases after the reply has been written, so the body —
+// and any parsed tree aliasing it (soap.Parse) — is valid until Serve
+// returns and while the reply is encoded (a reply may echo the request
+// body). A handler that needs the data past that point must either copy
+// out what survives (Element.Detach, Envelope.Detach, strings.Clone) or
+// assume the release duty with ex.TakeBody. The Exchange and its Request
+// struct are connection-owned and reused for the next request; never
+// retain them. See the Exchange doc and the buffer-lifecycle diagram on
+// Request.
 type Handler interface {
-	Serve(req *Request) *Response
+	Serve(ex *Exchange)
 }
 
 // HandlerFunc adapts a function to Handler.
-type HandlerFunc func(req *Request) *Response
+type HandlerFunc func(ex *Exchange)
 
 // Serve implements Handler.
-func (f HandlerFunc) Serve(req *Request) *Response { return f(req) }
+func (f HandlerFunc) Serve(ex *Exchange) { f(ex) }
 
 // ServerConfig tunes a Server.
 type ServerConfig struct {
@@ -158,74 +162,114 @@ func (s *Server) track(c net.Conn, add bool) {
 	s.mu.Unlock()
 }
 
+// serveConn drives one connection. It owns exactly one Exchange — one
+// reusable Request struct, reply header set, and hijack channel — for
+// the connection's whole life, so a keep-alive connection serves every
+// request with zero per-request message-struct allocations: the request
+// lands in a pooled buffer via ReadRequestInto, the handler replies on
+// the exchange, and the reply's head and body leave in one batched
+// write.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	defer s.track(conn, false)
 	clk := s.cfg.Clock
 	br := bufio.NewReader(conn)
+	ex := &Exchange{srv: s, conn: conn, remoteAddr: conn.RemoteAddr().String()}
+	var armed time.Time // currently armed read deadline
 	for {
-		// Idle / read deadline for the next request.
+		// Idle / read deadline for the next request. With no explicit
+		// ReadTimeout the deadline is pure idle hygiene, so it is
+		// re-armed lazily — only once the armed one has less than half
+		// the window left — and a busy keep-alive connection pays one
+		// deadline update per half-window instead of one per request (a
+		// real socket turns each into a syscall; net.Pipe into a timer
+		// allocation). The effective idle timeout is then between wait/2
+		// and wait, which only ever closes an idle connection earlier,
+		// never later; clients redial transparently. A configured
+		// ReadTimeout is a per-request budget, so it re-arms every
+		// request and keeps its exact meaning.
 		wait := s.cfg.IdleTimeout
 		if s.cfg.ReadTimeout > 0 && s.cfg.ReadTimeout < wait {
 			wait = s.cfg.ReadTimeout
 		}
-		conn.SetReadDeadline(clk.Now().Add(wait))
+		if now := clk.Now(); s.cfg.ReadTimeout > 0 || armed.Sub(now) < wait/2 {
+			armed = now.Add(wait)
+			conn.SetReadDeadline(armed)
+		}
 
-		req, err := ReadRequestPooled(br)
-		if err != nil {
+		if err := ReadRequestInto(br, &ex.Req); err != nil {
 			if err != io.EOF {
 				s.Errors.Inc()
 			}
 			return
 		}
 		s.Requests.Inc()
-		req.RemoteAddr = conn.RemoteAddr().String()
+		ex.Req.RemoteAddr = ex.remoteAddr
 
 		// Snapshot the request's keep-alive verdict before the handler
-		// runs: req.Proto and req.Header alias the pooled head buffer,
-		// and a handler that takes the body (TakeBody moves head and
-		// body together) may release it from another goroutine as soon
-		// as it is done — echoservice.Async's reply leg can finish
-		// before the response is written.
-		reqClose := wantsClose(req.Proto, &req.Header)
+		// runs: ex.Req.Proto and its headers alias the pooled head
+		// buffer, and a handler that takes the body (TakeBody moves head
+		// and body together) may release it from another goroutine as
+		// soon as it is done — echoservice.Async's reply leg can finish
+		// before the reply is written.
+		reqClose := wantsClose(ex.Req.Proto, &ex.Req.Header)
 
-		resp := s.dispatch(req)
-		if resp == nil {
-			resp = NewResponse(StatusInternalServerError, nil)
+		ex.resetReply()
+		panicked := s.dispatch(ex)
+		if ex.hijacked {
+			if panicked {
+				// The handler died between Hijack and handing the
+				// exchange off; nobody will Finish it. The connection
+				// is unrecoverable — release the request and bail.
+				if s.handlers != nil {
+					<-s.handlers
+				}
+				ex.Req.Release()
+				return
+			}
+			// The reply arrives from another goroutine; Finish's channel
+			// send orders its writes to the exchange before ours.
+			<-ex.done
+		}
+		if s.handlers != nil {
+			// The MaxHandlers slot covers hijacked work too: the handler
+			// is done only once the exchange is finished.
+			<-s.handlers
 		}
 
 		if s.cfg.WriteTimeout > 0 {
 			conn.SetWriteDeadline(clk.Now().Add(s.cfg.WriteTimeout))
 		}
-		err = resp.Encode(conn)
-		// Both pooled buffers are done once the response bytes are out
-		// (the response may alias the request body it echoes, so the
-		// request buffer is only released after the write). A handler
-		// that called req.TakeBody emptied the request's duty, making
-		// its release a no-op here. The response's close verdict is
-		// read before its head is released.
-		close := reqClose || wantsClose(resp.Proto, &resp.Header)
-		resp.Release()
-		req.Release()
+		// finishReply writes the batched head+body and runs the release
+		// sequence: reply buffer, Defer hooks (relayed-body duties), then
+		// the request buffer (the reply may echo it). A handler that took
+		// the body emptied the request's duty, making its release a
+		// no-op.
+		close, err := ex.finishReply(conn)
 		if err != nil {
 			s.Errors.Inc()
 			return
 		}
-		if close {
+		if reqClose || close {
 			return
 		}
 	}
 }
 
-func (s *Server) dispatch(req *Request) *Response {
+// dispatch runs the handler, converting a panic into a 500 (unless the
+// exchange was hijacked, which serveConn treats as fatal for the
+// connection). It acquires the MaxHandlers slot; serveConn releases it
+// after any hijacked work completes.
+func (s *Server) dispatch(ex *Exchange) (panicked bool) {
 	if s.handlers != nil {
 		s.handlers <- struct{}{}
-		defer func() { <-s.handlers }()
 	}
 	defer func() {
 		if r := recover(); r != nil {
 			s.Errors.Inc()
+			panicked = true
 		}
 	}()
-	return s.handler.Serve(req)
+	s.handler.Serve(ex)
+	return false
 }

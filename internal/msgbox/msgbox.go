@@ -197,69 +197,73 @@ func (s *Service) AddressOf(id string) string {
 }
 
 // Serve implements httpx.Handler.
-func (s *Service) Serve(req *httpx.Request) *httpx.Response {
-	rest, ok := strings.CutPrefix(req.Path, s.cfg.PathPrefix)
+func (s *Service) Serve(ex *httpx.Exchange) {
+	rest, ok := strings.CutPrefix(ex.Req.Path, s.cfg.PathPrefix)
 	if !ok {
-		return faultResponse(httpx.StatusNotFound, soap.FaultClient, "not a mailbox path: "+req.Path)
+		soap.ReplyFault(ex, httpx.StatusNotFound, soap.FaultClient, "not a mailbox path: "+ex.Req.Path)
+		return
 	}
 	switch {
 	case rest == "" || rest == "/":
-		return s.serveRPC(req)
+		s.serveRPC(ex)
 	case strings.HasPrefix(rest, "/"):
-		return s.serveDeliver(strings.TrimPrefix(rest, "/"), req)
+		s.serveDeliver(strings.TrimPrefix(rest, "/"), ex)
 	default:
-		return faultResponse(httpx.StatusNotFound, soap.FaultClient, "not a mailbox path: "+req.Path)
+		soap.ReplyFault(ex, httpx.StatusNotFound, soap.FaultClient, "not a mailbox path: "+ex.Req.Path)
 	}
 }
 
 // --- delivery path (step 2 in Figure 2) ---
 
 // serveDeliver stores one incoming message into the addressed mailbox.
-func (s *Service) serveDeliver(boxID string, req *httpx.Request) *httpx.Response {
+func (s *Service) serveDeliver(boxID string, ex *httpx.Exchange) {
 	mb, ok := s.boxes.Get(boxID)
 	if !ok {
 		s.StoreFailures.Inc()
-		return faultResponse(httpx.StatusNotFound, soap.FaultClient, "no such mailbox")
+		soap.ReplyFault(ex, httpx.StatusNotFound, soap.FaultClient, "no such mailbox")
+		return
 	}
 	// Stored messages outlive the exchange (ROADMAP "Wire codec"
 	// copy-out rule), so the request body — itself a pooled buffer the
-	// HTTP server releases after this response — is copied into a
-	// buffer of the mailbox's own before Serve returns. From here the
-	// payload buffer has single-release ownership: storeMessage's
-	// refusal path, rpcTake, or releaseBox returns it to the pool.
+	// connection releases after this reply — is copied into a buffer of
+	// the mailbox's own before Serve returns. From here the payload
+	// buffer has single-release ownership: storeMessage's refusal path,
+	// rpcTake, or releaseBox returns it to the pool.
 	payload := xmlsoap.GetBuffer()
-	payload.B = append(payload.B, req.Body...)
+	payload.B = append(payload.B, ex.Req.Body...)
 
 	switch s.cfg.Mode {
 	case ModeBuggy:
-		return s.deliverBuggy(mb, payload)
+		s.deliverBuggy(mb, payload, ex)
 	default:
-		return s.deliverFixed(mb, payload)
+		s.deliverFixed(mb, payload, ex)
 	}
 }
 
 // deliverFixed hands the store to the bounded pool: the redesign.
-func (s *Service) deliverFixed(mb *Mailbox, payload *xmlsoap.Buffer) *httpx.Response {
+func (s *Service) deliverFixed(mb *Mailbox, payload *xmlsoap.Buffer, ex *httpx.Exchange) {
 	err := s.store.TrySubmit(func() { s.storeMessage(mb, payload) })
 	if err != nil {
 		xmlsoap.PutBuffer(payload)
 		s.StoreFailures.Inc()
-		return faultResponse(httpx.StatusServiceUnavailable, soap.FaultServer, "mailbox store overloaded")
+		soap.ReplyFault(ex, httpx.StatusServiceUnavailable, soap.FaultServer, "mailbox store overloaded")
+		return
 	}
-	return httpx.NewResponse(httpx.StatusAccepted, nil)
+	ex.ReplyBytes(httpx.StatusAccepted, nil)
 }
 
 // deliverBuggy reproduces the paper's original design: one thread per
 // message, each lingering while it "tries to send a reply message". The
 // thread stack is charged to the ledger; exhaustion is the
 // OutOfMemoryError of §4.3.2.
-func (s *Service) deliverBuggy(mb *Mailbox, payload *xmlsoap.Buffer) *httpx.Response {
+func (s *Service) deliverBuggy(mb *Mailbox, payload *xmlsoap.Buffer, ex *httpx.Exchange) {
 	if err := s.cfg.Ledger.SpawnThread(); err != nil {
 		xmlsoap.PutBuffer(payload)
 		s.OOMEvents.Inc()
 		s.StoreFailures.Inc()
-		return faultResponse(httpx.StatusInternalServerError, soap.FaultServer,
+		soap.ReplyFault(ex, httpx.StatusInternalServerError, soap.FaultServer,
 			"OutOfMemoryError: unable to create new native thread")
+		return
 	}
 	s.LiveThreads.Add(1)
 	go func() {
@@ -271,7 +275,7 @@ func (s *Service) deliverBuggy(mb *Mailbox, payload *xmlsoap.Buffer) *httpx.Resp
 		// The thread lives on, attempting its reply notification.
 		s.cfg.Clock.Sleep(s.cfg.ThreadLinger)
 	}()
-	return httpx.NewResponse(httpx.StatusAccepted, nil)
+	ex.ReplyBytes(httpx.StatusAccepted, nil)
 }
 
 func (s *Service) storeMessage(mb *Mailbox, payload *xmlsoap.Buffer) {
@@ -285,35 +289,38 @@ func (s *Service) storeMessage(mb *Mailbox, payload *xmlsoap.Buffer) {
 
 // --- management RPC path (steps 1, 3, 4 in Figure 2) ---
 
-func (s *Service) serveRPC(req *httpx.Request) *httpx.Response {
-	env, err := soap.Parse(req.Body)
+func (s *Service) serveRPC(ex *httpx.Exchange) {
+	env, err := soap.Parse(ex.Req.Body)
 	if err != nil {
-		return faultResponse(httpx.StatusBadRequest, soap.FaultClient, "bad envelope: "+err.Error())
+		soap.ReplyFault(ex, httpx.StatusBadRequest, soap.FaultClient, "bad envelope: "+err.Error())
+		return
 	}
 	call, err := soap.ParseRPC(env)
 	if err != nil {
-		return faultResponse(httpx.StatusBadRequest, soap.FaultClient, "bad call: "+err.Error())
+		soap.ReplyFault(ex, httpx.StatusBadRequest, soap.FaultClient, "bad call: "+err.Error())
+		return
 	}
 	if call.ServiceNS != ServiceNS {
-		return faultResponse(httpx.StatusBadRequest, soap.FaultClient,
+		soap.ReplyFault(ex, httpx.StatusBadRequest, soap.FaultClient,
 			"unknown service namespace "+call.ServiceNS)
+		return
 	}
 	switch call.Operation {
 	case OpCreate:
-		return s.rpcCreate(env.Version)
+		s.rpcCreate(ex, env.Version)
 	case OpTake:
-		return s.rpcTake(env.Version, call)
+		s.rpcTake(ex, env.Version, call)
 	case OpPeek:
-		return s.rpcPeek(env.Version, call)
+		s.rpcPeek(ex, env.Version, call)
 	case OpDestroy:
-		return s.rpcDestroy(env.Version, call)
+		s.rpcDestroy(ex, env.Version, call)
 	default:
-		return faultResponse(httpx.StatusBadRequest, soap.FaultClient,
+		soap.ReplyFault(ex, httpx.StatusBadRequest, soap.FaultClient,
 			"unknown operation "+call.Operation)
 	}
 }
 
-func (s *Service) rpcCreate(v soap.Version) *httpx.Response {
+func (s *Service) rpcCreate(ex *httpx.Exchange, v soap.Version) {
 	mb := &Mailbox{
 		ID:      randomID(16),
 		Token:   randomID(16),
@@ -322,32 +329,35 @@ func (s *Service) rpcCreate(v soap.Version) *httpx.Response {
 	}
 	s.boxes.Put(mb.ID, mb)
 	s.Created.Inc()
-	return rpcOK(v, OpCreate,
+	rpcOK(ex, v, OpCreate,
 		soap.Param{Name: "boxId", Value: mb.ID},
 		soap.Param{Name: "token", Value: mb.Token},
 		soap.Param{Name: "address", Value: s.AddressOf(mb.ID)},
 	)
 }
 
-// authorize resolves the mailbox and checks the capability token.
-func (s *Service) authorize(call *soap.Call) (*Mailbox, *httpx.Response) {
+// authorize resolves the mailbox and checks the capability token,
+// replying with a fault (and returning nil) on failure.
+func (s *Service) authorize(ex *httpx.Exchange, call *soap.Call) *Mailbox {
 	boxID, _ := call.Param("boxId")
 	token, _ := call.Param("token")
 	mb, ok := s.boxes.Get(boxID)
 	if !ok {
-		return nil, faultResponse(httpx.StatusNotFound, soap.FaultClient, "no such mailbox")
+		soap.ReplyFault(ex, httpx.StatusNotFound, soap.FaultClient, "no such mailbox")
+		return nil
 	}
 	if mb.Token != token {
 		s.AuthFailures.Inc()
-		return nil, faultResponse(httpx.StatusForbidden, soap.FaultClient, "bad mailbox token")
+		soap.ReplyFault(ex, httpx.StatusForbidden, soap.FaultClient, "bad mailbox token")
+		return nil
 	}
-	return mb, nil
+	return mb
 }
 
-func (s *Service) rpcTake(v soap.Version, call *soap.Call) *httpx.Response {
-	mb, failure := s.authorize(call)
-	if failure != nil {
-		return failure
+func (s *Service) rpcTake(ex *httpx.Exchange, v soap.Version, call *soap.Call) {
+	mb := s.authorize(ex, call)
+	if mb == nil {
+		return
 	}
 	max := 16
 	if m, ok := call.Param("max"); ok {
@@ -370,48 +380,43 @@ func (s *Service) rpcTake(v soap.Version, call *soap.Call) *httpx.Response {
 	}
 	params[0].Value = strconv.Itoa(n)
 	s.Taken.Add(int64(n))
-	return rpcOK(v, OpTake, params...)
+	rpcOK(ex, v, OpTake, params...)
 }
 
-func (s *Service) rpcPeek(v soap.Version, call *soap.Call) *httpx.Response {
-	mb, failure := s.authorize(call)
-	if failure != nil {
-		return failure
+func (s *Service) rpcPeek(ex *httpx.Exchange, v soap.Version, call *soap.Call) {
+	mb := s.authorize(ex, call)
+	if mb == nil {
+		return
 	}
-	return rpcOK(v, OpPeek, soap.Param{Name: "count", Value: strconv.Itoa(mb.msgs.Len())})
+	rpcOK(ex, v, OpPeek, soap.Param{Name: "count", Value: strconv.Itoa(mb.msgs.Len())})
 }
 
-func (s *Service) rpcDestroy(v soap.Version, call *soap.Call) *httpx.Response {
-	mb, failure := s.authorize(call)
-	if failure != nil {
-		return failure
+func (s *Service) rpcDestroy(ex *httpx.Exchange, v soap.Version, call *soap.Call) {
+	mb := s.authorize(ex, call)
+	if mb == nil {
+		return
 	}
 	s.boxes.Delete(mb.ID)
 	releaseBox(mb)
 	s.Destroyed.Inc()
-	return rpcOK(v, OpDestroy, soap.Param{Name: "destroyed", Value: "true"})
+	rpcOK(ex, v, OpDestroy, soap.Param{Name: "destroyed", Value: "true"})
 }
 
-func rpcOK(v soap.Version, op string, params ...soap.Param) *httpx.Response {
+func rpcOK(ex *httpx.Exchange, v soap.Version, op string, params ...soap.Param) {
 	// Mailbox polling (Figure 2 step 3) pays this marshal per poll;
-	// render into a pooled buffer released by the HTTP server after the
-	// response is written.
+	// render into a pooled buffer released by the connection after the
+	// reply is written.
 	env := soap.RPCResponse(v, ServiceNS, op, params...)
-	resp, err := httpx.NewPooledResponse(httpx.StatusOK, func(dst []byte) ([]byte, error) {
+	err := ex.Reply(httpx.StatusOK, func(dst []byte) ([]byte, error) {
 		return wsa.AppendEnvelope(dst, env)
 	})
 	if err != nil {
-		return faultResponse(httpx.StatusInternalServerError, soap.FaultServer, err.Error())
+		soap.ReplyFault(ex, httpx.StatusInternalServerError, soap.FaultServer, err.Error())
+		return
 	}
-	resp.Header.Set("Content-Type", v.ContentType())
-	return resp
+	ex.Header().Set("Content-Type", v.ContentType())
 }
 
-func faultResponse(status int, code, reason string) *httpx.Response {
-	resp := httpx.NewResponse(status, soap.FaultBytes(soap.V11, code, reason))
-	resp.Header.Set("Content-Type", soap.V11.ContentType())
-	return resp
-}
 
 // randomID returns n bytes of entropy, hex-encoded: the "unique hard to
 // guess address" of the paper plus capability tokens.

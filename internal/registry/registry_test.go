@@ -189,8 +189,8 @@ func TestCheckAliveOverSimNetwork(t *testing.T) {
 	probe := nw.AddHost("probe", netsim.ProfileLAN())
 
 	ln, _ := up.Listen(80)
-	srv := httpx.NewServer(httpx.HandlerFunc(func(*httpx.Request) *httpx.Response {
-		return httpx.NewResponse(httpx.StatusOK, nil)
+	srv := httpx.NewServer(httpx.HandlerFunc(func(ex *httpx.Exchange) {
+		ex.ReplyBytes(httpx.StatusOK, nil)
 	}), httpx.ServerConfig{Clock: clk})
 	srv.Start(ln)
 	defer srv.Close()

@@ -243,6 +243,9 @@ func (c *Courier) deliverOnce(m *store.Message) bool {
 	if err != nil {
 		return false
 	}
-	resp.Release() // only the status matters; the pooled ack body is unused
-	return resp.Status < 300
+	// The status is read before Release: releasing hands the connection
+	// (and its reused Response struct) back for the next exchange.
+	delivered := resp.Status < 300
+	resp.Release() // the pooled ack body is unused
+	return delivered
 }

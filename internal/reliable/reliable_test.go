@@ -41,13 +41,14 @@ func newRig(t *testing.T, cfg Config, destFirewalled bool) *rig {
 	r := &rig{clk: clk, st: store.New(clk)}
 
 	ln, _ := dest.Listen(80)
-	srv := httpx.NewServer(httpx.HandlerFunc(func(req *httpx.Request) *httpx.Response {
+	srv := httpx.NewServer(httpx.HandlerFunc(func(ex *httpx.Exchange) {
 		if r.failures.Load() > 0 {
 			r.failures.Add(-1)
-			return httpx.NewResponse(httpx.StatusServiceUnavailable, nil)
+			ex.ReplyBytes(httpx.StatusServiceUnavailable, nil)
+			return
 		}
 		r.received.Add(1)
-		return httpx.NewResponse(httpx.StatusAccepted, nil)
+		ex.ReplyBytes(httpx.StatusAccepted, nil)
 	}), httpx.ServerConfig{Clock: clk})
 	srv.Start(ln)
 	t.Cleanup(func() { srv.Close() })
@@ -150,9 +151,9 @@ func TestRecoveryRequeuesPersistedMessages(t *testing.T) {
 
 	var received atomic.Int64
 	ln, _ := dest.Listen(80)
-	srv := httpx.NewServer(httpx.HandlerFunc(func(*httpx.Request) *httpx.Response {
+	srv := httpx.NewServer(httpx.HandlerFunc(func(ex *httpx.Exchange) {
 		received.Add(1)
-		return httpx.NewResponse(httpx.StatusAccepted, nil)
+		ex.ReplyBytes(httpx.StatusAccepted, nil)
 	}), httpx.ServerConfig{Clock: clk})
 	srv.Start(ln)
 	defer srv.Close()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/httpx"
 	"repro/internal/xmlsoap"
 )
 
@@ -51,6 +52,14 @@ func (f *Fault) Envelope(v Version) *Envelope {
 // FaultBytes renders a fault envelope document, falling back to the bare
 // reason text if marshaling fails. Every server-side refusal path uses
 // it, so the rendering (and its fallback) lives in one place.
+// ReplyFault answers an HTTP exchange with a rendered SOAP 1.1 fault —
+// the one fault-reply helper every Exchange handler in the stack shares
+// (FaultBytes returns GC-owned bytes, so ReplyBytes is safe).
+func ReplyFault(ex *httpx.Exchange, status int, code, reason string) {
+	ex.Header().Set("Content-Type", V11.ContentType())
+	ex.ReplyBytes(status, FaultBytes(V11, code, reason))
+}
+
 func FaultBytes(v Version, code, reason string) []byte {
 	f := &Fault{Code: code, Reason: reason}
 	body, err := f.Envelope(v).Marshal()
