@@ -163,6 +163,7 @@ type Dispatcher struct {
 	UnmatchedReplies stats.Counter // responses with unknown RelatesTo
 	QueueDrops       stats.Counter // messages dropped at full queues
 	HandedToCourier  stats.Counter // failed deliveries given to hold/retry
+	HoldOpenRearms   stats.Counter // WsThread delivery bursts (one timer re-arm each)
 	DeliveryLatency  stats.Histogram
 }
 
@@ -241,7 +242,7 @@ func (d *Dispatcher) Serve(ex *httpx.Exchange) {
 	ex.Hijack()
 	err := d.cx.TrySubmit(func() {
 		defer ex.Finish()
-		d.route(ex, ex.Req.Body)
+		d.route(ex, ex.Req.Body, nil)
 	})
 	if err != nil {
 		d.Rejected.Inc()
@@ -255,7 +256,9 @@ func (d *Dispatcher) Serve(ex *httpx.Exchange) {
 // resolve, rewrite, enqueue. Verdicts are replied on ex; the bridge
 // re-enters routing with a nil exchange (its delivery connection already
 // got its answer), in which case verdicts are counted but sent nowhere.
-func (d *Dispatcher) route(ex *httpx.Exchange, body []byte) {
+// sink, non-nil only on the bridge's burst path, batches reply
+// admission (see replySink).
+func (d *Dispatcher) route(ex *httpx.Exchange, body []byte, sink *replySink) {
 	env, err := soap.Parse(body)
 	if err != nil {
 		d.Rejected.Inc()
@@ -279,7 +282,7 @@ func (d *Dispatcher) route(ex *httpx.Exchange, body []byte) {
 					"reply arrived after pending state expired")
 				return
 			}
-			d.routeReply(ex, env, h, entry)
+			d.routeReply(ex, env, h, entry, sink)
 			return
 		}
 		d.UnmatchedReplies.Inc()
@@ -466,8 +469,10 @@ func (d *Dispatcher) putTimer(t *clock.Timer) {
 // routeReply forwards a service response to the original requester's
 // ReplyTo (client endpoint or mailbox), or hands it to a blocked
 // anonymous-RPC waiter. The delivering exchange (nil when the bridge
-// synthesized the reply) is acknowledged with 202.
-func (d *Dispatcher) routeReply(ex *httpx.Exchange, env *soap.Envelope, h *wsa.Headers, entry pendingReply) {
+// synthesized the reply) is acknowledged with 202. With a sink, the
+// forwarded leg defers its queue admission to the burst's batched flush
+// instead of paying one transaction here.
+func (d *Dispatcher) routeReply(ex *httpx.Exchange, env *soap.Envelope, h *wsa.Headers, entry pendingReply, sink *replySink) {
 	d.RepliesRouted.Inc()
 	if entry.waiter != nil {
 		// The waiter consumes the reply on another exchange's goroutine
@@ -508,6 +513,15 @@ func (d *Dispatcher) routeReply(ex *httpx.Exchange, env *soap.Envelope, h *wsa.H
 		return
 	}
 	buf.B = b
+	if sink != nil {
+		// Deferred admission: the burst's bridged replies admit together
+		// through enqueueBatch when the sink flushes; Accepted and drop
+		// accounting happen there. entry.replyTo is a detached copy, so
+		// holding its address until the flush is safe.
+		sink.add(entry.replyTo.Address, outbound{payload: buf, version: env.Version})
+		d.accepted(ex)
+		return
+	}
 	if !d.enqueue(outbound{payload: buf, version: env.Version}, entry.replyTo.Address) {
 		xmlsoap.PutBuffer(buf)
 		d.QueueDrops.Inc()

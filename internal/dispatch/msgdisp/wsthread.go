@@ -3,6 +3,7 @@ package msgdisp
 import (
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/httpx"
 	"repro/internal/soap"
@@ -12,9 +13,9 @@ import (
 
 // outbound is one message scheduled for delivery. payload is a pooled
 // buffer owned by the message from enqueue until the delivery attempt
-// completes; deliver releases it (the courier copies on handoff). A
-// message dropped by Stop leaves its buffer to the garbage collector,
-// which is safe — pool entries are ordinary heap objects.
+// completes; the settle path releases it (the courier copies on
+// handoff). A message dropped by Stop leaves its buffer to the garbage
+// collector, which is safe — pool entries are ordinary heap objects.
 type outbound struct {
 	payload   *xmlsoap.Buffer
 	version   soap.Version
@@ -42,10 +43,14 @@ type destQueue struct {
 	closed bool
 }
 
-// enqueue adds a message to the destination's queue, spinning up a
-// WsThread if none is bound. It reports false when the queue is full or
-// closed.
-func (d *Dispatcher) enqueue(msg outbound, destURL string) bool {
+func (dq *destQueue) close() {
+	dq.mu.Lock()
+	dq.closed = true
+	dq.mu.Unlock()
+}
+
+// destFor returns (creating on first use) the destination's queue.
+func (d *Dispatcher) destFor(destURL string) *destQueue {
 	dq, ok := d.dests.Get(destURL)
 	if !ok {
 		// The map key and the queue's binding outlive this exchange,
@@ -58,6 +63,14 @@ func (d *Dispatcher) enqueue(msg outbound, destURL string) bool {
 			return &destQueue{url: url, ch: make(chan outbound, d.cfg.QueueCap)}
 		})
 	}
+	return dq
+}
+
+// enqueue adds a message to the destination's queue, spinning up a
+// WsThread if none is bound. It reports false when the queue is full or
+// closed.
+func (d *Dispatcher) enqueue(msg outbound, destURL string) bool {
+	dq := d.destFor(destURL)
 	dq.mu.Lock()
 	if dq.closed || dq.queued >= d.cfg.QueueCap {
 		dq.mu.Unlock()
@@ -79,10 +92,82 @@ func (d *Dispatcher) enqueue(msg outbound, destURL string) bool {
 	return true
 }
 
-func (dq *destQueue) close() {
+// enqueueBatch admits a burst of messages for one destination in a
+// single queue transaction: one lock acquisition bumps queued by the
+// whole admitted count, and at most one WsThread spawns for the burst
+// (so its HoldOpen timer arms once, not once per message). The longest
+// FIFO prefix with room is admitted; the return value reports how many
+// messages were taken, and the caller keeps ownership of the tail.
+// Accepted/drop accounting stays with the caller, as with enqueue.
+func (d *Dispatcher) enqueueBatch(msgs []outbound, destURL string) int {
+	if len(msgs) == 0 {
+		return 0
+	}
+	dq := d.destFor(destURL)
 	dq.mu.Lock()
-	dq.closed = true
+	if dq.closed {
+		dq.mu.Unlock()
+		return 0
+	}
+	n := len(msgs)
+	if room := d.cfg.QueueCap - dq.queued; n > room {
+		n = room
+	}
+	if n <= 0 {
+		dq.mu.Unlock()
+		return 0
+	}
+	dq.queued += n
+	spawn := !dq.active
+	if spawn {
+		dq.active = true
+	}
 	dq.mu.Unlock()
+	for i := 0; i < n; i++ {
+		dq.ch <- msgs[i]
+	}
+	if spawn {
+		go d.wsThread(dq)
+	}
+	return n
+}
+
+// replySink batches the admission of replies bridged while a delivery
+// burst's responses are processed: instead of each bridged reply paying
+// its own queue transaction inside the response loop, they collect here
+// and admit per-destination through enqueueBatch when the burst settles.
+// The sink is WsThread-local scratch, reused across bursts.
+type replySink struct {
+	dests []string
+	msgs  []outbound
+}
+
+func (s *replySink) add(dest string, msg outbound) {
+	s.dests = append(s.dests, dest)
+	s.msgs = append(s.msgs, msg)
+}
+
+// flushSink admits everything the sink collected, grouping consecutive
+// same-destination runs into one batch admission each, with the
+// Accepted/drop accounting the inline enqueue path would have done.
+func (d *Dispatcher) flushSink(sink *replySink) {
+	for i := 0; i < len(sink.msgs); {
+		j := i + 1
+		for j < len(sink.msgs) && sink.dests[j] == sink.dests[i] {
+			j++
+		}
+		group := sink.msgs[i:j]
+		admitted := d.enqueueBatch(group, sink.dests[i])
+		d.Accepted.Add(int64(admitted))
+		for _, m := range group[admitted:] {
+			xmlsoap.PutBuffer(m.payload)
+			d.QueueDrops.Inc()
+			d.Rejected.Inc()
+		}
+		i = j
+	}
+	sink.dests = sink.dests[:0]
+	sink.msgs = sink.msgs[:0]
 }
 
 // wsThread drains one destination's queue. The destination binding (and
@@ -97,6 +182,12 @@ func (dq *destQueue) close() {
 // measures plain MSG-Dispatcher as the slowest Figure 6 configuration
 // while MSG-Dispatcher + WS-MsgBox (whose reply deliveries are fast) is
 // the fastest.
+//
+// When the thread wakes to more than one queued message it drains a
+// bounded burst (BatchMax) in one pass: one queued-count update, one
+// WsWorkers slot, one pipelined vectored delivery over the held
+// connection, and one HoldOpen re-arm for the whole burst — the
+// amortization ROADMAP item 1 asked for.
 func (d *Dispatcher) wsThread(dq *destQueue) {
 	// The destination binding IS the paper's held connection: one
 	// httpx.Stream pins a connection to this destination for the
@@ -109,6 +200,13 @@ func (d *Dispatcher) wsThread(dq *destQueue) {
 		stream *httpx.Stream
 		path   string
 		req    httpx.Request
+		// Burst scratch, allocated once per binding on first use: the
+		// drained messages, the reusable request structs they are
+		// rendered through, and the bridged-reply sink.
+		batch []outbound
+		reqs  []httpx.Request
+		refs  []*httpx.Request
+		sink  replySink
 	)
 	if addr, p, err := httpx.SplitURL(dq.url); err == nil {
 		stream = d.client.Stream(addr)
@@ -130,14 +228,42 @@ func (d *Dispatcher) wsThread(dq *destQueue) {
 	for {
 		select {
 		case msg := <-dq.ch:
+			// Drain whatever else is already queued, up to BatchMax,
+			// without blocking: the burst settles under one queue
+			// transaction instead of one per message.
+			if batch == nil {
+				batch = make([]outbound, 0, d.cfg.BatchMax)
+			}
+			batch = append(batch[:0], msg)
+		drain:
+			for len(batch) < d.cfg.BatchMax {
+				select {
+				case m := <-dq.ch:
+					batch = append(batch, m)
+				default:
+					break drain
+				}
+			}
 			dq.mu.Lock()
-			dq.queued--
+			dq.queued -= len(batch)
 			dq.mu.Unlock()
 			d.wsSlots <- struct{}{}
-			d.deliver(dq.url, stream, path, &req, msg)
+			if len(batch) == 1 {
+				d.deliver(dq.url, stream, path, &req, batch[0])
+			} else {
+				if reqs == nil {
+					reqs = make([]httpx.Request, d.cfg.BatchMax)
+					refs = make([]*httpx.Request, d.cfg.BatchMax)
+					for i := range reqs {
+						refs[i] = &reqs[i]
+					}
+				}
+				d.deliverBatch(dq, stream, path, refs[:len(batch)], batch, &sink)
+			}
 			<-d.wsSlots
-			// Re-arm the full hold-open window, draining a stale fire
-			// first so it cannot satisfy the next wait immediately.
+			// Re-arm the full hold-open window — once per burst, not per
+			// message — draining a stale fire first so it cannot satisfy
+			// the next wait immediately.
 			if !idle.Stop() {
 				select {
 				case <-idle.C:
@@ -146,6 +272,7 @@ func (d *Dispatcher) wsThread(dq *destQueue) {
 			}
 			idle.Reset(d.cfg.HoldOpen)
 			deadline = clk.Now().Add(d.cfg.HoldOpen)
+			d.HoldOpenRearms.Inc()
 		case <-idle.C:
 			if now := clk.Now(); now.Before(deadline) {
 				// Stale fire from an arm preceding the last Reset;
@@ -174,9 +301,9 @@ func (d *Dispatcher) wsThread(dq *destQueue) {
 // the binding's reusable request struct (deliver fully re-initializes
 // it); a nil stream means the destination URL never parsed.
 func (d *Dispatcher) deliver(destURL string, stream *httpx.Stream, path string, req *httpx.Request, msg outbound) {
-	defer xmlsoap.PutBuffer(msg.payload)
 	if stream == nil {
 		d.DeliveryFailures.Inc()
+		xmlsoap.PutBuffer(msg.payload)
 		return
 	}
 	start := d.cfg.Clock.Now()
@@ -185,13 +312,77 @@ func (d *Dispatcher) deliver(destURL string, stream *httpx.Stream, path string, 
 	req.Body = msg.payload.B
 	req.Header.Set("Content-Type", msg.version.ContentType())
 	resp, err := stream.DoTimeout(req, d.cfg.DeliveryTimeout)
-	// The response body (when any) is a pooled buffer owned by this
-	// delivery; it is released once the bridge — which parses it in
-	// place and detaches or re-renders everything it keeps — is done.
-	if resp != nil {
-		defer resp.Release()
+	if err != nil {
+		d.failDelivery(destURL, msg)
+		return
 	}
-	if err != nil || resp.Status >= 300 {
+	// The response body (when any) is a pooled buffer owned by this
+	// delivery; it is released once settleDelivery — whose bridge parses
+	// it in place and detaches or re-renders everything it keeps — is
+	// done.
+	d.settleDelivery(destURL, msg, resp, start, nil)
+	resp.Release()
+}
+
+// deliverBatch posts a burst of same-destination messages over the
+// binding's stream as one pipelined, vectored write (Stream.DoBatch) and
+// settles the responses in pipeline order. Error isolation: messages
+// whose responses arrived are fully settled; on a mid-batch failure the
+// unanswered tail is requeued in FIFO order for a fresh attempt rather
+// than dropped, and a batch that failed whole (nothing answered) takes
+// the same per-message failure path — courier fallback included — that
+// deliver would. Bridged replies produced while settling collect in sink
+// and admit in batched queue transactions once the burst is done.
+func (d *Dispatcher) deliverBatch(dq *destQueue, stream *httpx.Stream, path string, reqs []*httpx.Request, msgs []outbound, sink *replySink) {
+	if stream == nil {
+		for i := range msgs {
+			d.DeliveryFailures.Inc()
+			xmlsoap.PutBuffer(msgs[i].payload)
+		}
+		return
+	}
+	start := d.cfg.Clock.Now()
+	for i := range msgs {
+		r := reqs[i]
+		r.Reset()
+		r.Method, r.Path, r.Proto = "POST", path, "HTTP/1.1"
+		r.Body = msgs[i].payload.B
+		r.Header.Set("Content-Type", msgs[i].version.ContentType())
+	}
+	done, err := stream.DoBatch(reqs, d.cfg.DeliveryTimeout, func(i int, resp *httpx.Response) {
+		d.settleDelivery(dq.url, msgs[i], resp, start, sink)
+	})
+	d.flushSink(sink)
+	if err == nil {
+		return
+	}
+	if done == 0 {
+		// Nothing was answered (and, after DoBatch's one retry, nothing
+		// will be): the whole burst failed the way a single delivery
+		// fails — count, hand to the courier, release.
+		for i := range msgs {
+			d.failDelivery(dq.url, msgs[i])
+		}
+		return
+	}
+	// Mid-batch failure: the tail went out with the batch write but its
+	// responses never came. Requeue it — FIFO order preserved — for a
+	// fresh delivery attempt; whatever no longer fits (the queue
+	// refilled meanwhile) fails over to the courier.
+	tail := msgs[done:]
+	requeued := d.enqueueBatch(tail, dq.url)
+	for i := requeued; i < len(tail); i++ {
+		d.failDelivery(dq.url, tail[i])
+	}
+}
+
+// settleDelivery records the outcome of one answered delivery and
+// releases the message's payload. Shared by the single-message and burst
+// paths; sink, when non-nil, defers bridged-reply admission to the
+// burst's batched flush.
+func (d *Dispatcher) settleDelivery(destURL string, msg outbound, resp *httpx.Response, start time.Time, sink *replySink) {
+	defer xmlsoap.PutBuffer(msg.payload)
+	if resp.Status >= 300 {
 		d.DeliveryFailures.Inc()
 		if d.cfg.Courier != nil {
 			// SendPayload copies the payload (and detaches the ID and
@@ -208,10 +399,23 @@ func (d *Dispatcher) deliver(destURL string, stream *httpx.Stream, path string, 
 	if msg.toService {
 		d.ForwardedToWS.Inc()
 		if resp.Status == httpx.StatusOK && len(resp.Body) > 0 {
-			d.bridgeRPCResponse(msg, resp.Body)
+			d.bridgeRPCResponse(msg, resp.Body, sink)
 		}
 	} else {
 		d.RepliesDelivered.Inc()
+	}
+}
+
+// failDelivery settles a message whose delivery attempt failed outright
+// (transport error, batch never answered): failure accounting, courier
+// fallback, payload release.
+func (d *Dispatcher) failDelivery(destURL string, msg outbound) {
+	defer xmlsoap.PutBuffer(msg.payload)
+	d.DeliveryFailures.Inc()
+	if d.cfg.Courier != nil {
+		if _, cerr := d.cfg.Courier.SendPayload(destURL, msg.origMessageID, msg.payload.B); cerr == nil {
+			d.HandedToCourier.Inc()
+		}
 	}
 }
 
@@ -222,10 +426,12 @@ func (d *Dispatcher) deliver(destURL string, stream *httpx.Stream, path string, 
 // back through normal routing so it reaches the requester's ReplyTo or a
 // blocked anonymous waiter.
 //
-// body is the delivery response's pooled buffer, valid only until
-// deliver releases it on return; everything routed onward is rendered
-// into its own buffer or detached, exactly as for an inbound request.
-func (d *Dispatcher) bridgeRPCResponse(msg outbound, body []byte) {
+// body is the delivery response's pooled buffer, valid only until the
+// settle path releases it on return; everything routed onward is
+// rendered into its own buffer or detached, exactly as for an inbound
+// request. sink, when non-nil, batches the admission of routed replies
+// (see replySink).
+func (d *Dispatcher) bridgeRPCResponse(msg outbound, body []byte, sink *replySink) {
 	if msg.origMessageID == "" {
 		return
 	}
@@ -241,7 +447,7 @@ func (d *Dispatcher) bridgeRPCResponse(msg outbound, body []byte) {
 		// Already a fully addressed reply: route it as if it had been
 		// posted to us (with no exchange — the delivery connection
 		// already has its answer).
-		d.route(nil, body)
+		d.route(nil, body, sink)
 		return
 	}
 	// Plain RPC response without addressing: synthesize reply headers
@@ -268,5 +474,5 @@ func (d *Dispatcher) bridgeRPCResponse(msg outbound, body []byte) {
 	// headers the envelope carries, so the wire reply the blocked caller
 	// correlates on carries h2's RelatesTo without building header
 	// elements that would be rendered once and thrown away.
-	d.routeReply(nil, reply, h2, entry)
+	d.routeReply(nil, reply, h2, entry, sink)
 }

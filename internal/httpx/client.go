@@ -238,6 +238,50 @@ func (pc *persistConn) roundTrip(req *Request, deadline time.Time) (*Response, e
 	return resp, nil
 }
 
+// batchTrip performs a pipelined burst on pc: all requests leave in one
+// vectored write (encodeBatch), then the responses are read back in
+// pipeline order, each handed to handle while it is valid. One deadline
+// covers the whole burst — one SetDeadline syscall per batch, not per
+// message.
+//
+// Unlike roundTrip, ownership of each response never leaves the
+// connection: handle borrows the reusable Response for the duration of
+// the call and batchTrip releases its pooled buffer immediately after,
+// before reading the next response into the same struct. A callback that
+// needs bytes past its return must detach them.
+//
+// done reports how many responses were fully processed. A peer that
+// closes mid-batch (Connection: close before the last response, or a
+// read error) strands the written tail; the caller requeues reqs[done:].
+func (pc *persistConn) batchTrip(reqs []*Request, deadline time.Time, handle func(i int, resp *Response)) (done int, err error) {
+	pc.conn.SetDeadline(deadline)
+	if err := encodeBatch(pc.conn, reqs, pc.addr); err != nil {
+		return 0, fmt.Errorf("httpx: batch write to %s: %w", pc.addr, err)
+	}
+	resp := &pc.resp
+	for i := range reqs {
+		if err := ReadResponseInto(pc.br, resp); err != nil {
+			return i, fmt.Errorf("httpx: read from %s: %w", pc.addr, err)
+		}
+		// Snapshot the close verdict before handle: the header strings
+		// die with the buffer released below.
+		closeAfter := wantsClose(resp.Proto, &resp.Header)
+		handle(i, resp)
+		resp.Release()
+		if closeAfter {
+			pc.closeAfter = true
+			done = i + 1
+			if done < len(reqs) {
+				return done, fmt.Errorf("httpx: %s closed the connection after %d of %d batched responses", pc.addr, done, len(reqs))
+			}
+			return done, nil
+		}
+	}
+	pc.closeAfter = false
+	pc.conn.SetDeadline(time.Time{})
+	return len(reqs), nil
+}
+
 // takeIdle pops the most recently parked connection for addr, evicting
 // any that have outlived IdleConnTTL along the way.
 func (c *Client) takeIdle(addr string) *persistConn {
@@ -429,6 +473,111 @@ func (s *Stream) DoTimeout(req *Request, timeout time.Duration) (*Response, erro
 		return nil, err
 	}
 	return resp, nil
+}
+
+// DoBatch sends a burst of requests pipelined over the stream's
+// connection — one vectored write for the whole batch, one deadline
+// re-arm — and reads the responses back in order. For each response,
+// handle(i, resp) is called with the connection's reusable Response;
+// the response (head fields, Body, anything aliasing them) is valid only
+// until the callback returns, after which DoBatch releases it and reads
+// the next response into the same struct. The callback must not call
+// Release or TakeBody; it detaches what survives.
+//
+// done reports how many responses were fully processed (handled and
+// released), always a prefix of reqs. On a mid-batch failure — write
+// error, read error, or a peer that closed before the last response —
+// done < len(reqs) and err is non-nil; the caller decides the tail's
+// fate (the MSG-Dispatcher requeues it). A stale pinned connection is
+// retried once on a fresh dial, but only while done == 0, so no message
+// is ever double-processed. With one request, or under DisableKeepAlive
+// (no pipelining over per-exchange connections), DoBatch degrades to
+// sequential DoTimeout exchanges.
+func (s *Stream) DoBatch(reqs []*Request, timeout time.Duration, handle func(i int, resp *Response)) (done int, err error) {
+	if len(reqs) == 0 {
+		return 0, nil
+	}
+	if len(reqs) == 1 || s.c.cfg.DisableKeepAlive {
+		for i, req := range reqs {
+			resp, err := s.DoTimeout(req, timeout)
+			if err != nil {
+				return i, err
+			}
+			handle(i, resp)
+			resp.Release()
+		}
+		return len(reqs), nil
+	}
+	deadline := s.c.cfg.Clock.Now().Add(timeout)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrStreamClosed
+	}
+	if s.busy {
+		s.mu.Unlock()
+		return 0, ErrStreamBusy
+	}
+	pc := s.pc
+	if pc == nil {
+		if pc = s.c.takeIdle(s.addr); pc != nil {
+			pc.stream = s
+			s.pc = pc
+		}
+	}
+	s.busy = true
+	s.mu.Unlock()
+
+	if pc != nil {
+		done, err = pc.batchTrip(reqs, deadline, handle)
+		if err == nil || done > 0 {
+			s.batchFinished(pc, err)
+			return done, err
+		}
+		// Nothing processed on a reused connection: it likely went stale
+		// in the pool. Retry the whole batch once on a fresh dial — no
+		// callback has run, so re-encoding re-reads intact request bodies.
+		pc.conn.Close()
+		s.mu.Lock()
+		s.pc = nil
+		s.mu.Unlock()
+	}
+	pc, derr := s.c.dial(s.addr, deadline)
+	if derr != nil {
+		s.mu.Lock()
+		s.busy = false
+		s.mu.Unlock()
+		return 0, derr
+	}
+	pc.stream = s
+	s.mu.Lock()
+	s.pc = pc
+	s.mu.Unlock()
+	done, err = pc.batchTrip(reqs, deadline, handle)
+	s.batchFinished(pc, err)
+	return done, err
+}
+
+// batchFinished returns the connection to the stream after a batch: the
+// responses were all released inside batchTrip, so there is no deferred
+// release hook — the stream is ready (or the connection disposed of)
+// immediately.
+func (s *Stream) batchFinished(pc *persistConn, err error) {
+	dead := err != nil || pc.closeAfter
+	s.mu.Lock()
+	s.busy = false
+	closed := s.closed
+	if dead || closed {
+		s.pc = nil
+	}
+	s.mu.Unlock()
+	switch {
+	case dead:
+		pc.conn.Close()
+	case closed:
+		pc.stream = nil
+		pc.c.putIdle(pc)
+	}
 }
 
 // finished is the stream-mode release hook: the caller released the

@@ -1,7 +1,6 @@
 package httpx
 
 import (
-	"io"
 	"net"
 
 	"repro/internal/xmlsoap"
@@ -191,33 +190,36 @@ func (ex *Exchange) resetReply() {
 	ex.hijacked = false
 }
 
-// writeReply encodes the recorded reply and sends head and body in one
-// batched write (two for oversized bodies), releasing nothing — the
-// caller (serveConn) owns the release sequence so the close verdict can
-// be read first.
-func (ex *Exchange) writeReply(w io.Writer) error {
+// appendReply encodes the recorded reply (500 when the handler never
+// answered) onto b: status line, headers, and the body when it is small
+// enough to coalesce. This is how pipelined replies batch — serveConn
+// accumulates consecutive appendReply outputs in one connection-scoped
+// buffer and flushes them in a single write once the client's pipelined
+// input drains. An oversized body is returned uncopied for the caller to
+// write after b, still before the release sequence runs.
+func (ex *Exchange) appendReply(b []byte) (out, bigBody []byte) {
 	status := ex.status
 	if !ex.replied {
 		status = StatusInternalServerError
 		ex.body = nil
 	}
-	buf := xmlsoap.GetBuffer()
-	defer xmlsoap.PutBuffer(buf)
-	b := buf.B
 	b = append(b, "HTTP/1.1 "...)
 	b = appendStatusLine(b, status)
 	b = ex.header.appendWire(b, len(ex.body), "", false)
-	buf.B = b
-	return writeMsg(w, buf, b, ex.body)
+	if len(ex.body) > coalesceLimit {
+		return b, ex.body
+	}
+	return append(b, ex.body...), nil
 }
 
-// finishReply writes the reply and runs the end-of-exchange release
-// sequence: close verdict, reply buffer, Defer hooks, request buffer —
-// in that order (the reply may alias the request body it echoes, and
-// header values may alias a relayed buffer whose release rides Defer).
-// It reports the write error and whether the connection must close.
-func (ex *Exchange) finishReply(w io.Writer) (close bool, err error) {
-	err = ex.writeReply(w)
+// finishRelease runs the end-of-exchange release sequence: close
+// verdict, reply buffer, Defer hooks, request buffer — in that order
+// (header values may alias a relayed buffer whose release rides Defer).
+// The reply bytes must already be safely out of the exchange's buffers:
+// appendReply copied the body into the write buffer (and an oversized
+// body must have been written) before this runs, which is what makes a
+// reply that echoes the request body safe to batch.
+func (ex *Exchange) finishRelease() (close bool) {
 	close = wantsClose("HTTP/1.1", &ex.header)
 	if ex.buf != nil {
 		xmlsoap.PutBuffer(ex.buf)
@@ -228,7 +230,7 @@ func (ex *Exchange) finishReply(w io.Writer) (close bool, err error) {
 		f()
 	}
 	ex.Req.Release()
-	return close, err
+	return close
 }
 
 // appendStatusLine appends "<code> <reason>\r\n".

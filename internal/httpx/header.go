@@ -46,6 +46,28 @@
 // connection to one destination so consecutive exchanges pipeline over it
 // without re-entering the idle pool. Ownership details live on Exchange
 // and Client.
+//
+// # Cross-message batching
+//
+// Both halves amortize syscalls across messages, not just within one:
+//
+//   - Client: Stream.DoBatch sends a burst of requests down the pinned
+//     connection as ONE pipelined, vectored write (bodies under the
+//     coalesce limit are gathered into a single pooled buffer; larger
+//     ones join a writev chain), arms the write/read deadline once for
+//     the burst, and reads the responses back in pipeline order. Each
+//     response is lent to the per-response callback only for the
+//     callback's duration — it is released, and the connection's
+//     reusable Response recycled, before the next response is read. On
+//     a mid-burst failure DoBatch reports how many responses were fully
+//     handled so the caller can requeue the unanswered tail.
+//   - Server: replies to pipelined requests coalesce in a
+//     connection-scoped write buffer and leave in one flush covering
+//     the whole burst. The flush triggers when the client's buffered
+//     input drains (the fasthttp heuristic: a pipelining client keeps
+//     sending before it reads), when the batch exceeds the coalesce
+//     limit, or when the connection is about to close — so a
+//     one-request-at-a-time client still sees a write per reply.
 package httpx
 
 import (

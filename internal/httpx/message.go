@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"strconv"
 	"strings"
 	"unsafe"
@@ -237,22 +238,69 @@ func (r *Request) Encode(w io.Writer) error {
 // overrides Connection with "close". Neither mutates r.Header (the seed
 // codec cloned the map instead).
 func (r *Request) encode(w io.Writer, hostIfMissing string, forceClose bool) error {
+	buf := xmlsoap.GetBuffer()
+	defer xmlsoap.PutBuffer(buf)
+	b := r.appendHead(buf.B, hostIfMissing, forceClose)
+	buf.B = b
+	return writeMsg(w, buf, b, r.Body)
+}
+
+// appendHead appends the request's wire head — request line, header
+// lines, terminating blank line — to b, with the same per-exchange
+// supplements as encode. The body is framed (Content-Length) but not
+// appended.
+func (r *Request) appendHead(b []byte, hostIfMissing string, forceClose bool) []byte {
 	proto := r.Proto
 	if proto == "" {
 		proto = "HTTP/1.1"
 	}
-	buf := xmlsoap.GetBuffer()
-	defer xmlsoap.PutBuffer(buf)
-	b := buf.B
 	b = append(b, r.Method...)
 	b = append(b, ' ')
 	b = append(b, r.Path...)
 	b = append(b, ' ')
 	b = append(b, proto...)
 	b = append(b, '\r', '\n')
-	b = r.Header.appendWire(b, len(r.Body), hostIfMissing, forceClose)
+	return r.Header.appendWire(b, len(r.Body), hostIfMissing, forceClose)
+}
+
+// encodeBatch serializes a burst of requests back to back into one shared
+// pooled buffer and sends the whole batch in a single write — the
+// pipelined-delivery counterpart of writeMsg's head+body coalescing, so a
+// burst of N SOAP messages costs one syscall instead of N. Bodies above
+// coalesceLimit are not copied: each rides as its own net.Buffers element
+// between slices of the shared buffer, and the batch still leaves in one
+// WriteTo (writev on real sockets; element-wise writes on pipe-like
+// conns). Every request's Body must stay valid until encodeBatch returns;
+// ownership is not transferred.
+func encodeBatch(w io.Writer, reqs []*Request, hostIfMissing string) error {
+	buf := xmlsoap.GetBuffer()
+	defer xmlsoap.PutBuffer(buf)
+	b := buf.B
+	var chain net.Buffers
+	start := 0
+	for _, r := range reqs {
+		b = r.appendHead(b, hostIfMissing, false)
+		if n := len(r.Body); n > 0 && n <= coalesceLimit {
+			b = append(b, r.Body...)
+		} else if n > 0 {
+			// Close the shared-buffer segment before the oversized body.
+			// Later appends may move b to a fresh array, but the recorded
+			// slice keeps referencing the bytes already written, so the
+			// chain stays intact.
+			chain = append(chain, b[start:len(b):len(b)], r.Body)
+			start = len(b)
+		}
+	}
 	buf.B = b
-	return writeMsg(w, buf, b, r.Body)
+	if len(chain) == 0 {
+		_, err := w.Write(b)
+		return err
+	}
+	if start < len(b) {
+		chain = append(chain, b[start:])
+	}
+	_, err := chain.WriteTo(w)
+	return err
 }
 
 // Encode serializes the response to w with Content-Length framing, using

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/stats"
+	"repro/internal/xmlsoap"
 )
 
 // Handler processes one exchange: it reads the parsed request from
@@ -167,14 +168,35 @@ func (s *Server) track(c net.Conn, add bool) {
 // the connection's whole life, so a keep-alive connection serves every
 // request with zero per-request message-struct allocations: the request
 // lands in a pooled buffer via ReadRequestInto, the handler replies on
-// the exchange, and the reply's head and body leave in one batched
-// write.
+// the exchange, and replies leave in batched writes.
+//
+// Replies to pipelined requests coalesce: each reply is appended to a
+// connection-scoped write buffer, which is flushed — one Write for K
+// replies — only when the client's buffered input drains (the fasthttp
+// heuristic: a pipelining client does not block on response i before
+// sending request i+1), when the accumulated batch exceeds
+// coalesceLimit, or when the connection is about to close. A
+// one-request-at-a-time client sees exactly the old behavior, its reply
+// flushed before the next blocking read.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	defer s.track(conn, false)
 	clk := s.cfg.Clock
 	br := bufio.NewReader(conn)
 	ex := &Exchange{srv: s, conn: conn, remoteAddr: conn.RemoteAddr().String()}
+	wbuf := xmlsoap.GetBuffer() // pending batched replies
+	defer xmlsoap.PutBuffer(wbuf)
+	flush := func() error {
+		if len(wbuf.B) == 0 {
+			return nil
+		}
+		if s.cfg.WriteTimeout > 0 {
+			conn.SetWriteDeadline(clk.Now().Add(s.cfg.WriteTimeout))
+		}
+		_, err := conn.Write(wbuf.B)
+		wbuf.B = wbuf.B[:0]
+		return err
+	}
 	var armed time.Time // currently armed read deadline
 	for {
 		// Idle / read deadline for the next request. With no explicit
@@ -201,6 +223,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			if err != io.EOF {
 				s.Errors.Inc()
 			}
+			// Replies batched behind a partial pipelined request still
+			// belong to the client; push them out best-effort.
+			flush()
 			return
 		}
 		s.Requests.Inc()
@@ -220,11 +245,13 @@ func (s *Server) serveConn(conn net.Conn) {
 			if panicked {
 				// The handler died between Hijack and handing the
 				// exchange off; nobody will Finish it. The connection
-				// is unrecoverable — release the request and bail.
+				// is unrecoverable — release the request, push out any
+				// batched replies, and bail.
 				if s.handlers != nil {
 					<-s.handlers
 				}
 				ex.Req.Release()
+				flush()
 				return
 			}
 			// The reply arrives from another goroutine; Finish's channel
@@ -237,20 +264,45 @@ func (s *Server) serveConn(conn net.Conn) {
 			<-s.handlers
 		}
 
-		if s.cfg.WriteTimeout > 0 {
-			conn.SetWriteDeadline(clk.Now().Add(s.cfg.WriteTimeout))
+		// The reply is appended to the connection's write buffer (the
+		// body is copied, so it may safely echo the request), then the
+		// release sequence runs: reply buffer, Defer hooks (relayed-body
+		// duties), then the request buffer. A handler that took the body
+		// emptied the request's duty, making its release a no-op. An
+		// oversized body is not copied; it is written through before its
+		// backing buffers can be released.
+		var bigBody []byte
+		wbuf.B, bigBody = ex.appendReply(wbuf.B)
+		if bigBody != nil {
+			err := flush()
+			if err == nil {
+				if s.cfg.WriteTimeout > 0 {
+					conn.SetWriteDeadline(clk.Now().Add(s.cfg.WriteTimeout))
+				}
+				_, err = conn.Write(bigBody)
+			}
+			connClose := ex.finishRelease()
+			if err != nil {
+				s.Errors.Inc()
+				return
+			}
+			if reqClose || connClose {
+				return
+			}
+			continue
 		}
-		// finishReply writes the batched head+body and runs the release
-		// sequence: reply buffer, Defer hooks (relayed-body duties), then
-		// the request buffer (the reply may echo it). A handler that took
-		// the body emptied the request's duty, making its release a
-		// no-op.
-		close, err := ex.finishReply(conn)
-		if err != nil {
-			s.Errors.Inc()
-			return
+		connClose := ex.finishRelease() || reqClose
+
+		// Flush when the client has no more pipelined input buffered
+		// (it is now waiting on us), when the batch has grown past the
+		// coalesce window, or when this connection is done.
+		if connClose || br.Buffered() == 0 || len(wbuf.B) > coalesceLimit {
+			if err := flush(); err != nil {
+				s.Errors.Inc()
+				return
+			}
 		}
-		if reqClose || close {
+		if connClose {
 			return
 		}
 	}

@@ -49,16 +49,31 @@ func NewLedger(stackBytes, budgetBytes int64) *Ledger {
 
 // SpawnThread reserves one thread stack. It returns ErrOutOfMemory (wrapped
 // with the live-thread count) when the budget is exhausted.
-func (l *Ledger) SpawnThread() error {
+func (l *Ledger) SpawnThread() error { return l.SpawnThreads(1) }
+
+// SpawnThreads reserves n thread stacks in one all-or-nothing ledger
+// transaction: either the whole batch fits the budget or nothing is
+// reserved and one OOM event is recorded — a burst admitting through the
+// ledger costs one lock acquisition and can never be half-admitted. The
+// pool's core pre-create and the dispatcher's batch admission go through
+// here.
+func (l *Ledger) SpawnThreads(n int) error {
+	if n <= 0 {
+		return nil
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.inUse+l.stackBytes > l.budget {
+	if l.inUse+int64(n)*l.stackBytes > l.budget {
 		l.oomEvents++
-		return fmt.Errorf("%w (live threads: %d, stack %d KiB, budget %d MiB)",
-			ErrOutOfMemory, l.live, l.stackBytes>>10, l.budget>>20)
+		if n == 1 {
+			return fmt.Errorf("%w (live threads: %d, stack %d KiB, budget %d MiB)",
+				ErrOutOfMemory, l.live, l.stackBytes>>10, l.budget>>20)
+		}
+		return fmt.Errorf("%w (batch of %d refused; live threads: %d, stack %d KiB, budget %d MiB)",
+			ErrOutOfMemory, n, l.live, l.stackBytes>>10, l.budget>>20)
 	}
-	l.inUse += l.stackBytes
-	l.live++
+	l.inUse += int64(n) * l.stackBytes
+	l.live += n
 	if l.live > l.peak {
 		l.peak = l.live
 	}
@@ -67,14 +82,21 @@ func (l *Ledger) SpawnThread() error {
 
 // ReleaseThread returns one thread stack to the budget. Releasing below
 // zero is a programming error and panics.
-func (l *Ledger) ReleaseThread() {
+func (l *Ledger) ReleaseThread() { l.ReleaseThreads(1) }
+
+// ReleaseThreads returns n thread stacks in one transaction. Releasing
+// more than are live is a programming error and panics.
+func (l *Ledger) ReleaseThreads(n int) {
+	if n <= 0 {
+		return
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.live == 0 {
-		panic("pool: ReleaseThread without matching SpawnThread")
+	if l.live < n {
+		panic("pool: ReleaseThreads without matching SpawnThreads")
 	}
-	l.live--
-	l.inUse -= l.stackBytes
+	l.live -= n
+	l.inUse -= int64(n) * l.stackBytes
 }
 
 // Live returns the number of currently reserved threads.

@@ -69,6 +69,12 @@ func New(cfg Config) *Pool {
 }
 
 // Start pre-creates the core workers. It is a no-op when already started.
+//
+// The core pre-create admits through the Ledger in one transaction: the
+// whole batch of stacks is reserved (or refused) under a single ledger
+// lock acquisition, and on refusal no worker starts at all — the 2004
+// JVM either had room for the configured pool or threw before the pool
+// existed, not after half of it did.
 func (p *Pool) Start() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -79,10 +85,15 @@ func (p *Pool) Start() error {
 		return ErrStopped
 	}
 	p.started = true
-	for i := 0; i < p.cfg.Core; i++ {
-		if err := p.spawnLocked(true); err != nil {
-			return err
+	if p.cfg.Ledger != nil {
+		if err := p.cfg.Ledger.SpawnThreads(p.cfg.Core); err != nil {
+			return fmt.Errorf("pool: cannot pre-create %d core workers: %w", p.cfg.Core, err)
 		}
+	}
+	for i := 0; i < p.cfg.Core; i++ {
+		p.workers++
+		p.done.Add(1)
+		go p.run(true)
 	}
 	return nil
 }

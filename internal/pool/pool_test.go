@@ -213,3 +213,74 @@ func waitUntil(t *testing.T, cond func() bool) {
 	}
 	t.Fatal("condition not reached within 5s")
 }
+
+// TestBatchAdmission pins the one-transaction contract of SpawnThreads:
+// a batch either fits entirely or is refused entirely, with exactly one
+// OOM event per refused batch and no partial reservation.
+func TestBatchAdmission(t *testing.T) {
+	l := NewLedger(100, 1000) // capacity 10
+	if err := l.SpawnThreads(4); err != nil {
+		t.Fatalf("SpawnThreads(4): %v", err)
+	}
+	if err := l.SpawnThreads(7); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("SpawnThreads(7) over budget = %v, want ErrOutOfMemory", err)
+	}
+	if l.Live() != 4 {
+		t.Fatalf("Live = %d after refused batch, want 4 (no partial admission)", l.Live())
+	}
+	if l.OOMEvents() != 1 {
+		t.Fatalf("OOMEvents = %d after one refused batch, want 1", l.OOMEvents())
+	}
+	if err := l.SpawnThreads(6); err != nil { // exactly fits
+		t.Fatalf("SpawnThreads(6) at exact fit: %v", err)
+	}
+	if l.Live() != 10 || l.Peak() != 10 {
+		t.Fatalf("Live=%d Peak=%d, want 10/10", l.Live(), l.Peak())
+	}
+	l.ReleaseThreads(10)
+	if l.Live() != 0 {
+		t.Fatalf("Live = %d after ReleaseThreads(10), want 0", l.Live())
+	}
+}
+
+func TestReleaseThreadsUnderflowPanics(t *testing.T) {
+	l := NewLedger(100, 1000)
+	if err := l.SpawnThreads(2); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ReleaseThreads underflow did not panic")
+		}
+	}()
+	l.ReleaseThreads(3)
+}
+
+// TestStartBatchAdmission verifies Pool.Start admits its core pre-create
+// through the ledger as one batch: a refused pool leaves the ledger
+// untouched (no half-started worker set), a fitting pool charges Core
+// stacks and releases them all on Stop.
+func TestStartBatchAdmission(t *testing.T) {
+	tight := NewLedger(1024, 2048) // room for 2 stacks
+	p := New(Config{Core: 4, Ledger: tight})
+	if err := p.Start(); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("Start = %v, want ErrOutOfMemory", err)
+	}
+	if tight.Live() != 0 {
+		t.Fatalf("refused pool left Live = %d, want 0", tight.Live())
+	}
+	p.Stop()
+
+	roomy := NewLedger(1024, 4096)
+	p = New(Config{Core: 4, Ledger: roomy})
+	if err := p.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if roomy.Live() != 4 {
+		t.Fatalf("Live = %d after Start, want 4", roomy.Live())
+	}
+	p.Stop()
+	if roomy.Live() != 0 {
+		t.Fatalf("Live = %d after Stop, want 0", roomy.Live())
+	}
+}

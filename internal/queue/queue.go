@@ -80,6 +80,38 @@ func (q *FIFO[T]) TryPut(item T) error {
 	return nil
 }
 
+// TryPutBatch appends a burst of items in one lock transaction, without
+// blocking: the admission-side counterpart of TakeBatch. It admits the
+// longest FIFO prefix that fits — n reports how many were taken — and
+// returns ErrFull when items remain (the caller owns the tail, exactly
+// as with a refused TryPut) or ErrClosed when the queue is closed (n is
+// then 0 and nothing was taken).
+func (q *FIFO[T]) TryPutBatch(items []T) (n int, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return 0, ErrClosed
+	}
+	n = len(items)
+	if q.cap != 0 {
+		if room := q.cap - q.lenLocked(); n > room {
+			n = room
+		}
+	}
+	if n > 0 {
+		q.items = append(q.items, items[:n]...)
+		if n == 1 {
+			q.notEmpty.Signal()
+		} else {
+			q.notEmpty.Broadcast()
+		}
+	}
+	if n < len(items) {
+		return n, ErrFull
+	}
+	return n, nil
+}
+
 // Take removes and returns the oldest item, blocking while the queue is
 // empty. After Close, Take keeps returning queued items until the queue
 // drains, then returns ErrClosed.

@@ -294,3 +294,74 @@ func TestQuickFIFOProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTryPutBatch pins the one-lock burst admission: the longest FIFO
+// prefix that fits is admitted, the caller keeps the tail, and a closed
+// queue takes nothing.
+func TestTryPutBatch(t *testing.T) {
+	q := New[int](5)
+	if n, err := q.TryPutBatch([]int{1, 2, 3}); n != 3 || err != nil {
+		t.Fatalf("TryPutBatch fit = (%d, %v), want (3, nil)", n, err)
+	}
+	// Only 2 slots remain: prefix {4, 5} admitted, 6 stays with caller.
+	if n, err := q.TryPutBatch([]int{4, 5, 6}); n != 2 || err != ErrFull {
+		t.Fatalf("TryPutBatch overflow = (%d, %v), want (2, ErrFull)", n, err)
+	}
+	for want := 1; want <= 5; want++ {
+		got, err := q.Take()
+		if err != nil || got != want {
+			t.Fatalf("Take = (%d, %v), want %d (FIFO prefix order)", got, err, want)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+
+	// Unbounded queues admit everything.
+	u := New[int](0)
+	if n, err := u.TryPutBatch(make([]int, 1000)); n != 1000 || err != nil {
+		t.Fatalf("unbounded TryPutBatch = (%d, %v)", n, err)
+	}
+
+	// Empty batch is a no-op.
+	if n, err := q.TryPutBatch(nil); n != 0 || err != nil {
+		t.Fatalf("empty TryPutBatch = (%d, %v)", n, err)
+	}
+
+	q.Close()
+	if n, err := q.TryPutBatch([]int{9}); n != 0 || err != ErrClosed {
+		t.Fatalf("closed TryPutBatch = (%d, %v), want (0, ErrClosed)", n, err)
+	}
+}
+
+// TestTryPutBatchWakesAllTakers checks the Broadcast on multi-item
+// admission reaches every parked consumer.
+func TestTryPutBatchWakesAllTakers(t *testing.T) {
+	q := New[int](0)
+	const consumers = 4
+	got := make(chan int, consumers)
+	for i := 0; i < consumers; i++ {
+		go func() {
+			v, err := q.Take()
+			if err == nil {
+				got <- v
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond) // let consumers park
+	if n, err := q.TryPutBatch([]int{10, 20, 30, 40}); n != 4 || err != nil {
+		t.Fatalf("TryPutBatch = (%d, %v)", n, err)
+	}
+	sum := 0
+	for i := 0; i < consumers; i++ {
+		select {
+		case v := <-got:
+			sum += v
+		case <-time.After(2 * time.Second):
+			t.Fatalf("only %d of %d takers woke", i, consumers)
+		}
+	}
+	if sum != 100 {
+		t.Fatalf("takers got sum %d, want 100", sum)
+	}
+}

@@ -1,0 +1,62 @@
+#!/usr/bin/env sh
+# bench_snapshot.sh — capture the batching benchmarks as a
+# machine-readable JSON snapshot (BENCH_pr6.json at the repo root).
+#
+# The snapshot records the cross-message batching tentpole's headline
+# numbers: the per-message cost of the full dispatcher path driven one
+# message at a time (BenchmarkDispatchExchange, ns/op == ns/msg) versus
+# driven in 16-message bursts (BenchmarkDispatchBatch, whose ns/msg
+# metric divides the burst), plus the codec-level pipelined-server and
+# pinned-stream baselines they build on.
+#
+# Usage: scripts/bench_snapshot.sh [output.json]
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_pr6.json}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'DispatchExchange|DispatchBatch' -benchmem -count=1 \
+    ./internal/dispatch/msgdisp/ >>"$tmp"
+go test -run '^$' -bench 'ServeConnPipelined|ClientStream' -benchmem -count=1 \
+    . >>"$tmp"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    nsop = ""; nsmsg = ""; bop = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "ns/op")     nsop   = $i
+        if ($(i + 1) == "ns/msg")    nsmsg  = $i
+        if ($(i + 1) == "B/op")      bop    = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    row = sprintf("    \"%s\": {\"ns_per_op\": %s", name, nsop)
+    if (nsmsg != "")  row = row sprintf(", \"ns_per_msg\": %s", nsmsg)
+    if (bop != "")    row = row sprintf(", \"bytes_per_op\": %s", bop)
+    if (allocs != "") row = row sprintf(", \"allocs_per_op\": %s", allocs)
+    row = row "}"
+    rows[++n] = row
+}
+END {
+    printf "{\n"
+    printf "  \"snapshot\": \"pr6-cross-message-batching\",\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"burst_size\": 16,\n"
+    printf "  \"benchmarks\": {\n"
+    for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
+    printf "  }\n"
+    printf "}\n"
+}' "$tmp" >"$out"
+
+echo "wrote $out:"
+cat "$out"
