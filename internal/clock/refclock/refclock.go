@@ -1,0 +1,377 @@
+// Package refclock is the frozen pre-wheel implementation of package
+// clock, kept verbatim as the differential-testing oracle for the hashed
+// timer wheel (PR 7). Real wraps package time directly (time.NewTimer /
+// time.AfterFunc per timer), and Virtual schedules waiters on a binary
+// min-heap ordered by (deadline, seq).
+//
+// Nothing in the production tree may import this package; it exists so
+// clock/wheeltest and FuzzVirtualWheel can replay identical op schedules
+// against both implementations and assert identical fire/cancel verdicts
+// and ordering. Do not "fix" or optimize this code — its value is that it
+// is the exact semantics the wheel must reproduce.
+package refclock
+
+import (
+	"container/heap"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Clock mirrors clock.Clock.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+	After(d time.Duration) <-chan time.Time
+	NewTimer(d time.Duration) *Timer
+	AfterFunc(d time.Duration, f func()) *Timer
+	Since(t time.Time) time.Duration
+}
+
+// Timer is a cancellable single-shot timer bound to a Clock, with
+// time.Timer's Stop/Reset semantics (including the stale-fire caveat).
+type Timer struct {
+	C <-chan time.Time
+
+	rt *time.Timer
+	vt *vtimer
+}
+
+// Stop cancels the timer, reporting whether the call prevented the fire.
+func (t *Timer) Stop() bool {
+	switch {
+	case t == nil:
+		return false
+	case t.rt != nil:
+		return t.rt.Stop()
+	case t.vt != nil:
+		return t.vt.stop()
+	}
+	return false
+}
+
+// Reset re-arms the timer to fire after d, reporting whether it was
+// still pending.
+func (t *Timer) Reset(d time.Duration) bool {
+	switch {
+	case t == nil:
+		return false
+	case t.rt != nil:
+		return t.rt.Reset(d)
+	case t.vt != nil:
+		return t.vt.reset(d)
+	}
+	return false
+}
+
+// Real is the wall Clock backed directly by package time.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Since implements Clock.
+func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// NewTimer implements Clock.
+func (Real) NewTimer(d time.Duration) *Timer {
+	t := time.NewTimer(d)
+	return &Timer{C: t.C, rt: t}
+}
+
+// AfterFunc implements Clock.
+func (Real) AfterFunc(d time.Duration, f func()) *Timer {
+	return &Timer{rt: time.AfterFunc(d, f)}
+}
+
+// Virtual is the frozen heap-based discrete-event clock.
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters waiterHeap
+	seq     uint64
+	gen     uint64
+	stopped bool
+	wake    chan struct{}
+
+	grace    time.Duration
+	coalesce time.Duration
+}
+
+// NewVirtual returns a running Virtual clock starting at start.
+func NewVirtual(start time.Time) *Virtual {
+	v := &Virtual{
+		now:      start,
+		wake:     make(chan struct{}, 1),
+		grace:    50 * time.Microsecond,
+		coalesce: time.Millisecond,
+	}
+	go v.pump()
+	return v
+}
+
+// NewVirtualAt is shorthand for a Virtual starting at epoch + offset.
+func NewVirtualAt(offset time.Duration) *Virtual {
+	return NewVirtual(time.Unix(0, 0).Add(offset))
+}
+
+// SetGrace adjusts the quiescence window.
+func (v *Virtual) SetGrace(d time.Duration) {
+	v.mu.Lock()
+	v.grace = d
+	v.mu.Unlock()
+}
+
+// SetCoalesce adjusts the virtual coalescing window.
+func (v *Virtual) SetCoalesce(d time.Duration) {
+	v.mu.Lock()
+	v.coalesce = d
+	v.mu.Unlock()
+}
+
+// Stop shuts down the pump goroutine.
+func (v *Virtual) Stop() {
+	v.mu.Lock()
+	v.stopped = true
+	v.mu.Unlock()
+	v.kick()
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Since implements Clock.
+func (v *Virtual) Since(t time.Time) time.Duration { return v.Now().Sub(t) }
+
+// Sleep implements Clock.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		runtime.Gosched()
+		return
+	}
+	<-v.After(d)
+}
+
+// After implements Clock.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	return v.NewTimer(d).C
+}
+
+// NewTimer implements Clock.
+func (v *Virtual) NewTimer(d time.Duration) *Timer {
+	t := &vtimer{v: v, ch: make(chan time.Time, 1)}
+	t.fireFn = t.fire
+	t.w = v.register(d, t.fireFn)
+	return &Timer{C: t.ch, vt: t}
+}
+
+// AfterFunc implements Clock.
+func (v *Virtual) AfterFunc(d time.Duration, f func()) *Timer {
+	t := &vtimer{v: v, f: f}
+	t.fireFn = t.fire
+	t.w = v.register(d, t.fireFn)
+	return &Timer{vt: t}
+}
+
+type vtimer struct {
+	v  *Virtual
+	ch chan time.Time
+	f  func()
+
+	fireFn func(time.Time)
+
+	mu sync.Mutex
+	w  *waiter
+}
+
+func (t *vtimer) fire(now time.Time) {
+	if t.f != nil {
+		go t.f()
+		return
+	}
+	select {
+	case t.ch <- now:
+	default:
+	}
+}
+
+func (t *vtimer) stop() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.v.cancel(t.w)
+}
+
+func (t *vtimer) reset(d time.Duration) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	active := t.v.cancel(t.w)
+	t.w = t.v.register(d, t.fireFn)
+	return active
+}
+
+// Advance manually moves the clock forward by d, firing due timers in
+// (deadline, seq) order.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	target := v.now.Add(d)
+	fired := v.advanceLocked(target)
+	v.now = target
+	v.mu.Unlock()
+	runFired(fired)
+}
+
+// Pending reports how many timers are currently registered.
+func (v *Virtual) Pending() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.waiters.Len()
+}
+
+type waiter struct {
+	deadline time.Time
+	seq      uint64
+	fire     func(time.Time)
+	index    int
+}
+
+func (v *Virtual) register(d time.Duration, fire func(time.Time)) *waiter {
+	if d < 0 {
+		d = 0
+	}
+	v.mu.Lock()
+	v.seq++
+	v.gen++
+	w := &waiter{deadline: v.now.Add(d), seq: v.seq, fire: fire}
+	heap.Push(&v.waiters, w)
+	v.mu.Unlock()
+	v.kick()
+	return w
+}
+
+func (v *Virtual) cancel(w *waiter) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if w.index < 0 {
+		return false
+	}
+	heap.Remove(&v.waiters, w.index)
+	return true
+}
+
+func (v *Virtual) kick() {
+	select {
+	case v.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (v *Virtual) advanceLocked(target time.Time) []firedWaiter {
+	var fired []firedWaiter
+	for v.waiters.Len() > 0 && !v.waiters[0].deadline.After(target) {
+		w := heap.Pop(&v.waiters).(*waiter)
+		fired = append(fired, firedWaiter{w.fire, w.deadline})
+	}
+	return fired
+}
+
+type firedWaiter struct {
+	fire func(time.Time)
+	at   time.Time
+}
+
+func runFired(fs []firedWaiter) {
+	for _, f := range fs {
+		f.fire(f.at)
+	}
+}
+
+func (v *Virtual) pump() {
+	for {
+		v.mu.Lock()
+		if v.stopped {
+			v.mu.Unlock()
+			return
+		}
+		if v.waiters.Len() == 0 {
+			v.mu.Unlock()
+			<-v.wake
+			continue
+		}
+		genBefore := v.gen
+		grace := v.grace
+		v.mu.Unlock()
+
+		quiesce(grace)
+
+		v.mu.Lock()
+		if v.stopped {
+			v.mu.Unlock()
+			return
+		}
+		if v.gen != genBefore || v.waiters.Len() == 0 {
+			v.mu.Unlock()
+			continue
+		}
+		target := v.waiters[0].deadline.Add(v.coalesce)
+		fired := v.advanceLocked(target)
+		if n := len(fired); n > 0 && fired[n-1].at.After(v.now) {
+			v.now = fired[n-1].at
+		}
+		v.mu.Unlock()
+		runFired(fired)
+	}
+}
+
+func quiesce(grace time.Duration) {
+	start := time.Now()
+	for {
+		runtime.Gosched()
+		if time.Since(start) >= grace {
+			return
+		}
+	}
+}
+
+// waiterHeap is a min-heap ordered by (deadline, seq).
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+
+func (h waiterHeap) Less(i, j int) bool {
+	if !h[i].deadline.Equal(h[j].deadline) {
+		return h[i].deadline.Before(h[j].deadline)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h waiterHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *waiterHeap) Push(x any) {
+	w := x.(*waiter)
+	w.index = len(*h)
+	*h = append(*h, w)
+}
+
+func (h *waiterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	w.index = -1
+	*h = old[:n-1]
+	return w
+}

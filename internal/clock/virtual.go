@@ -1,11 +1,15 @@
 package clock
 
 import (
-	"container/heap"
 	"runtime"
 	"sync"
 	"time"
 )
+
+// virtualTick is the Virtual wheel's slot width. It is purely a bucketing
+// choice: Virtual fires at exact deadlines (the scheduler advances to
+// them directly), so the tick affects slot occupancy, never timing.
+const virtualTick = int64(time.Millisecond)
 
 // Virtual is a discrete-event clock. Time only moves when every goroutine
 // that interacts with the clock is blocked waiting on it: a background pump
@@ -20,11 +24,16 @@ import (
 // workloads in this repository are sleep-dominated (bandwidth serialization,
 // propagation delay, timeouts), so the heuristic is stable. Tests assert
 // shapes with tolerances rather than exact event interleavings.
+//
+// Timers live on the same hashed wheel structure as Real's (see the
+// package doc); the pump advances the wheel to exact deadlines and fires
+// each batch in (deadline, registration) order, byte-identical to the
+// old heap-based scheduler's ordering.
 type Virtual struct {
 	mu      sync.Mutex
-	now     time.Time
-	waiters waiterHeap
-	seq     uint64 // tie-break so equal deadlines fire FIFO
+	start   time.Time // the epoch; nowNs counts from here
+	nowNs   int64
+	wh      wheel
 	gen     uint64 // bumped on every registration; pump detects churn
 	stopped bool
 	wake    chan struct{} // pump kick
@@ -38,17 +47,23 @@ type Virtual struct {
 	// reduction in pump steps, which is what makes thousand-client
 	// minute-long sweeps run in seconds of wall time.
 	coalesce time.Duration
+
+	// scratch recycles the pump's due-batch slice; taken under mu,
+	// handed back after the batch fires (Advance may race the pump, in
+	// which case the loser allocates its own).
+	scratch []*wtimer
 }
 
 // NewVirtual returns a running Virtual clock starting at start. Call Stop
 // when the experiment finishes to release the pump goroutine.
 func NewVirtual(start time.Time) *Virtual {
 	v := &Virtual{
-		now:      start,
+		start:    start,
 		wake:     make(chan struct{}, 1),
 		grace:    50 * time.Microsecond,
 		coalesce: time.Millisecond,
 	}
+	v.wh.init(virtualTick)
 	go v.pump()
 	return v
 }
@@ -88,7 +103,7 @@ func (v *Virtual) Stop() {
 func (v *Virtual) Now() time.Time {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	return v.now
+	return v.start.Add(time.Duration(v.nowNs))
 }
 
 // Since implements Clock.
@@ -110,61 +125,44 @@ func (v *Virtual) After(d time.Duration) <-chan time.Time {
 
 // NewTimer implements Clock.
 func (v *Virtual) NewTimer(d time.Duration) *Timer {
-	t := &vtimer{v: v, ch: make(chan time.Time, 1)}
-	t.fireFn = t.fire
-	t.w = v.register(d, t.fireFn)
-	return &Timer{C: t.ch, vt: t}
+	t := newTimer(v, nil)
+	v.startTimer(t, d)
+	return t
 }
 
 // AfterFunc implements Clock.
 func (v *Virtual) AfterFunc(d time.Duration, f func()) *Timer {
-	t := &vtimer{v: v, f: f}
-	t.fireFn = t.fire
-	t.w = v.register(d, t.fireFn)
-	return &Timer{vt: t}
+	t := newTimer(v, f)
+	v.startTimer(t, d)
+	return t
 }
 
-// vtimer is a Virtual-clock timer that can be stopped and re-armed:
-// Stop and Reset swap the underlying heap waiter under a lock,
-// mirroring time.Timer semantics (including the stale-fire caveat on
-// Reset). The fire callback is bound once (fireFn) so registration and
-// re-registration allocate nothing beyond the waiter itself.
-type vtimer struct {
-	v  *Virtual
-	ch chan time.Time // channel timers; nil for AfterFunc
-	f  func()         // AfterFunc callback; nil for channel timers
-
-	fireFn func(time.Time)
-
-	mu sync.Mutex
-	w  *waiter
-}
-
-func (t *vtimer) fire(now time.Time) {
-	if t.f != nil {
-		go t.f()
-		return
+// startTimer (re-)schedules t to fire d from virtual now, reporting
+// whether it was still pending.
+func (v *Virtual) startTimer(t *Timer, d time.Duration) bool {
+	if d < 0 {
+		d = 0
 	}
-	// Non-blocking send, like time.Timer's sendTime: with Reset reuse a
-	// stale fire may still sit in C, and the pump must never block on it.
-	select {
-	case t.ch <- now:
-	default:
-	}
-}
-
-func (t *vtimer) stop() bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.v.cancel(t.w)
-}
-
-func (t *vtimer) reset(d time.Duration) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	active := t.v.cancel(t.w)
-	t.w = t.v.register(d, t.fireFn)
+	v.mu.Lock()
+	active := v.wh.cancel(&t.w)
+	v.gen++
+	v.wh.schedule(&t.w, v.nowNs+int64(d))
+	v.mu.Unlock()
+	v.kick()
 	return active
+}
+
+// stopTimer implements timerSource.
+func (v *Virtual) stopTimer(t *Timer) bool {
+	v.mu.Lock()
+	active := v.wh.cancel(&t.w)
+	v.mu.Unlock()
+	return active
+}
+
+// resetTimer implements timerSource.
+func (v *Virtual) resetTimer(t *Timer, d time.Duration) bool {
+	return v.startTimer(t, d)
 }
 
 // Advance manually moves the clock forward by d, firing every timer whose
@@ -172,49 +170,20 @@ func (t *vtimer) reset(d time.Duration) bool {
 // that want explicit control; the pump handles normal operation.
 func (v *Virtual) Advance(d time.Duration) {
 	v.mu.Lock()
-	target := v.now.Add(d)
-	fired := v.advanceLocked(target)
-	v.now = target
+	target := v.nowNs + int64(d)
+	due := v.takeScratchLocked()
+	due = v.wh.advanceTo(target, due)
+	v.nowNs = target
 	v.mu.Unlock()
-	runFired(fired)
+	sortDue(due)
+	v.fireBatch(due)
 }
 
 // Pending reports how many timers are currently registered. Used by tests.
 func (v *Virtual) Pending() int {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	return v.waiters.Len()
-}
-
-type waiter struct {
-	deadline time.Time
-	seq      uint64
-	fire     func(time.Time)
-	index    int // heap index, -1 once fired or cancelled
-}
-
-func (v *Virtual) register(d time.Duration, fire func(time.Time)) *waiter {
-	if d < 0 {
-		d = 0
-	}
-	v.mu.Lock()
-	v.seq++
-	v.gen++
-	w := &waiter{deadline: v.now.Add(d), seq: v.seq, fire: fire}
-	heap.Push(&v.waiters, w)
-	v.mu.Unlock()
-	v.kick()
-	return w
-}
-
-func (v *Virtual) cancel(w *waiter) bool {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if w.index < 0 {
-		return false
-	}
-	heap.Remove(&v.waiters, w.index)
-	return true
+	return v.wh.count
 }
 
 func (v *Virtual) kick() {
@@ -224,26 +193,26 @@ func (v *Virtual) kick() {
 	}
 }
 
-// advanceLocked pops every waiter due at or before target and returns their
-// fire callbacks paired with the times they should observe.
-func (v *Virtual) advanceLocked(target time.Time) []firedWaiter {
-	var fired []firedWaiter
-	for v.waiters.Len() > 0 && !v.waiters[0].deadline.After(target) {
-		w := heap.Pop(&v.waiters).(*waiter)
-		fired = append(fired, firedWaiter{w.fire, w.deadline})
-	}
-	return fired
+// takeScratchLocked claims the recycled due slice (or starts a fresh one
+// when another batch is mid-fire). Caller holds v.mu.
+func (v *Virtual) takeScratchLocked() []*wtimer {
+	s := v.scratch
+	v.scratch = nil
+	return s[:0]
 }
 
-type firedWaiter struct {
-	fire func(time.Time)
-	at   time.Time
-}
-
-func runFired(fs []firedWaiter) {
-	for _, f := range fs {
-		f.fire(f.at)
+// fireBatch delivers a sorted due batch outside the lock — each waiter
+// observes its own deadline as the fire time — then hands the slice back
+// for reuse.
+func (v *Virtual) fireBatch(due []*wtimer) {
+	for _, e := range due {
+		e.t.fire(v.start.Add(time.Duration(e.deadline)))
 	}
+	v.mu.Lock()
+	if v.scratch == nil {
+		v.scratch = due[:0]
+	}
+	v.mu.Unlock()
 }
 
 // pump advances virtual time whenever the system is quiescent: it samples
@@ -257,7 +226,7 @@ func (v *Virtual) pump() {
 			v.mu.Unlock()
 			return
 		}
-		if v.waiters.Len() == 0 {
+		if v.wh.count == 0 {
 			v.mu.Unlock()
 			<-v.wake
 			continue
@@ -275,7 +244,7 @@ func (v *Virtual) pump() {
 			v.mu.Unlock()
 			return
 		}
-		if v.gen != genBefore || v.waiters.Len() == 0 {
+		if v.gen != genBefore || v.wh.count == 0 {
 			// Churn during the grace window; re-observe.
 			v.mu.Unlock()
 			continue
@@ -284,13 +253,16 @@ func (v *Virtual) pump() {
 		// within the coalescing window; the clock lands on the
 		// latest deadline actually fired, so no waiter ever
 		// observes a time before its own deadline.
-		target := v.waiters[0].deadline.Add(v.coalesce)
-		fired := v.advanceLocked(target)
-		if n := len(fired); n > 0 && fired[n-1].at.After(v.now) {
-			v.now = fired[n-1].at
+		earliest, _ := v.wh.earliest()
+		target := earliest + int64(v.coalesce)
+		due := v.takeScratchLocked()
+		due = v.wh.advanceTo(target, due)
+		sortDue(due)
+		if n := len(due); n > 0 && due[n-1].deadline > v.nowNs {
+			v.nowNs = due[n-1].deadline
 		}
 		v.mu.Unlock()
-		runFired(fired)
+		v.fireBatch(due)
 	}
 }
 
@@ -307,38 +279,4 @@ func quiesce(grace time.Duration) {
 			return
 		}
 	}
-}
-
-// waiterHeap is a min-heap ordered by (deadline, seq).
-type waiterHeap []*waiter
-
-func (h waiterHeap) Len() int { return len(h) }
-
-func (h waiterHeap) Less(i, j int) bool {
-	if !h[i].deadline.Equal(h[j].deadline) {
-		return h[i].deadline.Before(h[j].deadline)
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h waiterHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *waiterHeap) Push(x any) {
-	w := x.(*waiter)
-	w.index = len(*h)
-	*h = append(*h, w)
-}
-
-func (h *waiterHeap) Pop() any {
-	old := *h
-	n := len(old)
-	w := old[n-1]
-	old[n-1] = nil
-	w.index = -1
-	*h = old[:n-1]
-	return w
 }

@@ -1,0 +1,337 @@
+package clock
+
+import (
+	"math"
+	"slices"
+)
+
+// The wheel size. 512 slots at the Real wheel's 1ms tick give a 512ms
+// horizon before entries spill to the overflow heap; the dispatcher's
+// hot timers (hold-open, anonymous waits, delivery deadlines) are all
+// seconds-scale, so they start in overflow and migrate into the wheel as
+// the clock approaches them — exactly the hierarchical behavior a
+// hashed wheel with an overflow structure is chosen for.
+const (
+	wheelBits  = 9
+	wheelSlots = 1 << wheelBits
+	wheelMask  = wheelSlots - 1
+)
+
+// wtimer is the intrusive scheduling entry embedded in every Timer: the
+// wheel links entries through next/prev, so scheduling, cancelling, and
+// re-arming a timer allocate nothing. An entry is in exactly one of
+// three states: linked in a wheel slot (slot >= 0), parked in the
+// overflow heap (heapIdx >= 0), or unscheduled (both -1).
+type wtimer struct {
+	t        *Timer // containing timer, set once at construction
+	deadline int64  // absolute ns on the owning clock's timescale
+	seq      uint64 // registration order, the fire-order tie-break
+	next     *wtimer
+	prev     *wtimer
+	slot     int32
+	heapIdx  int32
+}
+
+// pending reports whether the entry is currently scheduled.
+func (e *wtimer) pending() bool { return e.slot >= 0 || e.heapIdx >= 0 }
+
+// wheel is a hashed timing wheel with an overflow min-heap. It is not
+// goroutine-safe; the owning clock serializes access under its lock.
+//
+// Invariant: every entry linked in a slot has tick := deadline/tickNs
+// (clamped to curTick for overdue arms) in [curTick, curTick+wheelSlots),
+// so each occupied slot holds entries of exactly one tick and slots
+// scanned upward from curTick are met in increasing-tick order. Entries
+// beyond the horizon wait in the overflow heap, keyed by exact
+// (deadline, seq), and migrate into the wheel as advanceTo moves curTick.
+type wheel struct {
+	tickNs   int64
+	curTick  int64
+	count    int
+	seq      uint64
+	slots    [wheelSlots]*wtimer
+	occ      [wheelSlots / 64]uint64
+	overflow []*wtimer
+}
+
+func (w *wheel) init(tickNs int64) {
+	w.tickNs = tickNs
+}
+
+// schedule arms an unscheduled entry for deadlineNs. The caller must
+// have cancelled the entry first if it might be pending.
+func (w *wheel) schedule(e *wtimer, deadlineNs int64) {
+	w.seq++
+	e.seq = w.seq
+	e.deadline = deadlineNs
+	tick := deadlineNs / w.tickNs
+	if tick < w.curTick {
+		// Already due (or overdue): park it in the current slot so the
+		// next advance collects it; the due filter keys on deadline,
+		// not the slot's nominal tick.
+		tick = w.curTick
+	}
+	if tick < w.curTick+wheelSlots {
+		w.link(e, tick)
+	} else {
+		w.heapPush(e)
+	}
+	w.count++
+}
+
+// cancel unschedules the entry, reporting whether it was pending.
+func (w *wheel) cancel(e *wtimer) bool {
+	switch {
+	case e.slot >= 0:
+		w.unlink(e)
+	case e.heapIdx >= 0:
+		w.heapRemove(e)
+	default:
+		return false
+	}
+	w.count--
+	return true
+}
+
+// earliest returns the smallest pending deadline. Entries in the first
+// occupied slot upward of curTick carry the wheel's minimum tick, so one
+// bitmap scan plus one slot walk finds the wheel minimum exactly; the
+// overflow top competes with it.
+func (w *wheel) earliest() (int64, bool) {
+	if w.count == 0 {
+		return 0, false
+	}
+	best := int64(math.MaxInt64)
+	for i := 0; i < wheelSlots; {
+		s := (w.curTick + int64(i)) & wheelMask
+		word := w.occ[s>>6]
+		if word == 0 {
+			i += 64 - int(s&63)
+			continue
+		}
+		if word&(1<<uint(s&63)) == 0 {
+			i++
+			continue
+		}
+		for e := w.slots[s]; e != nil; e = e.next {
+			if e.deadline < best {
+				best = e.deadline
+			}
+		}
+		break
+	}
+	if len(w.overflow) > 0 && w.overflow[0].deadline < best {
+		best = w.overflow[0].deadline
+	}
+	return best, true
+}
+
+// advanceTo moves the wheel to nowNs and appends every entry with
+// deadline <= nowNs to due, unscheduled, in arbitrary order — callers
+// sort the batch by (deadline, seq) before firing. Large jumps (the
+// Virtual clock skips minutes at a time) cost one pass over the slot
+// array per wheelSlots ticks crossed plus the migrations they trigger.
+func (w *wheel) advanceTo(nowNs int64, due []*wtimer) []*wtimer {
+	target := nowNs / w.tickNs
+	if target < w.curTick {
+		// curTick can run ahead of now (schedule clamps overdue entries
+		// into the current slot); scan that slot's deadline filter
+		// without moving the wheel backward.
+		target = w.curTick
+	}
+	for {
+		if w.count == 0 {
+			w.curTick = target
+			return due
+		}
+		span := target - w.curTick
+		n := span + 1
+		if n > wheelSlots {
+			n = wheelSlots
+		}
+		for i := int64(0); i < n; {
+			s := (w.curTick + i) & wheelMask
+			word := w.occ[s>>6]
+			if word == 0 {
+				i += 64 - (s & 63)
+				continue
+			}
+			if word&(1<<uint(s&63)) == 0 {
+				i++
+				continue
+			}
+			if i < span {
+				// The slot's whole tick has passed: everything is due.
+				for e := w.slots[s]; e != nil; {
+					next := e.next
+					e.slot, e.next, e.prev = -1, nil, nil
+					w.count--
+					due = append(due, e)
+					e = next
+				}
+				w.slots[s] = nil
+				w.occ[s>>6] &^= 1 << uint(s&63)
+			} else {
+				// The slot holds tick == target: only entries at or
+				// before nowNs within the tick are due.
+				for e := w.slots[s]; e != nil; {
+					next := e.next
+					if e.deadline <= nowNs {
+						w.unlink(e)
+						w.count--
+						due = append(due, e)
+					}
+					e = next
+				}
+			}
+			i++
+		}
+		if span < wheelSlots {
+			w.curTick = target
+			w.migrate(nowNs, &due)
+			return due
+		}
+		// A full horizon was cleared; roll the wheel forward and pull
+		// the next window out of overflow before scanning again.
+		w.curTick += wheelSlots
+		w.migrate(nowNs, &due)
+	}
+}
+
+// migrate moves overflow entries now inside the horizon into the wheel;
+// entries already due go straight to the due batch.
+func (w *wheel) migrate(nowNs int64, due *[]*wtimer) {
+	horizon := w.curTick + wheelSlots
+	for len(w.overflow) > 0 {
+		top := w.overflow[0]
+		tick := top.deadline / w.tickNs
+		if tick >= horizon {
+			return
+		}
+		w.heapRemove(top)
+		if top.deadline <= nowNs {
+			w.count--
+			*due = append(*due, top)
+			continue
+		}
+		if tick < w.curTick {
+			tick = w.curTick
+		}
+		w.link(top, tick)
+	}
+}
+
+func (w *wheel) link(e *wtimer, tick int64) {
+	s := tick & wheelMask
+	e.slot = int32(s)
+	e.prev = nil
+	e.next = w.slots[s]
+	if e.next != nil {
+		e.next.prev = e
+	}
+	w.slots[s] = e
+	w.occ[s>>6] |= 1 << uint(s&63)
+}
+
+func (w *wheel) unlink(e *wtimer) {
+	s := e.slot
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		w.slots[s] = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if w.slots[s] == nil {
+		w.occ[s>>6] &^= 1 << uint(s&63)
+	}
+	e.slot, e.next, e.prev = -1, nil, nil
+}
+
+// The overflow heap: a binary min-heap by (deadline, seq) with index
+// maintenance for O(log n) removal by entry.
+
+func wtimerLess(a, b *wtimer) bool {
+	if a.deadline != b.deadline {
+		return a.deadline < b.deadline
+	}
+	return a.seq < b.seq
+}
+
+func (w *wheel) heapPush(e *wtimer) {
+	e.heapIdx = int32(len(w.overflow))
+	w.overflow = append(w.overflow, e)
+	w.heapUp(int(e.heapIdx))
+}
+
+func (w *wheel) heapRemove(e *wtimer) {
+	i := int(e.heapIdx)
+	last := len(w.overflow) - 1
+	w.overflow[i] = w.overflow[last]
+	w.overflow[i].heapIdx = int32(i)
+	w.overflow[last] = nil
+	w.overflow = w.overflow[:last]
+	if i < last {
+		w.heapDown(i)
+		w.heapUp(i)
+	}
+	e.heapIdx = -1
+}
+
+func (w *wheel) heapUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !wtimerLess(w.overflow[i], w.overflow[parent]) {
+			return
+		}
+		w.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+func (w *wheel) heapDown(i int) {
+	n := len(w.overflow)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && wtimerLess(w.overflow[l], w.overflow[small]) {
+			small = l
+		}
+		if r < n && wtimerLess(w.overflow[r], w.overflow[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		w.heapSwap(i, small)
+		i = small
+	}
+}
+
+func (w *wheel) heapSwap(i, j int) {
+	w.overflow[i], w.overflow[j] = w.overflow[j], w.overflow[i]
+	w.overflow[i].heapIdx = int32(i)
+	w.overflow[j].heapIdx = int32(j)
+}
+
+// sortDue orders a collected batch by (deadline, seq) — the exact order
+// the heap-based implementation fired in, and the order both wheels'
+// fire paths guarantee.
+func sortDue(due []*wtimer) {
+	slices.SortFunc(due, func(a, b *wtimer) int {
+		if a.deadline != b.deadline {
+			if a.deadline < b.deadline {
+				return -1
+			}
+			return 1
+		}
+		switch {
+		case a.seq < b.seq:
+			return -1
+		case a.seq > b.seq:
+			return 1
+		}
+		return 0
+	})
+}

@@ -1,0 +1,101 @@
+package wheeltest
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzVirtualWheel feeds arbitrary (op, delay) byte sequences to the
+// wheel-backed Virtual and the frozen heap-based refclock oracle in
+// lockstep (pumps stopped, so both are fully deterministic) and asserts
+// identical Stop/Reset verdicts, pending counts, and fire times.
+//
+// The encoding keeps every input byte meaningful: each op consumes one
+// opcode byte and up to two delay bytes, so the fuzzer can reach deep
+// schedules — overdue arms (delay 0), horizon-crossing deadlines,
+// reset-after-fire, advance-past-everything — without a grammar.
+func FuzzVirtualWheel(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 200, 3, 50, 1, 0, 2, 30, 3, 255, 255})
+	f.Add([]byte{0, 0, 3, 0, 0, 1, 3, 1, 2, 0, 3, 2})
+	// Horizon crossers: delays beyond wheelSlots ticks force the
+	// overflow heap and migration paths.
+	f.Add([]byte{0, 255, 7, 0, 2, 1, 3, 255, 120, 3, 255, 200, 1, 0})
+	f.Add([]byte{0, 5, 0, 5, 0, 5, 3, 4, 2, 5, 3, 4, 1, 1, 3, 255, 9})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := newVirtualPair()
+		var timers []*timerPair
+
+		next := func() (byte, bool) {
+			if len(data) == 0 {
+				return 0, false
+			}
+			b := data[0]
+			data = data[1:]
+			return b, true
+		}
+		// delay derives a duration from up to two bytes, spanning from
+		// sub-tick to far past the wheel horizon (512 ticks).
+		delay := func() time.Duration {
+			lo, _ := next()
+			hi, _ := next()
+			return time.Duration(int64(hi)<<8|int64(lo)) * 250 * time.Microsecond
+		}
+
+		for {
+			op, ok := next()
+			if !ok {
+				break
+			}
+			switch op % 4 {
+			case 0: // create
+				if len(timers) >= 64 {
+					continue
+				}
+				d := delay()
+				timers = append(timers, &timerPair{
+					wheel:  p.wheel.NewTimer(d),
+					oracle: p.oracle.NewTimer(d),
+				})
+			case 1: // stop
+				if len(timers) == 0 {
+					continue
+				}
+				i, _ := next()
+				tp := timers[int(i)%len(timers)]
+				if wv, ov := tp.wheel.Stop(), tp.oracle.Stop(); wv != ov {
+					t.Fatalf("Stop verdict wheel=%v oracle=%v", wv, ov)
+				}
+			case 2: // reset (drained on both sides, see wheeltest_test.go)
+				if len(timers) == 0 {
+					continue
+				}
+				i, _ := next()
+				tp := timers[int(i)%len(timers)]
+				p.drain(t, int(i), tp)
+				d := delay()
+				if wv, ov := tp.wheel.Reset(d), tp.oracle.Reset(d); wv != ov {
+					t.Fatalf("Reset verdict wheel=%v oracle=%v", wv, ov)
+				}
+			case 3: // advance
+				d := delay()
+				p.wheel.Advance(d)
+				p.oracle.Advance(d)
+				if wp, op_ := p.wheel.Pending(), p.oracle.Pending(); wp != op_ {
+					t.Fatalf("Pending wheel=%d oracle=%d", wp, op_)
+				}
+				for i, tp := range timers {
+					p.drain(t, i, tp)
+				}
+			}
+		}
+		p.wheel.Advance(24 * time.Hour)
+		p.oracle.Advance(24 * time.Hour)
+		for i, tp := range timers {
+			p.drain(t, i, tp)
+		}
+		if wp, op_ := p.wheel.Pending(), p.oracle.Pending(); wp != op_ {
+			t.Fatalf("final Pending wheel=%d oracle=%d", wp, op_)
+		}
+	})
+}

@@ -244,6 +244,13 @@ func (s *Server) scheduleSweep() {
 	if s.stopped {
 		return
 	}
+	// One persistent timer re-armed per cycle, not an AfterFunc per
+	// cycle: the callback and its wheel entry are allocated once for the
+	// server's lifetime.
+	if s.sweeper != nil {
+		s.sweeper.Reset(s.cfg.SweepEvery)
+		return
+	}
 	s.sweeper = s.cfg.Clock.AfterFunc(s.cfg.SweepEvery, func() {
 		if s.Msg != nil {
 			s.Msg.SweepPending()

@@ -75,29 +75,33 @@ func (n memNet) DialTimeout(addr string, _ time.Duration) (net.Conn, error) {
 // render, WsThread delivery to an RPC echo service, synchronous-answer
 // bridge, anonymous-reply hand-back — measured bytes-in to bytes-out.
 //
-// The bound it enforces is the tentpole claim, ratcheted three times:
+// The bound it enforces is the tentpole claim, ratcheted four times:
 // zero GC-owned message-body allocations (PR 3), zero httpx-layer head
 // allocations (PR 4 — heads parse in place inside each message's pooled
 // buffer, so no header maps, no per-line strings, no release closures),
-// and zero per-request message-struct allocations (PR 5 — the Exchange
-// API reuses one Request per server connection and one Response per
-// client connection, handlers reply on the exchange instead of building
-// Response structs, and the dispatcher's verdict channel is gone).
-// Per-exchange small allocations remain (parse arenas, net deadline
-// timers, channel ops, the pending-reply entry, the CxThread closure)
-// and are budgeted by maxAllocs below; what may not appear is the ~5 KiB
-// of body-sized buffers the seed path allocated per message, a revival
-// of the per-head cluster (~10 allocations per HTTP hop), or a revival
-// of the per-message struct cluster (~6 structs per exchange) — maxBytes
+// zero per-request message-struct allocations (PR 5 — the Exchange API
+// reuses one Request per server connection and one Response per client
+// connection, handlers reply on the exchange instead of building
+// Response structs, and the dispatcher's verdict channel is gone), and
+// zero per-exchange timer/rendezvous allocations (PR 7: wait timers,
+// waiter slots, and CxThread admission closures are pooled; client
+// connection deadlines are armed lazily; the echo response splices the
+// parsed request's children instead of rebuilding a Call). What remains
+// is budgeted by maxAllocs below — parse arenas and channel ops, mostly
+// — and what may not reappear is the ~5 KiB of body-sized buffers the
+// seed path allocated per message, the per-head cluster (~10
+// allocations per HTTP hop), the per-message struct cluster (~6 structs
+// per exchange), or the timer/closure cluster (~8 allocations per
+// exchange across SetDeadline, NewTimer, and func literals) — maxBytes
 // is set under one envelope-per-hop of regression and maxAllocs under
-// one cluster of either kind.
+// one cluster of any kind.
 func TestRoundTripSteadyStateAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("sync.Pool caching is randomized under the race detector")
 	}
 	const (
-		maxAllocs = 40   // measured ~35 on linux/amd64 go1.24; headroom for GC-emptied pools
-		maxBytes  = 7000 // measured ~4.3 KiB (parse arenas, timers, channel ops); a body-per-hop regression adds ~5 KiB
+		maxAllocs = 15   // measured ~13 on linux/amd64 go1.24; headroom for GC-emptied pools
+		maxBytes  = 3600 // measured ~3.0 KiB (parse arenas, channel ops); a body-per-hop regression adds ~5 KiB
 	)
 
 	nets := memNet{}

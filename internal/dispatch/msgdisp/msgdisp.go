@@ -141,8 +141,13 @@ type Dispatcher struct {
 	pending *cmap.Map[pendingReply]
 
 	// timers recycles anonymous-wait timers across exchanges (see
-	// awaitAnonymous for the stale-fire discipline).
-	timers sync.Pool
+	// awaitAnonymous for the stale-fire discipline). waiters recycles
+	// their reply slots (see waiterSlot for the generation guard), and
+	// cxTasks the Serve admission closures.
+	timers        sync.Pool
+	waiters       sync.Pool
+	cxTasks       sync.Pool
+	bridgeScratch sync.Pool
 
 	// selfEPR and noneEPR are the two constant ReplyTo rewrites, built
 	// once so the per-message rewrite allocates nothing. They are shared
@@ -168,12 +173,40 @@ type Dispatcher struct {
 }
 
 type pendingReply struct {
+	// replyTo is the detached forward address; nil for anonymous
+	// entries, whose reply goes to the waiter instead (skipping the
+	// detach — anonymous is the steady-state RPC path and the EPR
+	// would never be read).
 	replyTo *wsa.EPR
-	// waiter, when non-nil, is an RPC-style caller blocked on its HTTP
-	// connection; the reply is handed over the channel instead of
-	// being forwarded.
-	waiter  chan anonReply
+	// waiter, when non-nil, is the slot of an RPC-style caller blocked
+	// on its HTTP connection; the reply is handed over the slot's
+	// channel instead of being forwarded. wgen is the slot generation
+	// observed at registration — a delivery stamped with it can be
+	// recognized as stale by a later owner of the recycled slot.
+	waiter  *waiterSlot
+	wgen    uint64
 	expires time.Time
+}
+
+// waiterSlot is the pooled rendezvous of one anonymous-RPC wait: a
+// 1-buffered reply channel recycled across exchanges, plus the
+// generation counter that keeps recycling safe. The slot is owned by
+// exactly one waiting exchange at a time (sync.Pool orders the
+// hand-offs); gen is read and bumped only by that owner, and every
+// pending entry and reply carries the gen current at registration.
+//
+// The guard exists because pending.Get / pending.Delete is not one
+// atomic claim: a reply router can Get an entry, lose the race with the
+// waiter's timeout (which deletes the entry, recycles the slot, and
+// lets a new exchange register it), and only then send. Unpooled, that
+// late send leaked a buffer to an abandoned channel; pooled, it would
+// deliver a stale reply to the wrong exchange — so the new owner
+// refuses any reply whose gen is not its own and returns the buffer to
+// the pool. Generations only grow, so a stale gen can never collide
+// with a live registration.
+type waiterSlot struct {
+	gen uint64
+	ch  chan anonReply
 }
 
 // anonReply is a reply rendered for a blocked anonymous-RPC caller. The
@@ -183,10 +216,23 @@ type pendingReply struct {
 // across the channel; the waiter wraps it in a response whose release
 // duty the HTTP server assumes. Moving rendered bytes instead of a tree
 // removes the deep Envelope.Detach clone (~25 allocations per exchange)
-// the old hand-off paid.
+// the old hand-off paid. gen identifies the registration the reply
+// answers (see waiterSlot).
 type anonReply struct {
 	buf     *xmlsoap.Buffer
 	version soap.Version
+	gen     uint64
+}
+
+// cxTask is the pooled admission unit of Serve: the bound closure is
+// built once per task object and reused, so hijacking an exchange into
+// the CxThread pool allocates nothing in the steady state. The closure
+// releases the task back to the pool before routing, having copied the
+// exchange out — the next Serve can only obtain the task after that
+// copy (sync.Pool orders the hand-off), so the slot never races.
+type cxTask struct {
+	ex  *httpx.Exchange
+	run func()
 }
 
 // New builds a MSG-Dispatcher. client must dial from the dispatcher's
@@ -240,11 +286,22 @@ func (d *Dispatcher) Stop() {
 // buffer).
 func (d *Dispatcher) Serve(ex *httpx.Exchange) {
 	ex.Hijack()
-	err := d.cx.TrySubmit(func() {
-		defer ex.Finish()
-		d.route(ex, ex.Req.Body, nil)
-	})
+	t, _ := d.cxTasks.Get().(*cxTask)
+	if t == nil {
+		t = &cxTask{}
+		t.run = func() {
+			ex := t.ex
+			t.ex = nil
+			d.cxTasks.Put(t)
+			defer ex.Finish()
+			d.route(ex, ex.Req.Body, nil)
+		}
+	}
+	t.ex = ex
+	err := d.cx.TrySubmit(t.run)
 	if err != nil {
+		t.ex = nil
+		d.cxTasks.Put(t)
 		d.Rejected.Inc()
 		d.fault(ex, httpx.StatusServiceUnavailable, soap.FaultServer,
 			"dispatcher overloaded: "+err.Error())
@@ -332,21 +389,37 @@ func (d *Dispatcher) routeRequest(ex *httpx.Exchange, env *soap.Envelope, h *wsa
 	// outbound into the WsThread's bridge — while the parsed value
 	// aliases the pooled request body. One detached copy serves both.
 	msgID := strings.Clone(h.MessageID)
-	var waiter chan anonReply
+	var waiter *waiterSlot
 	// The rewrite is a shallow copy: untouched fields (Action,
 	// MessageID, From, ...) are shared read-only with h, and the two
 	// constant ReplyTo substitutions are prebuilt on the Dispatcher.
 	rewritten := *h
 	rewritten.To = destURL
 	if expectReply {
+		entry := pendingReply{expires: d.cfg.Clock.Now().Add(d.cfg.PendingTTL)}
 		if anonymous {
-			waiter = make(chan anonReply, 1)
+			// Anonymous replies rendezvous on a recycled slot; the
+			// original ReplyTo is never read on that path, so the
+			// detach is skipped. Anything already in the channel is a
+			// stale delivery from a previous life (nothing can address
+			// this registration before the Put below): drain it now so
+			// it cannot occupy the 1-slot channel against the genuine
+			// reply.
+			waiter, _ = d.waiters.Get().(*waiterSlot)
+			if waiter == nil {
+				waiter = &waiterSlot{ch: make(chan anonReply, 1)}
+			}
+			select {
+			case r := <-waiter.ch:
+				xmlsoap.PutBuffer(r.buf)
+			default:
+			}
+			entry.waiter = waiter
+			entry.wgen = waiter.gen
+		} else {
+			entry.replyTo = h.ReplyTo.Detach()
 		}
-		d.pending.Put(msgID, pendingReply{
-			replyTo: h.ReplyTo.Detach(),
-			waiter:  waiter,
-			expires: d.cfg.Clock.Now().Add(d.cfg.PendingTTL),
-		})
+		d.pending.Put(msgID, entry)
 		rewritten.ReplyTo = d.selfEPR
 	} else {
 		rewritten.ReplyTo = d.noneEPR
@@ -374,6 +447,9 @@ func (d *Dispatcher) routeRequest(ex *httpx.Exchange, env *soap.Envelope, h *wsa
 		xmlsoap.PutBuffer(buf)
 		if expectReply {
 			d.pending.Delete(msgID)
+			if waiter != nil {
+				d.recycleWaiter(waiter)
+			}
 		}
 		d.QueueDrops.Inc()
 		d.Rejected.Inc()
@@ -398,7 +474,7 @@ func (d *Dispatcher) routeRequest(ex *httpx.Exchange, env *soap.Envelope, h *wsa
 // (A bridged message can land here with no exchange; the wait still
 // happens — matching the old discard-the-response behavior — and an
 // arriving reply's buffer is simply returned to the pool.)
-func (d *Dispatcher) awaitAnonymous(ex *httpx.Exchange, msgID string, waiter chan anonReply) {
+func (d *Dispatcher) awaitAnonymous(ex *httpx.Exchange, msgID string, waiter *waiterSlot) {
 	// The wait timer is drawn from a pool: an anonymous RPC exchange
 	// happens per client call, and NewTimer per wait is three
 	// allocations on the steady-state path. A pooled timer can carry a
@@ -415,7 +491,17 @@ func (d *Dispatcher) awaitAnonymous(ex *httpx.Exchange, msgID string, waiter cha
 	}
 	for {
 		select {
-		case r := <-waiter:
+		case r := <-waiter.ch:
+			if r.gen != waiter.gen {
+				// A delivery addressed to a previous registration of
+				// this recycled slot (the sender claimed the old
+				// pending entry, then lost the race with its timeout).
+				// Refuse it — delivering would answer this exchange
+				// with another exchange's reply — and keep waiting.
+				xmlsoap.PutBuffer(r.buf)
+				d.DeliveryFailures.Inc()
+				continue
+			}
 			// The reply arrives pre-rendered in a pooled buffer whose
 			// ownership travels with it; handed to the exchange, the
 			// connection releases it after writing the reply.
@@ -426,6 +512,7 @@ func (d *Dispatcher) awaitAnonymous(ex *httpx.Exchange, msgID string, waiter cha
 				xmlsoap.PutBuffer(r.buf)
 			}
 			d.putTimer(t)
+			d.recycleWaiter(waiter)
 			return
 		case <-t.C:
 			if now := clk.Now(); now.Before(deadline) {
@@ -435,22 +522,32 @@ func (d *Dispatcher) awaitAnonymous(ex *httpx.Exchange, msgID string, waiter cha
 				continue
 			}
 			d.pending.Delete(msgID)
-			// A reply racing this timeout may already sit in the channel;
-			// return its buffer rather than stranding it until the GC. (A
-			// send that lands after this drain is still only a leak-to-GC,
-			// never a corruption — nobody else owns that buffer.)
-			select {
-			case r := <-waiter:
-				xmlsoap.PutBuffer(r.buf)
-			default:
-			}
 			d.DeliveryFailures.Inc()
 			d.fault(ex, httpx.StatusGatewayTimeout, soap.FaultServer,
 				"no reply within the anonymous-response window")
 			d.timers.Put(t)
+			// A reply racing this timeout may already sit in the
+			// channel; the recycle drains it back to the buffer pool
+			// (and its generation bump retires any send still in
+			// flight).
+			d.recycleWaiter(waiter)
 			return
 		}
 	}
+}
+
+// recycleWaiter retires a slot at the end of its wait and returns it to
+// the pool. The generation bump comes first: any delivery still in
+// flight carries the old gen, so it is either drained here or refused
+// by the slot's next owner — never delivered across exchanges.
+func (d *Dispatcher) recycleWaiter(w *waiterSlot) {
+	w.gen++
+	select {
+	case r := <-w.ch:
+		xmlsoap.PutBuffer(r.buf)
+	default:
+	}
+	d.waiters.Put(w)
 }
 
 // putTimer stops and drains t before pooling it; a Virtual-clock fire
@@ -490,8 +587,12 @@ func (d *Dispatcher) routeReply(ex *httpx.Exchange, env *soap.Envelope, h *wsa.H
 			return
 		}
 		buf.B = b
+		// The reply is stamped with the registration's generation: if
+		// this send loses the race with the waiter's timeout and the
+		// slot's recycling, whoever owns the slot next refuses it by
+		// that stamp (see waiterSlot).
 		select {
-		case entry.waiter <- anonReply{buf: buf, version: env.Version}:
+		case entry.waiter.ch <- anonReply{buf: buf, version: env.Version, gen: entry.wgen}:
 			d.RepliesDelivered.Inc()
 		default:
 			// The waiter gave up (timeout); the reply is dropped

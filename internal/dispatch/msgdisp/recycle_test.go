@@ -1,0 +1,114 @@
+package msgdisp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/registry"
+	"repro/internal/soap"
+	"repro/internal/xmlsoap"
+)
+
+// TestRecycledWaiterRefusesStaleReply pins the generation guard on pooled
+// waiter slots: a reply addressed to a previous registration of a recycled
+// slot (the router claimed the old pending entry, then lost the race with
+// the waiter's timeout and the slot's reuse) must be refused by the slot's
+// current owner — buffer returned to the pool, failure counted — and must
+// never be delivered as the current exchange's answer. Runs under -race
+// and -tags poolcheck in CI; the poolcheck lifecycle checker additionally
+// catches the refused buffer being dropped instead of returned.
+func TestRecycledWaiterRefusesStaleReply(t *testing.T) {
+	d := New(registry.New(registry.PolicyFirst, nil), nil, Config{
+		ReturnAddress: "http://wsd/msg",
+		AnonymousWait: 5 * time.Second,
+	})
+	live0 := xmlsoap.PoolLive()
+
+	// A slot's first life: registered by some exchange at this gen...
+	waiter := &waiterSlot{ch: make(chan anonReply, 1)}
+	staleGen := waiter.gen
+	// ...whose wait timed out: the slot is recycled (generation bump) and
+	// handed to the next exchange, which registers at the new gen.
+	d.recycleWaiter(waiter)
+	curGen := waiter.gen
+	if curGen == staleGen {
+		t.Fatalf("recycleWaiter did not advance the generation: %d", curGen)
+	}
+
+	// The old entry's claimant finally sends, stamped with the generation
+	// it observed at registration — exactly routeReply's hand-off, one
+	// slot lifetime too late.
+	staleBuf := xmlsoap.GetBuffer()
+	staleBuf.B = append(staleBuf.B, "stale reply from a previous exchange"...)
+	waiter.ch <- anonReply{buf: staleBuf, version: soap.V11, gen: staleGen}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		d.awaitAnonymous(nil, "urn:test:recycled-waiter", waiter)
+	}()
+
+	// The genuine reply for the current registration. The blocking send
+	// parks until the waiter has drained (refused) the stale delivery
+	// occupying the 1-slot channel, which forces the interleaving the
+	// guard exists for.
+	genuine := xmlsoap.GetBuffer()
+	genuine.B = append(genuine.B, "genuine reply"...)
+	waiter.ch <- anonReply{buf: genuine, version: soap.V11, gen: curGen}
+	<-done
+
+	// One failure: the refused stale delivery. A second would mean the
+	// genuine reply was also refused and the wait ran into its timeout.
+	if got := d.DeliveryFailures.Value(); got != 1 {
+		t.Fatalf("DeliveryFailures = %d, want 1 (stale refused, genuine delivered)", got)
+	}
+	if waiter.gen != curGen+1 {
+		t.Fatalf("slot not recycled after delivery: gen = %d, want %d", waiter.gen, curGen+1)
+	}
+	// Both buffers — refused and delivered (no exchange to hand it to) —
+	// must be back in the pool. PoolLive is a package-global gauge, so
+	// only upward drift is a leak (stragglers from earlier tests may
+	// still be releasing).
+	waitFor(t, func() bool { return xmlsoap.PoolLive() <= live0 })
+}
+
+// TestAwaitAnonymousStaleTimerFire pins the deadline filter on pooled wait
+// timers: a timer drawn from the pool can carry an undelivered fire from
+// its previous life (a Virtual-clock fire lands in C asynchronously, so it
+// can slip in after putTimer's stop-and-drain). awaitAnonymous must treat
+// such a fire as noise — re-arming the remainder of its window — rather
+// than timing the wait out immediately.
+func TestAwaitAnonymousStaleTimerFire(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	defer clk.Stop()
+	const wait = 5 * time.Second
+	d := New(registry.New(registry.PolicyFirst, clk), nil, Config{
+		Clock:         clk,
+		ReturnAddress: "http://wsd/msg",
+		AnonymousWait: wait,
+	})
+
+	// Seed the timer pool with a fired, undrained timer — the state
+	// putTimer's drain can miss. (If sync.Pool drops the seed the test
+	// degenerates to a plain timeout check; the interesting path is still
+	// exercised on every normal run.)
+	t0 := clk.NewTimer(time.Millisecond)
+	clk.Sleep(2 * time.Millisecond)
+	waitFor(t, func() bool { return len(t0.C) == 1 })
+	d.timers.Put(t0)
+
+	waiter := &waiterSlot{ch: make(chan anonReply, 1)}
+	before := clk.Now()
+	d.awaitAnonymous(nil, "urn:test:stale-timer", waiter)
+	elapsed := clk.Now().Sub(before)
+
+	// Without the filter the inherited fire ends the wait at ~0 elapsed;
+	// with it, the wait runs its full window and times out once.
+	if elapsed < wait {
+		t.Fatalf("wait ended after %v, want the full %v window", elapsed, wait)
+	}
+	if got := d.DeliveryFailures.Value(); got != 1 {
+		t.Fatalf("DeliveryFailures = %d, want 1 (the genuine timeout)", got)
+	}
+}

@@ -442,13 +442,17 @@ func (d *Dispatcher) bridgeRPCResponse(msg outbound, body []byte, sink *replySin
 	if err != nil {
 		return // not a SOAP payload; plain 200 ack
 	}
-	h, err := wsa.FromEnvelope(env)
-	if err == nil && h.RelatesTo != "" {
-		// Already a fully addressed reply: route it as if it had been
-		// posted to us (with no exchange — the delivery connection
-		// already has its answer).
-		d.route(nil, body, sink)
-		return
+	// Already a fully addressed reply (To and a non-empty RelatesTo):
+	// route it as if it had been posted to us (with no exchange — the
+	// delivery connection already has its answer). The header probe is
+	// direct rather than through wsa.FromEnvelope: the steady-state
+	// bridge response is a plain RPC body with no addressing at all, and
+	// FromEnvelope would allocate a Headers just to report that.
+	if rel := env.HeaderBlock(wsa.NS, "RelatesTo"); rel != nil && rel.Text != "" {
+		if to := env.HeaderBlock(wsa.NS, "To"); to != nil && to.Text != "" {
+			d.route(nil, body, sink)
+			return
+		}
 	}
 	// Plain RPC response without addressing: synthesize reply headers
 	// around its body and hand it straight to reply routing — the
@@ -463,16 +467,38 @@ func (d *Dispatcher) bridgeRPCResponse(msg outbound, body []byte, sink *replySin
 		d.Rejected.Inc()
 		return
 	}
-	reply := soap.New(env.Version).SetBody(env.Body...)
-	h2 := &wsa.Headers{
+	// The synthesized reply envelope and headers are per-bridge scratch
+	// (everything routeReply does with them — the AppendRewritten
+	// render — completes before it returns, so nothing retains them);
+	// only the fresh MessageID string is allocated per bridged reply.
+	sc, _ := d.bridgeScratch.Get().(*bridgeState)
+	if sc == nil {
+		sc = &bridgeState{}
+	}
+	sc.env = soap.Envelope{Version: env.Version, Body: env.Body}
+	sc.h = wsa.Headers{
 		To:        d.cfg.ReturnAddress,
 		MessageID: wsa.NewMessageID(),
 		RelatesTo: msg.origMessageID,
 	}
 	// No Apply: both routeReply legs render through wsa.AppendRewritten,
-	// which splices h2 into the output in place of whatever WS-Addressing
-	// headers the envelope carries, so the wire reply the blocked caller
-	// correlates on carries h2's RelatesTo without building header
-	// elements that would be rendered once and thrown away.
-	d.routeReply(nil, reply, h2, entry, sink)
+	// which splices the headers into the output in place of whatever
+	// WS-Addressing headers the envelope carries, so the wire reply the
+	// blocked caller correlates on carries this RelatesTo without
+	// building header elements that would be rendered once and thrown
+	// away.
+	d.routeReply(nil, &sc.env, &sc.h, entry, sink)
+	sc.env = soap.Envelope{}
+	sc.h = wsa.Headers{}
+	d.bridgeScratch.Put(sc)
+}
+
+// bridgeState is the reusable scratch of one synthesized bridge reply:
+// the envelope wrapped around the RPC response body and the addressing
+// headers routeReply renders from. Both are dead once routeReply
+// returns, so the scratch recycles through a pool keyed to nothing
+// longer than the call.
+type bridgeState struct {
+	env soap.Envelope
+	h   wsa.Headers
 }

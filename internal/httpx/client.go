@@ -110,6 +110,9 @@ type persistConn struct {
 	stream *Stream
 	// idleSince timestamps entry into the idle pool for TTL eviction.
 	idleSince time.Time
+	// armed is the connection deadline currently set on conn, kept across
+	// exchanges so SetDeadline is amortized (see armDeadline).
+	armed time.Time
 }
 
 // NewClient builds a client using dialer.
@@ -211,13 +214,32 @@ func (c *Client) newPersistConn(addr string, conn net.Conn) *persistConn {
 	return pc
 }
 
+// armDeadline arms pc's connection deadline, amortizing SetDeadline the
+// same way the server's read loop does: the previous arm is kept while it
+// is no later than the requested deadline and at least half the requested
+// budget remains on it, so a hot keep-alive connection re-arms once per
+// ~timeout/2 instead of on every exchange. (On real sockets SetDeadline
+// is a timer re-arm; on net.Pipe it allocates a cancel channel and an
+// AfterFunc per call — the dominant per-exchange allocation before this.)
+// A kept deadline only ever shortens the budget, never extends it, and by
+// at most half; the stale-connection retry path absorbs the rare case
+// where the shortened budget expires mid-exchange.
+func (pc *persistConn) armDeadline(deadline time.Time) {
+	now := pc.c.cfg.Clock.Now()
+	if a := pc.armed; !a.IsZero() && !a.After(deadline) && a.Sub(now) >= deadline.Sub(now)/2 {
+		return
+	}
+	pc.armed = deadline
+	pc.conn.SetDeadline(deadline)
+}
+
 // roundTrip performs one request/response on pc. The response is read
 // into pc's reusable struct, and its release hook returns pc to the pool
 // (or its Stream) — the connection is out of circulation exactly as long
 // as the caller holds the response.
 func (pc *persistConn) roundTrip(req *Request, deadline time.Time) (*Response, error) {
 	c := pc.c
-	pc.conn.SetDeadline(deadline)
+	pc.armDeadline(deadline)
 	// Host and Connection are supplied at encode time rather than by
 	// cloning the header set: nothing is allocated and req is never
 	// mutated, so retries re-encode the identical message.
@@ -230,10 +252,12 @@ func (pc *persistConn) roundTrip(req *Request, deadline time.Time) (*Response, e
 	}
 	// The close verdict is snapshotted now (the caller may release from
 	// another goroutine, and the header strings die with the buffer).
+	// The deadline is deliberately left armed on keep-alive success:
+	// clearing it would cost a SetDeadline per exchange, and the next
+	// exchange re-arms (or keeps) it anyway. A deadline that fires while
+	// the connection sits in the idle pool just makes the next reuse look
+	// stale, which the fresh-dial retry already handles.
 	pc.closeAfter = c.cfg.DisableKeepAlive || wantsClose(resp.Proto, &resp.Header)
-	if !pc.closeAfter {
-		pc.conn.SetDeadline(time.Time{})
-	}
 	resp.ReleaseBody = pc.finish
 	return resp, nil
 }
@@ -254,7 +278,7 @@ func (pc *persistConn) roundTrip(req *Request, deadline time.Time) (*Response, e
 // closes mid-batch (Connection: close before the last response, or a
 // read error) strands the written tail; the caller requeues reqs[done:].
 func (pc *persistConn) batchTrip(reqs []*Request, deadline time.Time, handle func(i int, resp *Response)) (done int, err error) {
-	pc.conn.SetDeadline(deadline)
+	pc.armDeadline(deadline)
 	if err := encodeBatch(pc.conn, reqs, pc.addr); err != nil {
 		return 0, fmt.Errorf("httpx: batch write to %s: %w", pc.addr, err)
 	}
@@ -277,8 +301,7 @@ func (pc *persistConn) batchTrip(reqs []*Request, deadline time.Time, handle fun
 			return done, nil
 		}
 	}
-	pc.closeAfter = false
-	pc.conn.SetDeadline(time.Time{})
+	pc.closeAfter = false // deadline stays armed; see armDeadline
 	return len(reqs), nil
 }
 

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/clock"
 )
 
 // mss is the segment size writes are chunked into, so large bodies stream
@@ -28,6 +30,14 @@ type Conn struct {
 
 	rd   *pipeDir // segments arriving at this endpoint
 	peer *Conn
+
+	// rt is Read's wait timer, created on the first wait and re-armed
+	// with Reset for the life of the connection (reads are sequential —
+	// one goroutine per connection end, as every consumer in this
+	// codebase uses net.Conn). Stale fires left over from a lost
+	// Stop race are harmless: the loop re-checks arrival, deadline, and
+	// close state on every wake.
+	rt *clock.Timer
 
 	wmu       sync.Mutex // serializes writers
 	closeOnce sync.Once
@@ -116,11 +126,23 @@ func (c *Conn) Read(b []byte) (int, error) {
 			<-sig
 			continue
 		}
-		t := clk.NewTimer(waitUntil.Sub(now))
+		if c.rt == nil {
+			c.rt = clk.NewTimer(waitUntil.Sub(now))
+		} else {
+			c.rt.Reset(waitUntil.Sub(now))
+		}
 		select {
 		case <-sig:
-			t.Stop()
-		case <-t.C:
+			if !c.rt.Stop() {
+				// Already fired (or firing): clear any delivered value so
+				// the next wait doesn't wake spuriously. A value that
+				// lands after this drain just costs one extra loop pass.
+				select {
+				case <-c.rt.C:
+				default:
+				}
+			}
+		case <-c.rt.C:
 		}
 	}
 }

@@ -1,18 +1,18 @@
 #!/usr/bin/env sh
-# bench_snapshot.sh — capture the batching benchmarks as a
-# machine-readable JSON snapshot (BENCH_pr6.json at the repo root).
+# bench_snapshot.sh — capture the timer-wheel and pooling benchmarks
+# as a machine-readable JSON snapshot (BENCH_pr7.json at the repo root).
 #
-# The snapshot records the cross-message batching tentpole's headline
-# numbers: the per-message cost of the full dispatcher path driven one
-# message at a time (BenchmarkDispatchExchange, ns/op == ns/msg) versus
-# driven in 16-message bursts (BenchmarkDispatchBatch, whose ns/msg
-# metric divides the burst), plus the codec-level pipelined-server and
-# pinned-stream baselines they build on.
+# The snapshot records the timer-wheel tentpole's headline numbers: the
+# full dispatcher exchange with pooled timers/waiters/admission tasks
+# (BenchmarkDispatchExchange — the ≤15 allocs/op gate reads against
+# this), the burst path it coexists with (BenchmarkDispatchBatch), the
+# allocation-free wheel hot paths on both clocks (BenchmarkTimerWheel),
+# and the codec-level server/client baselines underneath.
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr6.json}"
+out="${1:-BENCH_pr7.json}"
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
@@ -21,6 +21,8 @@ go test -run '^$' -bench 'DispatchExchange|DispatchBatch' -benchmem -count=1 \
     ./internal/dispatch/msgdisp/ >>"$tmp"
 go test -run '^$' -bench 'ServeConnPipelined|ClientStream' -benchmem -count=1 \
     . >>"$tmp"
+go test -run '^$' -bench 'TimerWheel' -benchmem -count=1 \
+    ./internal/clock/ >>"$tmp"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 /^goos:/   { goos = $2 }
@@ -46,7 +48,7 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 }
 END {
     printf "{\n"
-    printf "  \"snapshot\": \"pr6-cross-message-batching\",\n"
+    printf "  \"snapshot\": \"pr7-timer-wheel-and-pooling\",\n"
     printf "  \"date\": \"%s\",\n", date
     printf "  \"goos\": \"%s\",\n", goos
     printf "  \"goarch\": \"%s\",\n", goarch
