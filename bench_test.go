@@ -23,6 +23,7 @@ import (
 	"repro/internal/echoservice"
 	"repro/internal/experiments"
 	"repro/internal/httpx"
+	"repro/internal/loadgen"
 	"repro/internal/netsim"
 	"repro/internal/registry"
 	"repro/internal/soap"
@@ -263,6 +264,148 @@ func (rig *msgBenchRig) runBurst(b *testing.B, count, dests int) time.Duration {
 		rig.clk.Sleep(5 * time.Millisecond)
 	}
 	return rig.clk.Since(start)
+}
+
+// runSaturationPoint replays one loadgen point against a fresh topology:
+// clients anonymous-RPC callers ramping through the MSG-Dispatcher at a
+// farm of backends registered under one logical name. With kill set, the
+// first backend's server is closed a third of the way in; MarkDeadOnError
+// lets delivery failures fail the endpoint over to the survivors.
+func runSaturationPoint(b *testing.B, clients, shards, backends int, kill bool) (loadReport, time.Duration) {
+	b.Helper()
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	defer clk.Stop()
+	clk.SetCoalesce(200 * time.Microsecond)
+	nw := netsim.New(clk, 17)
+	cli := nw.AddHost("cli", netsim.ProfileLAN())
+	wsd := nw.AddHost("wsd", netsim.ProfileLAN())
+
+	var urls []string
+	var backendSrvs []*httpx.Server
+	for i := 0; i < backends; i++ {
+		name := fmt.Sprintf("ws%d", i)
+		host := nw.AddHost(name, netsim.ProfileLAN())
+		ln, err := host.Listen(80)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := httpx.NewServer(echoservice.NewRPC(clk, time.Millisecond), httpx.ServerConfig{Clock: clk})
+		srv.Start(ln)
+		backendSrvs = append(backendSrvs, srv)
+		urls = append(urls, fmt.Sprintf("http://%s:80/", name))
+	}
+	reg := registry.New(registry.PolicyRoundRobin, clk)
+	reg.Register("echo", urls...)
+
+	disp := msgdisp.New(reg, httpx.NewClient(wsd, httpx.ClientConfig{Clock: clk}), msgdisp.Config{
+		Clock:           clk,
+		ReturnAddress:   "http://wsd:9100/msg",
+		AnonymousWait:   2 * time.Second,
+		DeliveryTimeout: 2 * time.Second,
+		HoldOpen:        time.Second,
+		CxWorkers:       128,
+		WsWorkers:       64,
+		StateShards:     shards,
+		MarkDeadOnError: true,
+	})
+	if err := disp.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer disp.Stop()
+	lnD, err := wsd.Listen(9100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srvD := httpx.NewServer(disp, httpx.ServerConfig{Clock: clk})
+	srvD.Start(lnD)
+	defer srvD.Close()
+	for _, s := range backendSrvs {
+		defer s.Close()
+	}
+
+	httpCli := httpx.NewClient(cli, httpx.ClientConfig{Clock: clk, RequestTimeout: 10 * time.Second})
+	defer httpCli.Close()
+	op := func(id, seq int) error {
+		env := soap.RPCRequest(soap.V11, echoservice.EchoNS, echoservice.EchoOp,
+			soap.Param{Name: "message", Value: "ramp"})
+		(&wsa.Headers{
+			To:        msgdisp.LogicalScheme + "echo",
+			Action:    echoservice.EchoNS + ":" + echoservice.EchoOp,
+			MessageID: fmt.Sprintf("urn:ramp:%d:%d", id, seq),
+			ReplyTo:   &wsa.EPR{Address: wsa.Anonymous},
+		}).Apply(env)
+		raw, err := env.Marshal()
+		if err != nil {
+			return err
+		}
+		req := httpx.NewRequest("POST", "/msg", raw)
+		req.Header.Set("Content-Type", soap.V11.ContentType())
+		resp, err := httpCli.Do("wsd:9100", req)
+		if err != nil {
+			return err
+		}
+		status := resp.Status
+		resp.Release()
+		if status != httpx.StatusOK {
+			return fmt.Errorf("HTTP %d", status)
+		}
+		return nil
+	}
+
+	if kill {
+		go func() {
+			clk.Sleep(benchDuration / 3)
+			backendSrvs[0].Close()
+		}()
+	}
+	wallStart := time.Now()
+	rep := loadgen.Run(loadgen.Config{
+		Clock:     clk,
+		Clients:   clients,
+		Duration:  benchDuration,
+		ThinkTime: 50 * time.Millisecond,
+		Series:    "ramp",
+	}, op)
+	return loadReport{perMinute: rep.PerMinute(), notSent: rep.NotSent}, time.Since(wallStart)
+}
+
+// loadReport is the slice of stats.RunReport the ramp reports on.
+type loadReport struct {
+	perMinute float64
+	notSent   int64
+}
+
+// BenchmarkSaturationRamp ramps loadgen client counts through the
+// MSG-Dispatcher to the saturation knee in three configurations: the
+// single-lock keyed-state baseline (shards=1), the sharded default, and
+// the sharded dispatcher absorbing a mid-run backend kill on a
+// two-backend farm. Virtual-clock msg/min measures modeled capacity
+// (identical network, so the configurations separate only at the knee);
+// wall-ms is the real time the dispatcher needed to push the same
+// virtual minute, where shard-lock contention actually shows.
+func BenchmarkSaturationRamp(b *testing.B) {
+	cases := []struct {
+		name     string
+		shards   int
+		backends int
+		kill     bool
+	}{
+		{"single-shard/one-backend", 1, 1, false},
+		{"sharded/one-backend", 64, 1, false},
+		{"sharded/two-backends-kill", 64, 2, true},
+	}
+	for _, tc := range cases {
+		for _, clients := range []int{25, 100, 300} {
+			b.Run(fmt.Sprintf("%s/clients=%d", tc.name, clients), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					rep, wall := runSaturationPoint(b, clients, tc.shards, tc.backends, tc.kill)
+					b.ReportMetric(rep.perMinute, "msg/min")
+					b.ReportMetric(float64(rep.notSent), "not-sent")
+					b.ReportMetric(float64(wall.Milliseconds()), "wall-ms")
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkAblationHoldOpen compares held-open delivery connections

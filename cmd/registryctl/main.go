@@ -59,8 +59,9 @@ func main() {
 			if !ok {
 				continue
 			}
-			urls := make([]string, 0, len(entry.Endpoints))
-			for _, ep := range entry.Endpoints {
+			eps := entry.Endpoints()
+			urls := make([]string, 0, len(eps))
+			for _, ep := range eps {
 				urls = append(urls, ep.URL)
 			}
 			fmt.Printf("%-24s %s\n", name, strings.Join(urls, ", "))
@@ -75,7 +76,7 @@ func main() {
 			if !ok {
 				continue
 			}
-			for _, ep := range entry.Endpoints {
+			for _, ep := range entry.Endpoints() {
 				status := "alive"
 				if !ep.Alive() {
 					status = "DEAD"

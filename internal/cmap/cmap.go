@@ -12,14 +12,20 @@ import (
 	"sync"
 )
 
-// shardCount is a power of two so shard selection is a mask, not a modulo.
-const shardCount = 32
+// defaultShards is the stripe count New uses: a power of two so shard
+// selection is a mask, not a modulo.
+const defaultShards = 32
+
+// maxShards bounds NewSized so a miscomputed size cannot allocate an
+// absurd stripe table.
+const maxShards = 4096
 
 // Map is a concurrent hash map from string keys to values of type V.
-// The zero value is not usable; construct with New.
+// The zero value is not usable; construct with New or NewSized.
 type Map[V any] struct {
 	seed   maphash.Seed
-	shards [shardCount]shard[V]
+	mask   uint64
+	shards []shard[V]
 }
 
 type shard[V any] struct {
@@ -27,9 +33,22 @@ type shard[V any] struct {
 	m  map[string]V
 }
 
-// New returns an empty concurrent map.
-func New[V any]() *Map[V] {
-	c := &Map[V]{seed: maphash.MakeSeed()}
+// New returns an empty concurrent map with the default stripe count.
+func New[V any]() *Map[V] { return NewSized[V](defaultShards) }
+
+// NewSized returns an empty concurrent map striped across the given
+// number of shards, rounded up to a power of two and clamped to
+// [1, 4096]. Keys hash to a stable shard for the map's lifetime, so a
+// hot structure (a dispatcher's pending-reply table, its
+// per-destination queue index) can widen its striping without changing
+// any ordering or visibility property; shards == 1 degenerates to a
+// single-lock map, which is what contention benchmarks compare against.
+func NewSized[V any](shards int) *Map[V] {
+	n := 1
+	for n < shards && n < maxShards {
+		n <<= 1
+	}
+	c := &Map[V]{seed: maphash.MakeSeed(), mask: uint64(n - 1), shards: make([]shard[V], n)}
 	for i := range c.shards {
 		c.shards[i].m = make(map[string]V)
 	}
@@ -38,8 +57,11 @@ func New[V any]() *Map[V] {
 
 func (c *Map[V]) shard(key string) *shard[V] {
 	h := maphash.String(c.seed, key)
-	return &c.shards[h&(shardCount-1)]
+	return &c.shards[h&c.mask]
 }
+
+// Shards reports the stripe count (for tests and introspection).
+func (c *Map[V]) Shards() int { return len(c.shards) }
 
 // Get returns the value stored for key and whether it was present.
 func (c *Map[V]) Get(key string) (V, bool) {
@@ -70,6 +92,22 @@ func (c *Map[V]) PutIfAbsent(key string, value V) (V, bool) {
 	}
 	s.m[key] = value
 	return value, true
+}
+
+// GetAndDelete atomically removes key and returns the value it held.
+// Exactly one of any number of concurrent claimants observes ok ==
+// true; everyone else gets the zero value. This is the one-lock claim
+// the reply-routing path needs: a separate Get followed by Delete lets
+// two routers both observe the entry and both believe they own it.
+func (c *Map[V]) GetAndDelete(key string) (V, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	v, ok := s.m[key]
+	if ok {
+		delete(s.m, key)
+	}
+	s.mu.Unlock()
+	return v, ok
 }
 
 // Delete removes key and reports whether it was present.

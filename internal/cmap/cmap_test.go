@@ -192,6 +192,92 @@ func TestConcurrentPutIfAbsentSingleWinner(t *testing.T) {
 	}
 }
 
+func TestNewSizedRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {32, 32}, {100, 128},
+		{4096, 4096}, {1 << 20, 4096},
+	} {
+		if got := NewSized[int](tc.ask).Shards(); got != tc.want {
+			t.Errorf("NewSized(%d).Shards() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+	if got := New[int]().Shards(); got != defaultShards {
+		t.Errorf("New().Shards() = %d, want %d", got, defaultShards)
+	}
+}
+
+func TestSingleShardStillCorrect(t *testing.T) {
+	m := NewSized[int](1)
+	for i := 0; i < 64; i++ {
+		m.Put(fmt.Sprintf("k%d", i), i)
+	}
+	if m.Len() != 64 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if v, ok := m.Get("k17"); !ok || v != 17 {
+		t.Fatalf("Get(k17) = %d, %v", v, ok)
+	}
+	if v, ok := m.GetAndDelete("k17"); !ok || v != 17 {
+		t.Fatalf("GetAndDelete(k17) = %d, %v", v, ok)
+	}
+	if _, ok := m.Get("k17"); ok {
+		t.Fatal("k17 survived GetAndDelete")
+	}
+}
+
+func TestGetAndDelete(t *testing.T) {
+	m := New[int]()
+	m.Put("k", 7)
+	if v, ok := m.GetAndDelete("k"); !ok || v != 7 {
+		t.Fatalf("GetAndDelete = %d, %v; want 7, true", v, ok)
+	}
+	if v, ok := m.GetAndDelete("k"); ok || v != 0 {
+		t.Fatalf("second GetAndDelete = %d, %v; want 0, false", v, ok)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+// Concurrent claimants of the same key: exactly one wins per Put, across
+// every stripe width including the degenerate single-lock map.
+func TestConcurrentGetAndDeleteSingleClaimant(t *testing.T) {
+	for _, shards := range []int{1, 32} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			m := NewSized[int](shards)
+			const keys, claimants = 50, 8
+			for k := 0; k < keys; k++ {
+				m.Put(fmt.Sprintf("k%d", k), k)
+			}
+			var wg sync.WaitGroup
+			var claims [keys]int32
+			var mu sync.Mutex
+			for c := 0; c < claimants; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for k := 0; k < keys; k++ {
+						if v, ok := m.GetAndDelete(fmt.Sprintf("k%d", k)); ok {
+							mu.Lock()
+							claims[k]++
+							mu.Unlock()
+							if v != k {
+								t.Errorf("claimed k%d = %d", k, v)
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			for k, n := range claims {
+				if n != 1 {
+					t.Errorf("key k%d claimed %d times, want exactly 1", k, n)
+				}
+			}
+		})
+	}
+}
+
 // Property: a Map behaves like a plain map under any sequence of Put and
 // Delete operations.
 func TestQuickMatchesPlainMap(t *testing.T) {

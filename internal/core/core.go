@@ -345,7 +345,7 @@ func (s *Server) serveLogin(ex *httpx.Exchange) {
 // serveWSDL renders registered WSDL metadata for one logical service.
 func (s *Server) serveWSDL(ex *httpx.Exchange, name string) {
 	entry, ok := s.Registry.Lookup(name)
-	if !ok || entry.Doc == nil {
+	if !ok || entry.Doc() == nil {
 		ex.ReplyBytes(httpx.StatusNotFound, []byte("no WSDL for "+name))
 		return
 	}

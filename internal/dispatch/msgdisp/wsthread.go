@@ -412,6 +412,12 @@ func (d *Dispatcher) settleDelivery(destURL string, msg outbound, resp *httpx.Re
 func (d *Dispatcher) failDelivery(destURL string, msg outbound) {
 	defer xmlsoap.PutBuffer(msg.payload)
 	d.DeliveryFailures.Inc()
+	// The delivery thread knows only the physical URL, not which logical
+	// name resolved to it, so the dead mark scans by URL; subsequent
+	// logical resolutions then fail over to the remaining live backends.
+	if d.cfg.MarkDeadOnError {
+		d.registry.MarkDeadURL(destURL)
+	}
 	if d.cfg.Courier != nil {
 		if _, cerr := d.cfg.Courier.SendPayload(destURL, msg.origMessageID, msg.payload.B); cerr == nil {
 			d.HandedToCourier.Inc()
@@ -456,13 +462,13 @@ func (d *Dispatcher) bridgeRPCResponse(msg outbound, body []byte, sink *replySin
 	}
 	// Plain RPC response without addressing: synthesize reply headers
 	// around its body and hand it straight to reply routing — the
-	// steady-state bridge path, so no marshal/re-parse round trip.
-	entry, ok := d.pending.Get(msg.origMessageID)
+	// steady-state bridge path. GetAndDelete claims the entry atomically,
+	// so a concurrent router of the same correlation ID cannot also win.
+	entry, ok := d.pending.GetAndDelete(msg.origMessageID)
 	if !ok {
 		d.UnmatchedReplies.Inc()
 		return
 	}
-	d.pending.Delete(msg.origMessageID)
 	if entry.expires.Before(d.cfg.Clock.Now()) {
 		d.Rejected.Inc()
 		return

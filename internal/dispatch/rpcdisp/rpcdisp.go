@@ -15,6 +15,7 @@
 package rpcdisp
 
 import (
+	"errors"
 	"strings"
 	"time"
 
@@ -54,11 +55,14 @@ type Dispatcher struct {
 	client   *httpx.Client
 
 	// Forwarded counts successfully proxied calls; LookupFailures,
-	// BadRequests and ForwardFailures classify refusals.
+	// BadRequests and ForwardFailures classify refusals. Failovers
+	// counts retries onto a second backend after a failed attempt
+	// (whether or not the retry then succeeded).
 	Forwarded       stats.Counter
 	LookupFailures  stats.Counter
 	BadRequests     stats.Counter
 	ForwardFailures stats.Counter
+	Failovers       stats.Counter
 	// Latency records end-to-end proxy time per forwarded call.
 	Latency stats.Histogram
 }
@@ -97,60 +101,83 @@ func (d *Dispatcher) Serve(ex *httpx.Exchange) {
 		}
 	}
 
-	ep, err := d.registry.Resolve(logical)
+	// Resolve up to two live candidates so a failed forward can retry
+	// once on a second backend without going back to the registry.
+	var eps [2]*registry.Endpoint
+	n, err := d.registry.ResolveN(logical, eps[:])
 	if err != nil {
 		d.LookupFailures.Inc()
+		if errors.Is(err, registry.ErrNoLiveEndpoint) {
+			soap.ReplyFault(ex, httpx.StatusServiceUnavailable, soap.FaultServer,
+				"no live endpoint for "+logical)
+			return
+		}
 		soap.ReplyFault(ex, httpx.StatusNotFound, soap.FaultClient,
 			"unknown logical service "+logical+": "+err.Error())
 		return
 	}
-	addr, path, err := httpx.SplitURL(ep.URL)
-	if err != nil {
-		d.LookupFailures.Inc()
-		soap.ReplyFault(ex, httpx.StatusInternalServerError, soap.FaultServer,
-			"registry holds invalid endpoint "+ep.URL)
-		return
-	}
 
-	// Copy the XML message into a fresh request (the paper's "copy the
-	// XML message from the request to a new XML document"): hop-by-hop
-	// headers must not leak through a proxy.
-	fwd := httpx.NewRequest("POST", path, ex.Req.Body)
-	if ct := ex.Req.Header.Get("Content-Type"); ct != "" {
-		fwd.Header.Set("Content-Type", ct)
-	}
-	if sa := ex.Req.Header.Get("SOAPAction"); sa != "" {
-		fwd.Header.Set("SOAPAction", sa)
-	}
-
-	d.registry.Acquire(ep)
-	resp, err := d.client.DoTimeout(addr, fwd, d.cfg.ForwardTimeout)
-	d.registry.Release(ep)
-	if err != nil {
-		d.ForwardFailures.Inc()
-		if d.cfg.MarkDeadOnError {
-			d.registry.MarkDead(logical, ep.URL)
+	var lastErr error
+	lastURL := ""
+	for i := 0; i < n; i++ {
+		ep := eps[i]
+		addr, path, err := httpx.SplitURL(ep.URL)
+		if err != nil {
+			lastErr = errors.New("registry holds invalid endpoint")
+			lastURL = ep.URL
+			continue
 		}
-		soap.ReplyFault(ex, httpx.StatusBadGateway, soap.FaultServer,
-			"forward to "+ep.URL+" failed: "+err.Error())
+		if i > 0 {
+			d.Failovers.Inc()
+		}
+
+		// Copy the XML message into a fresh request (the paper's "copy
+		// the XML message from the request to a new XML document"):
+		// hop-by-hop headers must not leak through a proxy. The
+		// exchange still owns the body, so a failed attempt leaves it
+		// intact for the retry.
+		fwd := httpx.NewRequest("POST", path, ex.Req.Body)
+		if ct := ex.Req.Header.Get("Content-Type"); ct != "" {
+			fwd.Header.Set("Content-Type", ct)
+		}
+		if sa := ex.Req.Header.Get("SOAPAction"); sa != "" {
+			fwd.Header.Set("SOAPAction", sa)
+		}
+
+		d.registry.Acquire(ep)
+		resp, err := d.client.DoTimeout(addr, fwd, d.cfg.ForwardTimeout)
+		d.registry.Release(ep)
+		if err != nil {
+			lastErr, lastURL = err, ep.URL
+			if d.cfg.MarkDeadOnError {
+				d.registry.MarkDead(logical, ep.URL)
+			}
+			continue
+		}
+
+		// Relay the service's answer on the original connection. The
+		// service response's pooled body is not copied: the release duty
+		// moves with the bytes — parked on the exchange's Defer hook, which
+		// runs after the reply is written — so one buffer crosses two hops
+		// with one release. That release also hands the forwarding
+		// connection (which owns resp's struct) back to the pool, so the
+		// copied Content-Type and the relayed body stay alive exactly as
+		// long as they are needed and not a write longer.
+		ex.Defer(resp.TakeBody())
+		if ct := resp.Header.Get("Content-Type"); ct != "" {
+			ex.Header().Set("Content-Type", ct)
+		}
+		ex.ReplyBytes(resp.Status, resp.Body)
+		d.Forwarded.Inc()
+		d.Latency.Observe(d.cfg.Clock.Since(start))
 		return
 	}
 
-	// Relay the service's answer on the original connection. The
-	// service response's pooled body is not copied: the release duty
-	// moves with the bytes — parked on the exchange's Defer hook, which
-	// runs after the reply is written — so one buffer crosses two hops
-	// with one release. That release also hands the forwarding
-	// connection (which owns resp's struct) back to the pool, so the
-	// copied Content-Type and the relayed body stay alive exactly as
-	// long as they are needed and not a write longer.
-	ex.Defer(resp.TakeBody())
-	if ct := resp.Header.Get("Content-Type"); ct != "" {
-		ex.Header().Set("Content-Type", ct)
-	}
-	ex.ReplyBytes(resp.Status, resp.Body)
-	d.Forwarded.Inc()
-	d.Latency.Observe(d.cfg.Clock.Since(start))
+	// Every candidate failed: one ForwardFailures tick per exchange, not
+	// per attempt, so failure-rate counters still mean "calls refused".
+	d.ForwardFailures.Inc()
+	soap.ReplyFault(ex, httpx.StatusBadGateway, soap.FaultServer,
+		"forward to "+lastURL+" failed: "+lastErr.Error())
 }
 
 // validate checks the body parses as SOAP and carries no mustUnderstand
@@ -186,15 +213,15 @@ func DirectoryPage(reg *registry.Registry) []byte {
 			continue
 		}
 		svc := xmlsoap.New("urn:wsd:registry", "service").SetAttr("", "name", name)
-		for _, ep := range entry.Endpoints {
+		for _, ep := range entry.Endpoints() {
 			e := xmlsoap.NewText("urn:wsd:registry", "endpoint", ep.URL)
 			if !ep.Alive() {
 				e.SetAttr("", "alive", "false")
 			}
 			svc.Add(e)
 		}
-		if entry.Doc != nil {
-			svc.Add(xmlsoap.NewText("urn:wsd:registry", "documentation", entry.Doc.Documentation))
+		if doc := entry.Doc(); doc != nil {
+			svc.Add(xmlsoap.NewText("urn:wsd:registry", "documentation", doc.Documentation))
 		}
 		root.Add(svc)
 	}

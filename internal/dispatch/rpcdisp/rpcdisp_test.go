@@ -189,14 +189,51 @@ func TestValidateRejectsMustUnderstand(t *testing.T) {
 	}
 }
 
-func TestFailoverMarksDead(t *testing.T) {
+func TestFailoverRetriesSecondBackend(t *testing.T) {
 	r := newRig(t, Config{MarkDeadOnError: true, ForwardTimeout: 2 * time.Second})
 	// Register a dead endpoint first in line under PolicyFirst.
 	reg2 := registry.New(registry.PolicyFirst, r.clk)
 	reg2.Register("echo", "http://nowhere:1/", "http://ws1:80/")
 	r.disp.registry = reg2
 
-	// First call fails over to the dead endpoint and fails...
+	// First call hits the dead endpoint, fails over, and still succeeds
+	// on the original connection.
+	resp, err := r.client.Do("wsd:9000", echoRequest(t, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != httpx.StatusOK {
+		t.Fatalf("first status = %d body=%s", resp.Status, resp.Body)
+	}
+	if got := r.disp.Failovers.Value(); got != 1 {
+		t.Fatalf("Failovers = %d, want 1", got)
+	}
+	if got := r.disp.ForwardFailures.Value(); got != 0 {
+		t.Fatalf("ForwardFailures = %d, want 0 (exchange succeeded)", got)
+	}
+
+	// The failed endpoint was marked dead, so the second call routes
+	// straight to the live backend without another failover.
+	resp, err = r.client.Do("wsd:9000", echoRequest(t, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != httpx.StatusOK {
+		t.Fatalf("second status = %d body=%s", resp.Status, resp.Body)
+	}
+	if got := r.disp.Failovers.Value(); got != 1 {
+		t.Fatalf("Failovers after second call = %d, want still 1", got)
+	}
+}
+
+func TestAllBackendsDeadReturns503(t *testing.T) {
+	r := newRig(t, Config{MarkDeadOnError: true, ForwardTimeout: 2 * time.Second})
+	reg2 := registry.New(registry.PolicyFirst, r.clk)
+	reg2.Register("echo", "http://nowhere:1/", "http://elsewhere:1/")
+	r.disp.registry = reg2
+
+	// Both attempts fail: one 502, one ForwardFailures tick for the
+	// whole exchange, and both endpoints get marked dead.
 	resp, err := r.client.Do("wsd:9000", echoRequest(t, "x"))
 	if err != nil {
 		t.Fatal(err)
@@ -204,13 +241,23 @@ func TestFailoverMarksDead(t *testing.T) {
 	if resp.Status != httpx.StatusBadGateway {
 		t.Fatalf("first status = %d", resp.Status)
 	}
-	// ...second call must route around it.
+	if got := r.disp.ForwardFailures.Value(); got != 1 {
+		t.Fatalf("ForwardFailures = %d, want 1 (per exchange, not per attempt)", got)
+	}
+	if got := r.disp.Failovers.Value(); got != 1 {
+		t.Fatalf("Failovers = %d, want 1", got)
+	}
+
+	// With every endpoint dead the next call is refused up front.
 	resp, err = r.client.Do("wsd:9000", echoRequest(t, "x"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp.Status != httpx.StatusOK {
-		t.Fatalf("second status = %d body=%s", resp.Status, resp.Body)
+	if resp.Status != httpx.StatusServiceUnavailable {
+		t.Fatalf("all-dead status = %d, want 503", resp.Status)
+	}
+	if got := r.disp.LookupFailures.Value(); got != 1 {
+		t.Fatalf("LookupFailures = %d, want 1", got)
 	}
 }
 

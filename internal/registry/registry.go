@@ -19,6 +19,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -72,13 +73,25 @@ func (e *Endpoint) Alive() bool { return e.alive.Load() }
 func (e *Endpoint) Pending() int64 { return e.pending.Load() }
 
 // Entry is the registry record for one logical service name.
+//
+// Entries are read lock-free on the dispatcher hot path (Resolve per
+// forwarded message) while Register and SetDoc may run concurrently —
+// peers come and go at runtime — so the mutable state is published
+// through atomics: the endpoint list is copy-on-write (readers load one
+// immutable snapshot; writers copy, append, and swap under mu) and the
+// WSDL document is an atomic pointer.
 type Entry struct {
 	// Logical is the name clients use, e.g. "echo".
 	Logical string
-	// Endpoints are the physical locations, in registration order.
-	Endpoints []*Endpoint
-	// Doc is optional browseable WSDL metadata.
-	Doc *wsdl.Service
+
+	// mu serializes writers (Register's append). Readers never take it.
+	mu sync.Mutex
+	// eps is the copy-on-write endpoint list, in registration order. A
+	// loaded snapshot is immutable: Register publishes additions by
+	// swapping in a fresh slice, never by appending in place.
+	eps atomic.Pointer[[]*Endpoint]
+	// doc is optional browseable WSDL metadata.
+	doc atomic.Pointer[wsdl.Service]
 
 	rr atomic.Uint64 // round-robin cursor
 
@@ -87,6 +100,20 @@ type Entry struct {
 	// the document.
 	docCache atomic.Pointer[renderedDoc]
 }
+
+// Endpoints returns the current endpoint snapshot, in registration
+// order. The slice is immutable — callers must not modify it; a
+// concurrent Register publishes a new slice rather than growing this
+// one, so iterating a snapshot is always safe.
+func (e *Entry) Endpoints() []*Endpoint {
+	if p := e.eps.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Doc returns the entry's WSDL metadata, nil when none was set.
+func (e *Entry) Doc() *wsdl.Service { return e.doc.Load() }
 
 // renderedDoc records which *wsdl.Service the bytes were rendered from:
 // a cache entry is valid only while the entry's Doc pointer still
@@ -102,7 +129,7 @@ type renderedDoc struct {
 // when the document has none, caching the bytes per (document,
 // endpoint). It returns nil when the entry has no Doc.
 func (e *Entry) DocBytes(endpoint string) ([]byte, error) {
-	doc := e.Doc
+	doc := e.doc.Load()
 	if doc == nil {
 		return nil, nil
 	}
@@ -143,14 +170,19 @@ func New(policy Policy, clk clock.Clock) *Registry {
 }
 
 // Register adds physical endpoints for a logical name, creating the entry
-// if needed. Duplicate URLs are ignored.
+// if needed. Duplicate URLs are ignored. New endpoints start alive.
 func (r *Registry) Register(logical string, urls ...string) *Entry {
 	entry := r.entries.GetOrCompute(logical, func() *Entry {
 		return &Entry{Logical: logical}
 	})
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+	cur := entry.Endpoints()
+	next := cur
+	grown := false
 	for _, u := range urls {
 		dup := false
-		for _, e := range entry.Endpoints {
+		for _, e := range next {
 			if e.URL == u {
 				dup = true
 				break
@@ -159,9 +191,18 @@ func (r *Registry) Register(logical string, urls ...string) *Entry {
 		if dup {
 			continue
 		}
+		if !grown {
+			// Copy-on-write: concurrent Resolve/Save iterate the old
+			// snapshot; additions publish atomically as one new slice.
+			next = append(make([]*Endpoint, 0, len(cur)+len(urls)), cur...)
+			grown = true
+		}
 		ep := &Endpoint{URL: u}
 		ep.alive.Store(true)
-		entry.Endpoints = append(entry.Endpoints, ep)
+		next = append(next, ep)
+	}
+	if grown {
+		entry.eps.Store(&next)
 	}
 	return entry
 }
@@ -171,7 +212,7 @@ func (r *Registry) SetDoc(logical string, doc *wsdl.Service) {
 	entry := r.entries.GetOrCompute(logical, func() *Entry {
 		return &Entry{Logical: logical}
 	})
-	entry.Doc = doc
+	entry.doc.Store(doc)
 	entry.docCache.Store(nil)
 }
 
@@ -193,40 +234,92 @@ func (r *Registry) Resolve(logical string) (*Endpoint, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownService, logical)
 	}
+	eps := entry.Endpoints()
 	// Single-endpoint fast path: the common deployment (one physical
 	// service per logical name) resolves without building the live set —
 	// every policy picks the only live endpoint anyway. Dispatchers call
 	// Resolve per forwarded message, so this is on the hot path.
-	if len(entry.Endpoints) == 1 {
-		if e := entry.Endpoints[0]; e.Alive() {
+	if len(eps) == 1 {
+		if e := eps[0]; e.Alive() {
 			return e, nil
 		}
 		return nil, fmt.Errorf("%w for %q", ErrNoLiveEndpoint, logical)
 	}
-	live := make([]*Endpoint, 0, len(entry.Endpoints))
-	for _, e := range entry.Endpoints {
+	var one [1]*Endpoint
+	if r.selectLive(entry, eps, one[:]) == 0 {
+		return nil, fmt.Errorf("%w for %q", ErrNoLiveEndpoint, logical)
+	}
+	return one[0], nil
+}
+
+// ResolveN fills dst with up to len(dst) distinct live endpoints for a
+// logical name, in policy preference order (the first element is what
+// Resolve would have returned; the rest are the failover candidates a
+// caller retries in order when a forward fails). It returns how many
+// were filled. The error is ErrUnknownService for an unregistered name
+// and ErrNoLiveEndpoint when every endpoint is marked dead — the caller
+// distinguishes "never heard of it" from "all backends down".
+//
+// Passing a caller-owned array keeps the failover path allocation-free:
+// dispatchers resolve per forwarded message.
+func (r *Registry) ResolveN(logical string, dst []*Endpoint) (int, error) {
+	entry, ok := r.entries.Get(logical)
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownService, logical)
+	}
+	n := r.selectLive(entry, entry.Endpoints(), dst)
+	if n == 0 {
+		return 0, fmt.Errorf("%w for %q", ErrNoLiveEndpoint, logical)
+	}
+	return n, nil
+}
+
+// selectLive writes up to len(dst) live endpoints from eps into dst in
+// policy preference order and returns the count. eps is an immutable
+// snapshot (Entry.Endpoints).
+func (r *Registry) selectLive(entry *Entry, eps []*Endpoint, dst []*Endpoint) int {
+	var stack [8]*Endpoint
+	live := stack[:0]
+	if len(eps) > len(stack) {
+		live = make([]*Endpoint, 0, len(eps))
+	}
+	for _, e := range eps {
 		if e.Alive() {
 			live = append(live, e)
 		}
 	}
 	if len(live) == 0 {
-		return nil, fmt.Errorf("%w for %q", ErrNoLiveEndpoint, logical)
+		return 0
+	}
+	n := len(dst)
+	if n > len(live) {
+		n = len(live)
 	}
 	switch r.policy {
 	case PolicyRoundRobin:
-		i := entry.rr.Add(1) - 1
-		return live[i%uint64(len(live))], nil
-	case PolicyLeastPending:
-		best := live[0]
-		for _, e := range live[1:] {
-			if e.Pending() < best.Pending() {
-				best = e
-			}
+		// One cursor advance per selection, however many candidates the
+		// caller asked for: the cursor runs modulo the *live* set, so
+		// rotation stays balanced as endpoints die and revive.
+		start := entry.rr.Add(1) - 1
+		for i := 0; i < n; i++ {
+			dst[i] = live[(start+uint64(i))%uint64(len(live))]
 		}
-		return best, nil
+	case PolicyLeastPending:
+		// Partial selection sort: order the n least-loaded candidates.
+		for i := 0; i < n; i++ {
+			best := i
+			for j := i + 1; j < len(live); j++ {
+				if live[j].Pending() < live[best].Pending() {
+					best = j
+				}
+			}
+			live[i], live[best] = live[best], live[i]
+			dst[i] = live[i]
+		}
 	default:
-		return live[0], nil
+		copy(dst, live[:n])
 	}
+	return n
 }
 
 // Acquire marks the start of a forward to ep (for PolicyLeastPending
@@ -300,8 +393,9 @@ func (r *Registry) Save(dst io.Writer) error {
 		if !ok {
 			continue
 		}
-		urls := make([]string, 0, len(entry.Endpoints))
-		for _, e := range entry.Endpoints {
+		eps := entry.Endpoints()
+		urls := make([]string, 0, len(eps))
+		for _, e := range eps {
 			urls = append(urls, e.URL)
 		}
 		fmt.Fprintf(w, "%s %s\n", name, strings.Join(urls, ","))
@@ -315,35 +409,50 @@ func (r *Registry) Save(dst io.Writer) error {
 // updates its liveness flag. It returns the number of endpoints found
 // dead. A live endpoint is one that answers any HTTP status at all —
 // reachability, not correctness, is what routing needs.
+//
+// The endpoint set is snapshotted up front and the probes run
+// concurrently, each bounded by the caller's timeout — so one sweep
+// costs roughly one timeout even when several endpoints are down, and
+// no registry state is held across a network round trip (an earlier
+// version probed inside the entry iteration, stalling lookups behind
+// the slowest probe).
 func (r *Registry) CheckAlive(client *httpx.Client, timeout time.Duration) int {
-	dead := 0
+	var eps []*Endpoint
 	r.entries.Range(func(_ string, entry *Entry) bool {
-		for _, ep := range entry.Endpoints {
+		eps = append(eps, entry.Endpoints()...)
+		return true
+	})
+	var dead atomic.Int64
+	var wg sync.WaitGroup
+	for _, ep := range eps {
+		wg.Add(1)
+		go func(ep *Endpoint) {
+			defer wg.Done()
 			addr, path, err := httpx.SplitURL(ep.URL)
 			if err != nil {
 				ep.alive.Store(false)
-				dead++
-				continue
+				dead.Add(1)
+				return
 			}
 			req := httpx.NewRequest("GET", path, nil)
 			if resp, err := client.DoTimeout(addr, req, timeout); err != nil {
 				ep.alive.Store(false)
-				dead++
+				dead.Add(1)
 			} else {
 				resp.Release() // liveness only needs the status line
 				ep.alive.Store(true)
 			}
-		}
-		return true
-	})
-	return dead
+		}(ep)
+	}
+	wg.Wait()
+	return int(dead.Load())
 }
 
 // MarkDead flags one endpoint URL as dead without probing (used by
 // dispatchers after a forward failure).
 func (r *Registry) MarkDead(logical, url string) {
 	if entry, ok := r.entries.Get(logical); ok {
-		for _, ep := range entry.Endpoints {
+		for _, ep := range entry.Endpoints() {
 			if ep.URL == url {
 				ep.alive.Store(false)
 			}
@@ -351,10 +460,27 @@ func (r *Registry) MarkDead(logical, url string) {
 	}
 }
 
+// MarkDeadURL flags every endpoint carrying the given physical URL dead,
+// whatever logical names it serves. It is the failure hook for callers
+// that only know the physical address — the MSG-Dispatcher's delivery
+// threads see a destination URL, not the logical name it resolved from.
+// The scan is linear over a snapshot; it runs on delivery-failure paths
+// only, never per message.
+func (r *Registry) MarkDeadURL(url string) {
+	r.entries.Range(func(_ string, entry *Entry) bool {
+		for _, ep := range entry.Endpoints() {
+			if ep.URL == url {
+				ep.alive.Store(false)
+			}
+		}
+		return true
+	})
+}
+
 // MarkAlive flags one endpoint URL as alive.
 func (r *Registry) MarkAlive(logical, url string) {
 	if entry, ok := r.entries.Get(logical); ok {
-		for _, ep := range entry.Endpoints {
+		for _, ep := range entry.Endpoints() {
 			if ep.URL == url {
 				ep.alive.Store(true)
 			}

@@ -2,6 +2,8 @@ package registry
 
 import (
 	"errors"
+	"fmt"
+	"io"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -38,8 +40,8 @@ func TestDuplicateURLIgnored(t *testing.T) {
 	r.Register("echo", "http://a:1/x", "http://a:1/x")
 	r.Register("echo", "http://a:1/x")
 	entry, _ := r.Lookup("echo")
-	if len(entry.Endpoints) != 1 {
-		t.Fatalf("endpoints = %d", len(entry.Endpoints))
+	if len(entry.Endpoints()) != 1 {
+		t.Fatalf("endpoints = %d", len(entry.Endpoints()))
 	}
 }
 
@@ -68,7 +70,7 @@ func TestLeastPendingPrefersIdle(t *testing.T) {
 	r := New(PolicyLeastPending, clock.Wall)
 	r.Register("echo", "http://a:1/x", "http://b:1/x")
 	entry, _ := r.Lookup("echo")
-	busy := entry.Endpoints[0]
+	busy := entry.Endpoints()[0]
 	r.Acquire(busy)
 	r.Acquire(busy)
 	ep, err := r.Resolve("echo")
@@ -148,8 +150,8 @@ func TestLoadSaveRoundTrip(t *testing.T) {
 		t.Fatalf("Len = %d", r2.Len())
 	}
 	entry, _ := r2.Lookup("echo")
-	if len(entry.Endpoints) != 2 || entry.Endpoints[1].URL != "http://b:2/y" {
-		t.Fatalf("echo endpoints = %+v", entry.Endpoints)
+	if eps := entry.Endpoints(); len(eps) != 2 || eps[1].URL != "http://b:2/y" {
+		t.Fatalf("echo endpoints = %+v", eps)
 	}
 }
 
@@ -175,7 +177,7 @@ func TestSetDoc(t *testing.T) {
 	r := New(PolicyFirst, clock.Wall)
 	r.SetDoc("echo", &wsdl.Service{Name: "echo", TargetNS: "urn:echo"})
 	entry, ok := r.Lookup("echo")
-	if !ok || entry.Doc == nil || entry.Doc.Name != "echo" {
+	if !ok || entry.Doc() == nil || entry.Doc().Name != "echo" {
 		t.Fatalf("entry = %+v", entry)
 	}
 }
@@ -211,16 +213,56 @@ func TestCheckAliveOverSimNetwork(t *testing.T) {
 	}
 }
 
+// TestConcurrentRegisterResolve pins the Entry copy-on-write contract
+// under -race: Register grows the endpoint list, SetDoc swaps the WSDL
+// document, and MarkDead/MarkAlive flip liveness, all while Resolve,
+// ResolveN, DocBytes, and Save iterate concurrently. The seed endpoint
+// is never marked dead, so every Resolve must succeed throughout.
 func TestConcurrentRegisterResolve(t *testing.T) {
 	r := New(PolicyRoundRobin, clock.Wall)
 	r.Register("svc", "http://seed:1/x")
 	var wg sync.WaitGroup
-	for i := 0; i < 8; i++ {
+	for i := 0; i < 4; i++ {
+		i := i
+		// Writers: register fresh endpoints, churn liveness on them,
+		// and swap the WSDL document.
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				url := fmt.Sprintf("http://w%d-%d:1/x", i, j)
+				r.Register("svc", url)
+				r.MarkDead("svc", url)
+				if j%2 == 0 {
+					r.MarkAlive("svc", url)
+				}
+				r.SetDoc("svc", &wsdl.Service{Name: "svc", TargetNS: "urn:svc"})
+			}
+		}()
+		// Readers: resolve (single and multi), render the doc, walk the
+		// snapshot, and serialize the whole registry.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var two [2]*Endpoint
 			for j := 0; j < 200; j++ {
 				if _, err := r.Resolve("svc"); err != nil {
+					t.Error(err)
+					return
+				}
+				if n, err := r.ResolveN("svc", two[:]); err != nil || n == 0 {
+					t.Errorf("ResolveN = %d, %v", n, err)
+					return
+				}
+				entry, _ := r.Lookup("svc")
+				for _, ep := range entry.Endpoints() {
+					_ = ep.Alive()
+				}
+				if _, err := entry.DocBytes("http://render:1/"); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := r.Save(io.Discard); err != nil {
 					t.Error(err)
 					return
 				}
@@ -228,4 +270,146 @@ func TestConcurrentRegisterResolve(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// TestRoundRobinAcrossDeathAndRevival pins the PolicyRoundRobin cursor
+// semantics: selection runs modulo the *live* set, so it stays balanced
+// as endpoints die and revive and never returns a dead endpoint.
+func TestRoundRobinAcrossDeathAndRevival(t *testing.T) {
+	r := New(PolicyRoundRobin, clock.Wall)
+	urls := []string{"http://a:1/x", "http://b:1/x", "http://c:1/x"}
+	r.Register("echo", urls...)
+
+	spread := func(calls int) map[string]int {
+		t.Helper()
+		seen := map[string]int{}
+		for i := 0; i < calls; i++ {
+			ep, err := r.Resolve("echo")
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen[ep.URL]++
+		}
+		return seen
+	}
+
+	// All three live: perfectly balanced.
+	for url, n := range spread(9) {
+		if n != 3 {
+			t.Fatalf("3-live rotation uneven: %s hit %d times", url, n)
+		}
+	}
+
+	// Kill b: rotation over the two survivors, never the dead one.
+	r.MarkDead("echo", urls[1])
+	seen := spread(8)
+	if seen[urls[1]] != 0 {
+		t.Fatalf("dead endpoint selected %d times", seen[urls[1]])
+	}
+	if seen[urls[0]] != 4 || seen[urls[2]] != 4 {
+		t.Fatalf("2-live rotation uneven: %v", seen)
+	}
+
+	// Revive b: back to three-way balance.
+	r.MarkAlive("echo", urls[1])
+	for url, n := range spread(9) {
+		if n != 3 {
+			t.Fatalf("post-revival rotation uneven: %s hit %d times", url, n)
+		}
+	}
+
+	// Kill everything: ErrNoLiveEndpoint, then one revival routes again.
+	for _, u := range urls {
+		r.MarkDead("echo", u)
+	}
+	if _, err := r.Resolve("echo"); !errors.Is(err, ErrNoLiveEndpoint) {
+		t.Fatalf("all-dead err = %v", err)
+	}
+	r.MarkAlive("echo", urls[2])
+	for i := 0; i < 4; i++ {
+		ep, err := r.Resolve("echo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ep.URL != urls[2] {
+			t.Fatalf("resolved dead endpoint %q", ep.URL)
+		}
+	}
+}
+
+func TestResolveNPreferenceOrder(t *testing.T) {
+	// PolicyFirst: registration order, live only.
+	r := New(PolicyFirst, clock.Wall)
+	r.Register("echo", "http://a:1/x", "http://b:1/x", "http://c:1/x")
+	r.MarkDead("echo", "http://a:1/x")
+	var dst [3]*Endpoint
+	n, err := r.ResolveN("echo", dst[:2])
+	if err != nil || n != 2 {
+		t.Fatalf("ResolveN = %d, %v", n, err)
+	}
+	if dst[0].URL != "http://b:1/x" || dst[1].URL != "http://c:1/x" {
+		t.Fatalf("order = %q, %q", dst[0].URL, dst[1].URL)
+	}
+
+	// Asking for more than is live fills only the live count.
+	n, err = r.ResolveN("echo", dst[:])
+	if err != nil || n != 2 {
+		t.Fatalf("over-ask ResolveN = %d, %v", n, err)
+	}
+
+	// Round-robin: consecutive calls rotate the primary; within one
+	// call the candidates are distinct.
+	rr := New(PolicyRoundRobin, clock.Wall)
+	rr.Register("echo", "http://a:1/x", "http://b:1/x")
+	firsts := map[string]int{}
+	for i := 0; i < 4; i++ {
+		n, err := rr.ResolveN("echo", dst[:2])
+		if err != nil || n != 2 {
+			t.Fatalf("rr ResolveN = %d, %v", n, err)
+		}
+		if dst[0].URL == dst[1].URL {
+			t.Fatalf("duplicate candidates: %q", dst[0].URL)
+		}
+		firsts[dst[0].URL]++
+	}
+	if len(firsts) != 2 {
+		t.Fatalf("primary did not rotate: %v", firsts)
+	}
+
+	// Least-pending: candidates ordered by load.
+	lp := New(PolicyLeastPending, clock.Wall)
+	lp.Register("echo", "http://a:1/x", "http://b:1/x")
+	entry, _ := lp.Lookup("echo")
+	lp.Acquire(entry.Endpoints()[0])
+	if n, _ := lp.ResolveN("echo", dst[:2]); n != 2 {
+		t.Fatalf("lp n = %d", n)
+	}
+	if dst[0].URL != "http://b:1/x" {
+		t.Fatalf("least-pending primary = %q", dst[0].URL)
+	}
+
+	// Errors: unknown vs all-dead.
+	if _, err := r.ResolveN("ghost", dst[:1]); !errors.Is(err, ErrUnknownService) {
+		t.Fatalf("unknown err = %v", err)
+	}
+	r.MarkDead("echo", "http://b:1/x")
+	r.MarkDead("echo", "http://c:1/x")
+	if _, err := r.ResolveN("echo", dst[:1]); !errors.Is(err, ErrNoLiveEndpoint) {
+		t.Fatalf("all-dead err = %v", err)
+	}
+}
+
+func TestMarkDeadURL(t *testing.T) {
+	r := New(PolicyFirst, clock.Wall)
+	// The same physical URL backs two logical names.
+	r.Register("echo", "http://shared:1/x", "http://b:1/x")
+	r.Register("math", "http://shared:1/x")
+	r.MarkDeadURL("http://shared:1/x")
+	ep, err := r.Resolve("echo")
+	if err != nil || ep.URL != "http://b:1/x" {
+		t.Fatalf("echo resolved %v, %v", ep, err)
+	}
+	if _, err := r.Resolve("math"); !errors.Is(err, ErrNoLiveEndpoint) {
+		t.Fatalf("math err = %v", err)
+	}
 }

@@ -1,25 +1,27 @@
 #!/usr/bin/env sh
-# bench_snapshot.sh — capture the timer-wheel and pooling benchmarks
-# as a machine-readable JSON snapshot (BENCH_pr7.json at the repo root).
+# bench_snapshot.sh — capture the sharded-state and failover benchmarks
+# as a machine-readable JSON snapshot (BENCH_pr8.json at the repo root).
 #
-# The snapshot records the timer-wheel tentpole's headline numbers: the
-# full dispatcher exchange with pooled timers/waiters/admission tasks
-# (BenchmarkDispatchExchange — the ≤15 allocs/op gate reads against
-# this), the burst path it coexists with (BenchmarkDispatchBatch), the
-# allocation-free wheel hot paths on both clocks (BenchmarkTimerWheel),
-# and the codec-level server/client baselines underneath.
+# The snapshot records the sharding tentpole's headline numbers: the
+# full dispatcher exchange (BenchmarkDispatchExchange — the ≤15
+# allocs/op gate reads against this), the burst path
+# (BenchmarkDispatchBatch), the wall-clock shard ablation
+# (BenchmarkDispatchSharded, shards=1 vs 64 under RunParallel), and the
+# loadgen saturation ramp over netsim (BenchmarkSaturationRamp:
+# single-shard vs sharded vs two-backends-with-a-mid-run-kill, reporting
+# virtual msg/min and real wall-ms per point).
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr7.json}"
+out="${1:-BENCH_pr8.json}"
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench 'DispatchExchange|DispatchBatch' -benchmem -count=1 \
+go test -run '^$' -bench 'DispatchExchange|DispatchBatch|DispatchSharded' -benchmem -count=1 \
     ./internal/dispatch/msgdisp/ >>"$tmp"
-go test -run '^$' -bench 'ServeConnPipelined|ClientStream' -benchmem -count=1 \
+go test -run '^$' -bench 'SaturationRamp' -benchtime 1x -count=1 \
     . >>"$tmp"
 go test -run '^$' -bench 'TimerWheel' -benchmem -count=1 \
     ./internal/clock/ >>"$tmp"
@@ -33,27 +35,33 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
     sub(/-[0-9]+$/, "", name)
     sub(/^Benchmark/, "", name)
     nsop = ""; nsmsg = ""; bop = ""; allocs = ""
+    msgmin = ""; notsent = ""; wallms = ""
     for (i = 2; i < NF; i++) {
-        if ($(i + 1) == "ns/op")     nsop   = $i
-        if ($(i + 1) == "ns/msg")    nsmsg  = $i
-        if ($(i + 1) == "B/op")      bop    = $i
-        if ($(i + 1) == "allocs/op") allocs = $i
+        if ($(i + 1) == "ns/op")     nsop    = $i
+        if ($(i + 1) == "ns/msg")    nsmsg   = $i
+        if ($(i + 1) == "B/op")      bop     = $i
+        if ($(i + 1) == "allocs/op") allocs  = $i
+        if ($(i + 1) == "msg/min")   msgmin  = $i
+        if ($(i + 1) == "not-sent")  notsent = $i
+        if ($(i + 1) == "wall-ms")   wallms  = $i
     }
     row = sprintf("    \"%s\": {\"ns_per_op\": %s", name, nsop)
-    if (nsmsg != "")  row = row sprintf(", \"ns_per_msg\": %s", nsmsg)
-    if (bop != "")    row = row sprintf(", \"bytes_per_op\": %s", bop)
-    if (allocs != "") row = row sprintf(", \"allocs_per_op\": %s", allocs)
+    if (nsmsg != "")   row = row sprintf(", \"ns_per_msg\": %s", nsmsg)
+    if (bop != "")     row = row sprintf(", \"bytes_per_op\": %s", bop)
+    if (allocs != "")  row = row sprintf(", \"allocs_per_op\": %s", allocs)
+    if (msgmin != "")  row = row sprintf(", \"msg_per_min\": %s", msgmin)
+    if (notsent != "") row = row sprintf(", \"not_sent\": %s", notsent)
+    if (wallms != "")  row = row sprintf(", \"wall_ms\": %s", wallms)
     row = row "}"
     rows[++n] = row
 }
 END {
     printf "{\n"
-    printf "  \"snapshot\": \"pr7-timer-wheel-and-pooling\",\n"
+    printf "  \"snapshot\": \"pr8-sharded-state-and-failover\",\n"
     printf "  \"date\": \"%s\",\n", date
     printf "  \"goos\": \"%s\",\n", goos
     printf "  \"goarch\": \"%s\",\n", goarch
     printf "  \"cpu\": \"%s\",\n", cpu
-    printf "  \"burst_size\": 16,\n"
     printf "  \"benchmarks\": {\n"
     for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
     printf "  }\n"
