@@ -86,13 +86,18 @@ func (n memNet) DialTimeout(addr string, _ time.Duration) (net.Conn, error) {
 // zero per-exchange timer/rendezvous allocations (PR 7: wait timers,
 // waiter slots, and CxThread admission closures are pooled; client
 // connection deadlines are armed lazily; the echo response splices the
-// parsed request's children instead of rebuilding a Call). What remains
-// is budgeted by maxAllocs below — parse arenas and channel ops, mostly
-// — and what may not reappear is the ~5 KiB of body-sized buffers the
-// seed path allocated per message, the per-head cluster (~10
-// allocations per HTTP hop), the per-message struct cluster (~6 structs
-// per exchange), or the timer/closure cluster (~8 allocations per
-// exchange across SetDeadline, NewTimer, and func literals) — maxBytes
+// parsed request's children instead of rebuilding a Call), and zero
+// parse allocations on the forward legs (PR 9: canonical traffic routes
+// through the wsa skim scanner — spans, no trees — in both the CxThread
+// and the WsThread bridge, which retired the per-exchange parse arenas).
+// What remains is budgeted by maxAllocs below — the detached MessageID,
+// the bridge's fresh reply ID, channel ops — and what may not reappear
+// is the ~5 KiB of body-sized buffers the seed path allocated per
+// message, the per-head cluster (~10 allocations per HTTP hop), the
+// per-message struct cluster (~6 structs per exchange), the
+// timer/closure cluster (~8 allocations per exchange across
+// SetDeadline, NewTimer, and func literals), or the parse-arena cluster
+// (~6 allocations per exchange across the two routed parses) — maxBytes
 // is set under one envelope-per-hop of regression and maxAllocs under
 // one cluster of any kind.
 func TestRoundTripSteadyStateAllocs(t *testing.T) {
@@ -100,8 +105,8 @@ func TestRoundTripSteadyStateAllocs(t *testing.T) {
 		t.Skip("sync.Pool caching is randomized under the race detector")
 	}
 	const (
-		maxAllocs = 15   // measured ~13 on linux/amd64 go1.24; headroom for GC-emptied pools
-		maxBytes  = 3600 // measured ~3.0 KiB (parse arenas, channel ops); a body-per-hop regression adds ~5 KiB
+		maxAllocs = 7    // measured ~5 on linux/amd64 go1.24; headroom for GC-emptied pools
+		maxBytes  = 2000 // measured ~1.3 KiB (IDs, channel ops); a parse-arena regression adds ~1.8 KiB
 	)
 
 	nets := memNet{}

@@ -23,6 +23,17 @@
 // timeout, starving forward traffic — which is why the paper measures
 // plain MSG-Dispatcher as the slowest configuration and MSG-Dispatcher +
 // WS-MsgBox as the fastest.
+//
+// Since PR 9, the hot legs are zero-parse: canonical envelopes — the
+// stack's own serializer output shape — are routed from a streaming
+// wsa.SkimEnvelope scan (spans over the pooled request buffer, no tree,
+// 0 allocs) and rewritten by splicing through the skeleton cache
+// (wsa.AppendSkimRewritten). Anything the skim cannot prove canonical
+// falls back to soap.Parse transparently; both paths funnel into the
+// same verdict tails (admitForward, deliverToWaiter, forwardReply), so
+// fault strings, statuses, counters, and wire bytes are identical
+// either way. See skimroute.go and the ROADMAP "Zero-parse forward
+// path (PR 9)" contract for the aliasing and fallback rules.
 package msgdisp
 
 import (
@@ -321,13 +332,26 @@ func (d *Dispatcher) Serve(ex *httpx.Exchange) {
 	}
 }
 
-// route is the CxThread body: parse, classify (request vs response),
+// route is the CxThread body: scan, classify (request vs response),
 // resolve, rewrite, enqueue. Verdicts are replied on ex; the bridge
 // re-enters routing with a nil exchange (its delivery connection already
 // got its answer), in which case verdicts are counted but sent nowhere.
 // sink, non-nil only on the bridge's burst path, batches reply
 // admission (see replySink).
+//
+// The forward leg is skim-first: a message in the stack's own canonical
+// wire form routes through the zero-allocation span scanner
+// (skimroute.go) without ever building a parse tree. Anything the skim
+// cannot prove safe — foreign or attributed header blocks, reference
+// properties, non-canonical framing or escapes — falls through,
+// transparently and with identical verdicts and wire output, to the
+// full parser below.
 func (d *Dispatcher) route(ex *httpx.Exchange, body []byte, sink *replySink) {
+	var sk wsa.Skim
+	if wsa.SkimEnvelope(body, &sk) {
+		d.routeSkim(ex, &sk, sink)
+		return
+	}
 	env, err := soap.Parse(body)
 	if err != nil {
 		d.Rejected.Inc()
@@ -451,9 +475,20 @@ func (d *Dispatcher) routeRequest(ex *httpx.Exchange, env *soap.Envelope, h *wsa
 		return
 	}
 	buf.B = b
+	d.admitForward(ex, buf, env.Version, destURL, msgID, expectReply, anonymous, waiter)
+}
+
+// admitForward is the render-independent tail of a forwarded request:
+// enqueue the rendered message toward destURL, roll back pending state
+// and fault on a full queue, then answer the exchange — holding it open
+// for anonymous-RPC callers. Both render paths (tree rewrite and skim
+// splice) converge here, so admission, rollback, and verdict semantics
+// cannot drift between them.
+func (d *Dispatcher) admitForward(ex *httpx.Exchange, buf *xmlsoap.Buffer, version soap.Version,
+	destURL, msgID string, expectReply, anonymous bool, waiter *waiterSlot) {
 	if !d.enqueue(outbound{
 		payload:       buf,
-		version:       env.Version,
+		version:       version,
 		toService:     true,
 		origMessageID: msgID,
 	}, destURL) {
@@ -600,20 +635,7 @@ func (d *Dispatcher) routeReply(ex *httpx.Exchange, env *soap.Envelope, h *wsa.H
 			return
 		}
 		buf.B = b
-		// The reply is stamped with the registration's generation: if
-		// this send loses the race with the waiter's timeout and the
-		// slot's recycling, whoever owns the slot next refuses it by
-		// that stamp (see waiterSlot).
-		select {
-		case entry.waiter.ch <- anonReply{buf: buf, version: env.Version, gen: entry.wgen}:
-			d.RepliesDelivered.Inc()
-		default:
-			// The waiter gave up (timeout); the reply is dropped
-			// exactly as a late RPC response would be.
-			xmlsoap.PutBuffer(buf)
-			d.DeliveryFailures.Inc()
-		}
-		d.accepted(ex)
+		d.deliverToWaiter(ex, buf, env.Version, entry)
 		return
 	}
 	rewritten := *h
@@ -627,21 +649,49 @@ func (d *Dispatcher) routeReply(ex *httpx.Exchange, env *soap.Envelope, h *wsa.H
 		return
 	}
 	buf.B = b
+	d.forwardReply(ex, buf, env.Version, entry.replyTo.Address, sink)
+}
+
+// deliverToWaiter hands a rendered reply buffer to the blocked
+// anonymous-RPC waiter recorded in entry; ownership of buf crosses with
+// the channel send. Shared by the tree and skim render paths.
+func (d *Dispatcher) deliverToWaiter(ex *httpx.Exchange, buf *xmlsoap.Buffer, version soap.Version, entry pendingReply) {
+	// The reply is stamped with the registration's generation: if
+	// this send loses the race with the waiter's timeout and the
+	// slot's recycling, whoever owns the slot next refuses it by
+	// that stamp (see waiterSlot).
+	select {
+	case entry.waiter.ch <- anonReply{buf: buf, version: version, gen: entry.wgen}:
+		d.RepliesDelivered.Inc()
+	default:
+		// The waiter gave up (timeout); the reply is dropped
+		// exactly as a late RPC response would be.
+		xmlsoap.PutBuffer(buf)
+		d.DeliveryFailures.Inc()
+	}
+	d.accepted(ex)
+}
+
+// forwardReply admits a rendered reply toward addr — through the burst
+// sink when one is active, else with its own queue transaction. Shared
+// by the tree and skim render paths.
+func (d *Dispatcher) forwardReply(ex *httpx.Exchange, buf *xmlsoap.Buffer, version soap.Version, addr string, sink *replySink) {
 	if sink != nil {
 		// Deferred admission: the burst's bridged replies admit together
 		// through enqueueBatch when the sink flushes; Accepted and drop
-		// accounting happen there. entry.replyTo is a detached copy, so
-		// holding its address until the flush is safe.
-		sink.add(entry.replyTo.Address, outbound{payload: buf, version: env.Version})
+		// accounting happen there. The address is a detached copy (the
+		// pending entry's or the dispatcher's own), so holding it until
+		// the flush is safe.
+		sink.add(addr, outbound{payload: buf, version: version})
 		d.accepted(ex)
 		return
 	}
-	if !d.enqueue(outbound{payload: buf, version: env.Version}, entry.replyTo.Address) {
+	if !d.enqueue(outbound{payload: buf, version: version}, addr) {
 		xmlsoap.PutBuffer(buf)
 		d.QueueDrops.Inc()
 		d.Rejected.Inc()
 		d.fault(ex, httpx.StatusServiceUnavailable, soap.FaultServer,
-			"reply queue full: "+entry.replyTo.Address)
+			"reply queue full: "+addr)
 		return
 	}
 	d.Accepted.Inc()

@@ -1,0 +1,169 @@
+package msgdisp
+
+import (
+	"strings"
+
+	"repro/internal/httpx"
+	"repro/internal/soap"
+	"repro/internal/wsa"
+	"repro/internal/xmlsoap"
+)
+
+// The skim routing leg: the same classify/resolve/rewrite pipeline as
+// route's parse path, driven by the wsa.Skim span scanner instead of a
+// parse tree. A skim-accepted message is by contract byte-equivalent to
+// its parsed form, so every verdict, counter, fault string, and wire
+// byte below must match the tree path exactly — the only difference is
+// that the steady-state forward costs zero parse allocations. Spans in
+// the Skim alias the exchange's pooled request body; anything that
+// outlives the routing pass (pending keys, detached reply addresses,
+// rendered payloads) is copied out, exactly as the tree path detaches.
+
+// routeSkim classifies a skimmed message as reply or request and
+// dispatches it, mirroring route's parse leg.
+func (d *Dispatcher) routeSkim(ex *httpx.Exchange, sk *wsa.Skim, sink *replySink) {
+	// FromEnvelope's one validation: a message without To is not
+	// routable, reply or not.
+	if len(sk.To) == 0 {
+		d.Rejected.Inc()
+		d.fault(ex, httpx.StatusBadRequest, soap.FaultClient,
+			"invalid WS-Addressing: "+wsa.ErrMissingTo.Error())
+		return
+	}
+	if len(sk.RelatesTo) > 0 {
+		// The transient view is safe for the atomic claim: cmap reads
+		// the key during the call and retains nothing.
+		if entry, ok := d.pending.GetAndDelete(xmlsoap.ZeroCopyString(sk.RelatesTo)); ok {
+			if entry.expires.Before(d.cfg.Clock.Now()) {
+				d.Rejected.Inc()
+				d.fault(ex, httpx.StatusBadRequest, soap.FaultClient,
+					"reply arrived after pending state expired")
+				return
+			}
+			var fields [wsa.SkimFieldCount]string
+			sk.Fields(&fields)
+			d.routeReplyFields(ex, sk.Version, sk.Body, &fields, entry, sink)
+			return
+		}
+		d.UnmatchedReplies.Inc()
+		// Fall through: a RelatesTo we never saw may still carry a
+		// routable To (peer-managed conversation state).
+	}
+	d.routeRequestSkim(ex, sk)
+}
+
+// routeRequestSkim forwards a skimmed client message toward the
+// destination service: routeRequest with span views in place of parsed
+// headers, rendered through the splice path.
+func (d *Dispatcher) routeRequestSkim(ex *httpx.Exchange, sk *wsa.Skim) {
+	to := xmlsoap.ZeroCopyString(sk.To)
+	destURL := to
+	if logical, ok := strings.CutPrefix(to, LogicalScheme); ok {
+		ep, err := d.registry.Resolve(logical)
+		if err != nil {
+			d.Rejected.Inc()
+			d.fault(ex, httpx.StatusNotFound, soap.FaultClient, err.Error())
+			return
+		}
+		destURL = ep.URL
+	}
+	// A message addressed to the dispatcher itself with no matching
+	// pending state would loop through the forwarder forever; refuse it.
+	if destURL == d.cfg.ReturnAddress {
+		d.Rejected.Inc()
+		d.fault(ex, httpx.StatusBadRequest, soap.FaultClient,
+			"message addressed to the dispatcher itself has no routable correlation")
+		return
+	}
+
+	// Classification mirrors routeRequest; a skimmed ReplyTo span is the
+	// EPR's Address text and is non-empty whenever the block is present.
+	replyAddr := xmlsoap.ZeroCopyString(sk.ReplyTo)
+	expectReply := len(sk.MessageID) > 0 && replyAddr != "" && replyAddr != wsa.None
+	anonymous := expectReply && replyAddr == wsa.Anonymous
+	// The MessageID outlives this exchange twice over — as the
+	// pending-reply key (up to PendingTTL) and riding the queued
+	// outbound into the WsThread's bridge — while the span aliases the
+	// pooled request body. One detached copy serves both.
+	msgID := string(sk.MessageID)
+	var waiter *waiterSlot
+	var fields [wsa.SkimFieldCount]string
+	sk.Fields(&fields)
+	fields[0] = destURL
+	if expectReply {
+		entry := pendingReply{expires: d.cfg.Clock.Now().Add(d.cfg.PendingTTL)}
+		if anonymous {
+			// Anonymous replies rendezvous on a recycled slot; the
+			// original ReplyTo is never read on that path, so the
+			// detach is skipped. Drain any stale delivery from the
+			// slot's previous life (see routeRequest).
+			waiter, _ = d.waiters.Get().(*waiterSlot)
+			if waiter == nil {
+				waiter = &waiterSlot{ch: make(chan anonReply, 1)}
+			}
+			select {
+			case r := <-waiter.ch:
+				xmlsoap.PutBuffer(r.buf)
+			default:
+			}
+			entry.waiter = waiter
+			entry.wgen = waiter.gen
+		} else {
+			// Detach: the pending entry holds this address for up to
+			// PendingTTL, long past the pooled body's life.
+			entry.replyTo = &wsa.EPR{Address: string(sk.ReplyTo)}
+		}
+		d.pending.Put(msgID, entry)
+		fields[5] = d.cfg.ReturnAddress
+	} else {
+		fields[5] = wsa.None
+	}
+
+	// Fused rewrite+splice through the envelope-skeleton cache into a
+	// pooled buffer: constant framing from the skeleton, header values
+	// from the (rewritten) spans, the body span copied verbatim.
+	buf := xmlsoap.GetBuffer()
+	b, err := wsa.AppendSkimRewritten(buf.B, sk.Version, sk.Body, &fields)
+	if err != nil {
+		xmlsoap.PutBuffer(buf)
+		if expectReply {
+			d.pending.Delete(msgID)
+			if waiter != nil {
+				d.recycleWaiter(waiter)
+			}
+		}
+		d.Rejected.Inc()
+		d.fault(ex, httpx.StatusInternalServerError, soap.FaultServer, err.Error())
+		return
+	}
+	buf.B = b
+	d.admitForward(ex, buf, sk.Version, destURL, msgID, expectReply, anonymous, waiter)
+}
+
+// routeReplyFields is routeReply with the reply's addressing as a
+// fields array and its payload as a canonical body span: the skim
+// renders through the splice path, then converges on the shared
+// delivery tails. Callers are routeSkim (identity fields from the wire)
+// and the WsThread bridge (synthesized correlation fields).
+func (d *Dispatcher) routeReplyFields(ex *httpx.Exchange, version soap.Version, body []byte,
+	fields *[wsa.SkimFieldCount]string, entry pendingReply, sink *replySink) {
+	d.RepliesRouted.Inc()
+	if entry.waiter == nil {
+		// Forwarded leg: redirect To at the original sender's ReplyTo.
+		fields[0] = entry.replyTo.Address
+	}
+	buf := xmlsoap.GetBuffer()
+	b, err := wsa.AppendSkimRewritten(buf.B, version, body, fields)
+	if err != nil {
+		xmlsoap.PutBuffer(buf)
+		d.Rejected.Inc()
+		d.fault(ex, httpx.StatusInternalServerError, soap.FaultServer, err.Error())
+		return
+	}
+	buf.B = b
+	if entry.waiter != nil {
+		d.deliverToWaiter(ex, buf, version, entry)
+		return
+	}
+	d.forwardReply(ex, buf, version, entry.replyTo.Address, sink)
+}

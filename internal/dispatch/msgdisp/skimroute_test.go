@@ -1,0 +1,150 @@
+package msgdisp
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/echoservice"
+	"repro/internal/httpx"
+	"repro/internal/netsim"
+	"repro/internal/registry"
+	"repro/internal/soap"
+	"repro/internal/wsa"
+	"repro/internal/xmlsoap"
+)
+
+// TestSkimFallbackForeignHeader drives a message the skim must decline —
+// it carries a foreign header block — through the full rig: the routing
+// outcome must be exactly what it was before the skim existed, because
+// the decline falls back to the parse path transparently. The foreign
+// block also survives onto the forwarded wire (the parse path's
+// general-marshal fallback preserves non-WSA headers).
+func TestSkimFallbackForeignHeader(t *testing.T) {
+	r := newRig(t, false, Config{})
+	env := soap.New(soap.V11).SetBody(xmlsoap.NewText(echoservice.EchoNS, "echo", "m"))
+	env.AddHeader(xmlsoap.NewText("urn:custom", "Trace", "tid-7"))
+	h := &wsa.Headers{
+		To: LogicalScheme + "echo", Action: "urn:echo",
+		MessageID: wsa.NewMessageID(),
+		ReplyTo:   &wsa.EPR{Address: "http://cli:90/msg"},
+	}
+	h.Apply(env)
+	raw, err := env.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sk wsa.Skim
+	if wsa.SkimEnvelope(raw, &sk) {
+		t.Fatal("skim accepted a foreign header block; the test no longer exercises the fallback")
+	}
+	resp, err := r.client.Do("wsd:9100", httpx.NewRequest("POST", "/msg", raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != httpx.StatusAccepted {
+		t.Fatalf("send status = %d", resp.Status)
+	}
+	select {
+	case reply := <-r.inbox:
+		rh, err := wsa.FromEnvelope(reply)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rh.RelatesTo != h.MessageID {
+			t.Fatalf("RelatesTo = %q, want %q", rh.RelatesTo, h.MessageID)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("reply never arrived at client")
+	}
+	waitFor(t, func() bool { return r.disp.RepliesDelivered.Value() == 1 })
+	if r.disp.PendingLen() != 0 {
+		t.Fatalf("pending state leaked: %d", r.disp.PendingLen())
+	}
+}
+
+// TestSkimForwardWireMatchesParsePath posts the same logical message
+// twice — once in canonical form (skim path) and once with a numeric
+// character reference the skim declines (parse path) — at a capture
+// endpoint, and requires the two forwarded wire payloads to be
+// byte-identical: the skim's splice must be indistinguishable on the
+// wire from parse+rewrite.
+func TestSkimForwardWireMatchesParsePath(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	defer clk.Stop()
+	nw := netsim.New(clk, 21)
+	wsd := nw.AddHost("wsd", netsim.ProfileLAN())
+	ws := nw.AddHost("ws", netsim.ProfileLAN())
+	cli := nw.AddHost("cli", netsim.ProfileLAN())
+
+	captured := make(chan []byte, 2)
+	lnWS, _ := ws.Listen(81)
+	srvWS := httpx.NewServer(httpx.HandlerFunc(func(ex *httpx.Exchange) {
+		captured <- bytes.Clone(ex.Req.Body)
+		ex.ReplyBytes(httpx.StatusAccepted, nil)
+	}), httpx.ServerConfig{Clock: clk})
+	srvWS.Start(lnWS)
+	defer srvWS.Close()
+
+	reg := registry.New(registry.PolicyFirst, clk)
+	reg.Register("echo", "http://ws:81/msg")
+	disp := New(reg, httpx.NewClient(wsd, httpx.ClientConfig{Clock: clk}), Config{
+		Clock:         clk,
+		ReturnAddress: "http://wsd:9100/msg",
+	})
+	if err := disp.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer disp.Stop()
+	lnD, _ := wsd.Listen(9100)
+	srvD := httpx.NewServer(disp, httpx.ServerConfig{Clock: clk})
+	srvD.Start(lnD)
+	defer srvD.Close()
+	client := httpx.NewClient(cli, httpx.ClientConfig{Clock: clk, RequestTimeout: 10 * time.Second})
+	defer client.Close()
+
+	// One-way messages (no ReplyTo): both rewrites set ReplyTo to the
+	// None address, so the forwarded payloads can match byte for byte.
+	canonical := []byte(xmlsoap.Prolog +
+		`<soapenv:Envelope xmlns:soapenv="` + soap.NS11 + `">` +
+		`<soapenv:Header>` +
+		`<wsa:To xmlns:wsa="` + wsa.NS + `">` + LogicalScheme + `echo</wsa:To>` +
+		`<wsa:MessageID xmlns:wsa="` + wsa.NS + `">urn:uuid:skim-wire-1</wsa:MessageID>` +
+		`</soapenv:Header>` +
+		`<soapenv:Body><ns1:echo xmlns:ns1="` + echoservice.EchoNS + `">mAm</ns1:echo></soapenv:Body>` +
+		`</soapenv:Envelope>`)
+	// Same message with the body's "A" as a character reference: the
+	// skim declines references, the parser decodes it to the same text.
+	variant := bytes.Replace(bytes.Clone(canonical), []byte("mAm"), []byte("m&#65;m"), 1)
+
+	var sk wsa.Skim
+	if !wsa.SkimEnvelope(canonical, &sk) {
+		t.Fatal("canonical envelope must take the skim path")
+	}
+	if wsa.SkimEnvelope(variant, &sk) {
+		t.Fatal("entity-bearing envelope must fall back to the parser")
+	}
+
+	for _, raw := range [][]byte{canonical, variant} {
+		resp, err := client.Do("wsd:9100", httpx.NewRequest("POST", "/msg", raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status != httpx.StatusAccepted {
+			t.Fatalf("send status = %d", resp.Status)
+		}
+	}
+	var wires [2][]byte
+	for i := range wires {
+		select {
+		case b := <-captured:
+			wires[i] = b
+		case <-time.After(15 * time.Second):
+			t.Fatal("forwarded message never reached the destination")
+		}
+	}
+	if !bytes.Equal(wires[0], wires[1]) {
+		t.Fatalf("skim and parse paths forwarded different wires:\nskim:  %q\nparse: %q", wires[0], wires[1])
+	}
+}

@@ -444,6 +444,15 @@ func (d *Dispatcher) bridgeRPCResponse(msg outbound, body []byte, sink *replySin
 	if _, waiting := d.pending.Get(msg.origMessageID); !waiting {
 		return // nobody expects a reply; discard like any one-way ack
 	}
+	// Skim-first, like the inbound leg: an RPC service fronted by this
+	// stack answers in canonical form, so the steady-state bridge never
+	// parses either — the response body span is spliced under the
+	// synthesized correlation headers with zero parse allocations.
+	var sk wsa.Skim
+	if wsa.SkimEnvelope(body, &sk) {
+		d.bridgeSkim(msg, &sk, sink)
+		return
+	}
 	env, err := soap.Parse(body)
 	if err != nil {
 		return // not a SOAP payload; plain 200 ack
@@ -497,6 +506,41 @@ func (d *Dispatcher) bridgeRPCResponse(msg outbound, body []byte, sink *replySin
 	sc.env = soap.Envelope{}
 	sc.h = wsa.Headers{}
 	d.bridgeScratch.Put(sc)
+}
+
+// bridgeSkim is bridgeRPCResponse's skim leg: the same
+// already-addressed probe and synthesized-correlation fallback, driven
+// by spans. A skimmed header block always carries a non-empty value, so
+// span presence is exactly the parse path's "block present with
+// non-empty text" probe.
+func (d *Dispatcher) bridgeSkim(msg outbound, sk *wsa.Skim, sink *replySink) {
+	// Already a fully addressed reply (To and RelatesTo): route it as if
+	// it had been posted to us, with no exchange — the delivery
+	// connection already has its answer.
+	if len(sk.RelatesTo) > 0 && len(sk.To) > 0 {
+		d.routeSkim(nil, sk, sink)
+		return
+	}
+	// Plain RPC response without (full) addressing: synthesize reply
+	// correlation around its body span and hand it to reply routing.
+	// GetAndDelete claims the entry atomically, so a concurrent router
+	// of the same correlation ID cannot also win.
+	entry, ok := d.pending.GetAndDelete(msg.origMessageID)
+	if !ok {
+		d.UnmatchedReplies.Inc()
+		return
+	}
+	if entry.expires.Before(d.cfg.Clock.Now()) {
+		d.Rejected.Inc()
+		return
+	}
+	// Only To, MessageID, and RelatesTo, matching the parse bridge: the
+	// response's own headers (if any) are dropped from the routed reply.
+	var fields [wsa.SkimFieldCount]string
+	fields[0] = d.cfg.ReturnAddress
+	fields[2] = wsa.NewMessageID()
+	fields[3] = msg.origMessageID
+	d.routeReplyFields(nil, sk.Version, sk.Body, &fields, entry, sink)
 }
 
 // bridgeState is the reusable scratch of one synthesized bridge reply:

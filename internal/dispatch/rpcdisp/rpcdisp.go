@@ -24,6 +24,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/soap"
 	"repro/internal/stats"
+	"repro/internal/wsa"
 	"repro/internal/xmlsoap"
 )
 
@@ -183,7 +184,17 @@ func (d *Dispatcher) Serve(ex *httpx.Exchange) {
 // validate checks the body parses as SOAP and carries no mustUnderstand
 // header block the dispatcher would silently violate. It replies with a
 // fault and reports true when the message must be refused.
+//
+// Skim-first: an envelope the wsa skim accepts is by construction
+// well-formed SOAP whose only header blocks are attribute-less
+// WS-Addressing fields, so no mustUnderstand marking is possible and
+// the relay leg never builds a parse tree for canonical traffic.
+// Everything else falls through to the full inspection below.
 func (d *Dispatcher) validate(ex *httpx.Exchange) bool {
+	var sk wsa.Skim
+	if wsa.SkimEnvelope(ex.Req.Body, &sk) {
+		return false
+	}
 	env, err := soap.Parse(ex.Req.Body)
 	if err != nil {
 		soap.ReplyFault(ex, httpx.StatusBadRequest, soap.FaultClient,

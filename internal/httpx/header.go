@@ -68,6 +68,17 @@
 //     sending before it reads), when the batch exceeds the coalesce
 //     limit, or when the connection is about to close — so a
 //     one-request-at-a-time client still sees a write per reply.
+//
+// # Body aliasing downstream
+//
+// Handlers increasingly route straight off views of ex.Req.Body without
+// building trees: since PR 9 the dispatchers skim canonical SOAP
+// envelopes into byte spans (wsa.SkimEnvelope) that alias the pooled
+// request buffer. The lifetime contract is the same one parse trees
+// follow — views are valid until the reply is written (or until the
+// taker's release, after TakeBody), and anything retained longer must
+// be detached — and the poolcheck mode polices it identically. See the
+// ROADMAP "Zero-parse forward path (PR 9)" contract.
 package httpx
 
 import (

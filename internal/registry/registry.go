@@ -157,8 +157,16 @@ var (
 // Registry is the concurrent logical→physical mapping.
 type Registry struct {
 	entries *cmap.Map[*Entry]
-	policy  Policy
-	clk     clock.Clock
+	// byURL indexes every registered endpoint by its physical URL, so
+	// URL-keyed failure hooks (MarkDeadURL, called from delivery-failure
+	// paths that know only the physical address) are one map lookup
+	// instead of a scan over every entry. Slices are copy-on-write:
+	// writers publish a fresh slice under the shard lock, readers
+	// iterate whatever snapshot they loaded. A URL shared by several
+	// logical names indexes each of its Endpoint records.
+	byURL  *cmap.Map[[]*Endpoint]
+	policy Policy
+	clk    clock.Clock
 }
 
 // New returns an empty registry using the given balancing policy.
@@ -166,7 +174,12 @@ func New(policy Policy, clk clock.Clock) *Registry {
 	if clk == nil {
 		clk = clock.Wall
 	}
-	return &Registry{entries: cmap.New[*Entry](), policy: policy, clk: clk}
+	return &Registry{
+		entries: cmap.New[*Entry](),
+		byURL:   cmap.New[[]*Endpoint](),
+		policy:  policy,
+		clk:     clk,
+	}
 }
 
 // Register adds physical endpoints for a logical name, creating the entry
@@ -200,6 +213,12 @@ func (r *Registry) Register(logical string, urls ...string) *Entry {
 		ep := &Endpoint{URL: u}
 		ep.alive.Store(true)
 		next = append(next, ep)
+		// Index the new endpoint by URL. The capped append forces a copy,
+		// so a concurrent MarkDeadURL iterating the old snapshot never
+		// sees the mutation.
+		r.byURL.Update(u, func(old []*Endpoint, _ bool) []*Endpoint {
+			return append(old[:len(old):len(old)], ep)
+		})
 	}
 	if grown {
 		entry.eps.Store(&next)
@@ -219,7 +238,26 @@ func (r *Registry) SetDoc(logical string, doc *wsdl.Service) {
 // Unregister removes the whole logical name. It reports whether the entry
 // existed.
 func (r *Registry) Unregister(logical string) bool {
-	return r.entries.Delete(logical)
+	entry, ok := r.entries.GetAndDelete(logical)
+	if !ok {
+		return false
+	}
+	// Unindex the entry's endpoints so MarkDeadURL cannot flag records
+	// that are no longer routable (a later Register of the same URL makes
+	// a fresh Endpoint). An emptied index slot stays allocated — bounded
+	// by distinct URLs ever registered, not by churn.
+	for _, ep := range entry.Endpoints() {
+		r.byURL.Update(ep.URL, func(old []*Endpoint, _ bool) []*Endpoint {
+			out := make([]*Endpoint, 0, len(old))
+			for _, e := range old {
+				if e != ep {
+					out = append(out, e)
+				}
+			}
+			return out
+		})
+	}
+	return true
 }
 
 // Lookup returns the entry for a logical name.
@@ -464,17 +502,14 @@ func (r *Registry) MarkDead(logical, url string) {
 // whatever logical names it serves. It is the failure hook for callers
 // that only know the physical address — the MSG-Dispatcher's delivery
 // threads see a destination URL, not the logical name it resolved from.
-// The scan is linear over a snapshot; it runs on delivery-failure paths
-// only, never per message.
+// One lookup in the byURL index replaces what used to be a scan of
+// every entry's endpoint list: a delivery-failure burst against a large
+// registry no longer pays O(entries × endpoints) per failed message.
 func (r *Registry) MarkDeadURL(url string) {
-	r.entries.Range(func(_ string, entry *Entry) bool {
-		for _, ep := range entry.Endpoints() {
-			if ep.URL == url {
-				ep.alive.Store(false)
-			}
-		}
-		return true
-	})
+	eps, _ := r.byURL.Get(url)
+	for _, ep := range eps {
+		ep.alive.Store(false)
+	}
 }
 
 // MarkAlive flags one endpoint URL as alive.

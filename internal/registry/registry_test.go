@@ -413,3 +413,32 @@ func TestMarkDeadURL(t *testing.T) {
 		t.Fatalf("math err = %v", err)
 	}
 }
+
+// TestMarkDeadURLIndexAcrossUnregister fences the byURL index lifecycle:
+// unregistering a logical name must unindex its endpoints — a later
+// MarkDeadURL of the shared address may only hit records still
+// registered, never a fresh re-registration's endpoint.
+func TestMarkDeadURLIndexAcrossUnregister(t *testing.T) {
+	r := New(PolicyFirst, clock.Wall)
+	r.Register("echo", "http://shared:1/x")
+	r.Register("math", "http://shared:1/x")
+	if !r.Unregister("echo") {
+		t.Fatal("Unregister existing = false")
+	}
+	// Re-register the same URL under the removed name: a new Endpoint
+	// record, independently indexed.
+	r.Register("echo", "http://shared:1/x")
+	r.MarkDeadURL("http://shared:1/x")
+	if _, err := r.Resolve("echo"); !errors.Is(err, ErrNoLiveEndpoint) {
+		t.Fatalf("re-registered echo err = %v", err)
+	}
+	if _, err := r.Resolve("math"); !errors.Is(err, ErrNoLiveEndpoint) {
+		t.Fatalf("math err = %v", err)
+	}
+	// Reviving the survivor must work through the ordinary path: the
+	// index holds exactly the records still registered.
+	r.MarkAlive("echo", "http://shared:1/x")
+	if ep, err := r.Resolve("echo"); err != nil || !ep.Alive() {
+		t.Fatalf("revived echo = %v, %v", ep, err)
+	}
+}

@@ -79,3 +79,27 @@ func (sk *Skeleton) Append(dst []byte, values []string, body []*xmlsoap.Element)
 	}
 	return append(dst, sk.segs[len(sk.segs)-1]...), nil
 }
+
+// AppendSpliced renders one message with raw body bytes at the body
+// splice point instead of serializing an element tree: values[i] is
+// text-escaped into slot i exactly as Append does, and body is copied
+// verbatim. The caller must have proved body is canonical serializer
+// output for this skeleton's splice state (the wsa skim's scanner is
+// the one prover in the tree); an unproven body would break the
+// byte-identity contract, not just formatting. body must be non-empty —
+// an empty body self-closes and has no splice point.
+func (sk *Skeleton) AppendSpliced(dst []byte, values []string, body []byte) ([]byte, error) {
+	if len(values) != len(sk.segs)-2 {
+		return nil, ErrSkeletonSlots
+	}
+	if len(body) == 0 {
+		return nil, ErrSkeletonBody
+	}
+	for i, v := range values {
+		dst = append(dst, sk.segs[i]...)
+		dst = xmlsoap.AppendEscapedText(dst, v)
+	}
+	dst = append(dst, sk.segs[len(sk.segs)-2]...)
+	dst = append(dst, body...)
+	return append(dst, sk.segs[len(sk.segs)-1]...), nil
+}

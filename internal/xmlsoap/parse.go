@@ -342,9 +342,9 @@ func (d *Decoder) materialize() *Element {
 		case refVocab:
 			return internVocab[r.lo]
 		case refInput:
-			return zeroCopyString(d.data[r.lo:r.hi])
+			return ZeroCopyString(d.data[r.lo:r.hi])
 		case refEsc:
-			return zeroCopyString(escOut[r.lo:r.hi])
+			return ZeroCopyString(escOut[r.lo:r.hi])
 		}
 		return ""
 	}
@@ -387,10 +387,14 @@ func (d *Decoder) materialize() *Element {
 	return &elems[0]
 }
 
-// zeroCopyString views b as a string without copying. The caller owns
+// ZeroCopyString views b as a string without copying. The caller owns
 // the aliasing consequences — this is exactly the tree/input aliasing the
-// package contract documents.
-func zeroCopyString(b []byte) string {
+// package contract documents, exposed for the other span-reading fast
+// paths built on it (the wsa skim hands header spans to map lookups and
+// registry resolution this way). The returned string is valid only while
+// b's backing bytes are: a view of a pooled buffer dies with the buffer,
+// and anything retained past the exchange must be cloned first.
+func ZeroCopyString(b []byte) string {
 	if len(b) == 0 {
 		return ""
 	}

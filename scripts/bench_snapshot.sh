@@ -1,26 +1,29 @@
 #!/usr/bin/env sh
-# bench_snapshot.sh — capture the sharded-state and failover benchmarks
-# as a machine-readable JSON snapshot (BENCH_pr8.json at the repo root).
+# bench_snapshot.sh — capture the dispatcher and codec benchmarks as a
+# machine-readable JSON snapshot (BENCH_pr9.json at the repo root).
 #
-# The snapshot records the sharding tentpole's headline numbers: the
-# full dispatcher exchange (BenchmarkDispatchExchange — the ≤15
-# allocs/op gate reads against this), the burst path
-# (BenchmarkDispatchBatch), the wall-clock shard ablation
-# (BenchmarkDispatchSharded, shards=1 vs 64 under RunParallel), and the
-# loadgen saturation ramp over netsim (BenchmarkSaturationRamp:
-# single-shard vs sharded vs two-backends-with-a-mid-run-kill, reporting
-# virtual msg/min and real wall-ms per point).
+# The snapshot records the skim tentpole's headline numbers: the full
+# dispatcher exchange (BenchmarkDispatchExchange — the ≤7 allocs/op
+# gate reads against this), the burst path (BenchmarkDispatchBatch),
+# the wall-clock shard ablation (BenchmarkDispatchSharded), the skim
+# codec trio (BenchmarkSkim / BenchmarkSkimRewrite — the zero-alloc
+# scan and splice — against BenchmarkParseRewrite, the parse-path
+# equivalent; their ratio is emitted as its own derived row), and the
+# loadgen saturation ramp over netsim (BenchmarkSaturationRamp,
+# reporting virtual msg/min and real wall-ms per point).
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr8.json}"
+out="${1:-BENCH_pr9.json}"
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' -bench 'DispatchExchange|DispatchBatch|DispatchSharded' -benchmem -count=1 \
     ./internal/dispatch/msgdisp/ >>"$tmp"
+go test -run '^$' -bench 'Skim$|SkimRewrite$|ParseRewrite$' -benchmem -count=1 \
+    ./internal/wsa/ >>"$tmp"
 go test -run '^$' -bench 'SaturationRamp' -benchtime 1x -count=1 \
     . >>"$tmp"
 go test -run '^$' -bench 'TimerWheel' -benchmem -count=1 \
@@ -54,10 +57,16 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
     if (wallms != "")  row = row sprintf(", \"wall_ms\": %s", wallms)
     row = row "}"
     rows[++n] = row
+    nsByName[name] = nsop
 }
 END {
+    # Derived row: the skim-vs-parse hot-leg ratio (scan+splice over
+    # parse+rewrite, same envelope). Below 1.0 the skim is winning.
+    if (nsByName["SkimRewrite"] != "" && nsByName["ParseRewrite"] != "")
+        rows[++n] = sprintf("    \"SkimVsParseRatio\": {\"ratio\": %.3f}",
+            nsByName["SkimRewrite"] / nsByName["ParseRewrite"])
     printf "{\n"
-    printf "  \"snapshot\": \"pr8-sharded-state-and-failover\",\n"
+    printf "  \"snapshot\": \"pr9-skim-forward-path\",\n"
     printf "  \"date\": \"%s\",\n", date
     printf "  \"goos\": \"%s\",\n", goos
     printf "  \"goarch\": \"%s\",\n", goarch
