@@ -5,7 +5,7 @@
 // Example:
 //
 //	wsd -host localhost -rpc 9000 -msg 9100 -mbox 9200 \
-//	    -registry registry.txt -policy round-robin
+//	    -registry registry.txt -policy round-robin -store /var/lib/wsd
 //
 // The registry file format is one service per line:
 //
@@ -33,6 +33,7 @@ func main() {
 	msgPort := flag.Int("msg", 9100, "MSG-Dispatcher port (0 disables)")
 	mboxPort := flag.Int("mbox", 9200, "co-located WS-MsgBox port (0 disables)")
 	registryFile := flag.String("registry", "", "registry seed file (logical url[,url...] per line)")
+	storeDir := flag.String("store", "", "durable state directory: WAL-backed courier hold/retry and persistent mailboxes (empty disables)")
 	policy := flag.String("policy", "first", "balancing policy: first|round-robin|least-pending")
 	ssoKey := flag.String("sso-key", "", "enable single sign-on with this signing key")
 	ssoUsers := flag.String("sso-users", "", "comma-separated principal:secret pairs")
@@ -60,6 +61,7 @@ func main() {
 		MsgBoxPort:   *mboxPort,
 		Policy:       pol,
 		RegistryFile: *registryFile,
+		StoreDir:     *storeDir,
 	}
 	if *ssoKey != "" {
 		authority := auth.New([]byte(*ssoKey), 0, clock.Wall)

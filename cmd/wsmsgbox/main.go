@@ -14,10 +14,12 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 
 	"repro/internal/clock"
 	"repro/internal/httpx"
 	"repro/internal/msgbox"
+	"repro/internal/store"
 )
 
 func main() {
@@ -25,6 +27,7 @@ func main() {
 	port := flag.Int("port", 9200, "service port")
 	boxCap := flag.Int("box-cap", 4096, "messages retained per mailbox")
 	workers := flag.Int("workers", 8, "store worker pool size")
+	storeDir := flag.String("store", "", "durable mailbox directory (WAL-backed; empty keeps mailboxes in memory)")
 	buggy := flag.Bool("buggy", false, "run the §4.3.2 thread-per-message design (for demonstrations)")
 	flag.Parse()
 
@@ -33,13 +36,25 @@ func main() {
 		mode = msgbox.ModeBuggy
 		log.Print("WARNING: running the historically buggy thread-per-message design")
 	}
-	svc := msgbox.New(msgbox.Config{
+	cfg := msgbox.Config{
 		Clock:        clock.Wall,
 		BaseURL:      fmt.Sprintf("http://%s:%d", *host, *port),
 		Mode:         mode,
 		BoxCap:       *boxCap,
 		StoreWorkers: *workers,
-	})
+	}
+	if *storeDir != "" {
+		if err := os.MkdirAll(*storeDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		st, err := store.Open(clock.Wall, filepath.Join(*storeDir, "msgbox"), store.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		cfg.Store = st
+	}
+	svc := msgbox.New(cfg)
 	if err := svc.Start(); err != nil {
 		log.Fatal(err)
 	}

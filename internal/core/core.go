@@ -21,6 +21,8 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
@@ -32,7 +34,9 @@ import (
 	"repro/internal/httpx"
 	"repro/internal/msgbox"
 	"repro/internal/registry"
+	"repro/internal/reliable"
 	"repro/internal/soap"
+	"repro/internal/store"
 )
 
 // Config assembles a WS-Dispatcher deployment.
@@ -62,6 +66,19 @@ type Config struct {
 	// RegistryFile, when set, seeds the registry from the text format.
 	RegistryFile string
 
+	// StoreDir, when set, makes messaging durable: the MSG-Dispatcher
+	// gains a WAL-backed reliable courier (hold/retry surviving a
+	// restart) and the co-located WS-MsgBox persists its mailboxes.
+	// The courier and the mailbox each get their own store under this
+	// directory ("courier", "msgbox") — they must never share one,
+	// because the courier re-attempts every destination in its store
+	// on Start and would try to "deliver" mailbox records.
+	StoreDir string
+	// Store tunes the WAL under StoreDir (Clock is overwritten).
+	Store store.Options
+	// Courier tunes the reliable courier (Clock is overwritten).
+	Courier reliable.Config
+
 	// RPC tunes the RPC-Dispatcher (Clock is overwritten).
 	RPC rpcdisp.Config
 	// Msg tunes the MSG-Dispatcher (Clock/ReturnAddress overwritten).
@@ -90,8 +107,12 @@ type Server struct {
 	Msg *msgdisp.Dispatcher
 	// MsgBox is the co-located mailbox service (nil when disabled).
 	MsgBox *msgbox.Service
+	// Courier is the MSG-Dispatcher's hold/retry agent (nil unless
+	// StoreDir is set alongside MsgPort).
+	Courier *reliable.Courier
 
 	servers []*httpx.Server
+	stores  []*store.Store
 
 	// sweepMu orders the sweep timer's self-rescheduling callback (which
 	// runs on the clock's goroutine) against Stop.
@@ -144,6 +165,17 @@ func New(cfg Config) (*Server, error) {
 		mc := cfg.Msg
 		mc.Clock = cfg.Clock
 		mc.ReturnAddress = fmt.Sprintf("http://%s:%d/msg", cfg.HostName, cfg.MsgPort)
+		if cfg.StoreDir != "" {
+			st, err := s.openStore("courier")
+			if err != nil {
+				return nil, err
+			}
+			cc := cfg.Courier
+			cc.Clock = cfg.Clock
+			courierClient := httpx.NewClient(cfg.Dialer, httpx.ClientConfig{Clock: cfg.Clock})
+			s.Courier = reliable.New(st, courierClient, cc)
+			mc.Courier = s.Courier
+		}
 		client := httpx.NewClient(cfg.Dialer, httpx.ClientConfig{Clock: cfg.Clock})
 		s.Msg = msgdisp.New(s.Registry, client, mc)
 	}
@@ -151,9 +183,35 @@ func New(cfg Config) (*Server, error) {
 		bc := cfg.MsgBox
 		bc.Clock = cfg.Clock
 		bc.BaseURL = fmt.Sprintf("http://%s:%d", cfg.HostName, cfg.MsgBoxPort)
+		if cfg.StoreDir != "" {
+			st, err := s.openStore("msgbox")
+			if err != nil {
+				return nil, err
+			}
+			bc.Store = st
+		}
 		s.MsgBox = msgbox.New(bc)
 	}
 	return s, nil
+}
+
+// openStore opens one durable store under StoreDir, tracking it for
+// Stop. A failed open closes the stores opened before it.
+func (s *Server) openStore(name string) (*store.Store, error) {
+	if err := os.MkdirAll(s.cfg.StoreDir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: store dir: %w", err)
+	}
+	opts := s.cfg.Store
+	opts.WAL.Clock = s.cfg.Clock
+	st, err := store.Open(s.cfg.Clock, filepath.Join(s.cfg.StoreDir, name), opts)
+	if err != nil {
+		for _, prev := range s.stores {
+			prev.Close()
+		}
+		return nil, fmt.Errorf("core: open %s store: %w", name, err)
+	}
+	s.stores = append(s.stores, st)
+	return st, nil
 }
 
 // RPCURL returns the RPC-Dispatcher base URL ("" when disabled).
@@ -188,6 +246,11 @@ func (s *Server) Start() error {
 		}
 	}
 	if s.Msg != nil {
+		if s.Courier != nil {
+			// Requeues everything the previous incarnation left
+			// pending in the WAL before new traffic arrives.
+			s.Courier.Start()
+		}
 		if err := s.Msg.Start(); err != nil {
 			return err
 		}
@@ -224,6 +287,12 @@ func (s *Server) Stop() {
 	}
 	if s.MsgBox != nil {
 		s.MsgBox.Stop()
+	}
+	if s.Courier != nil {
+		s.Courier.Stop()
+	}
+	for _, st := range s.stores {
+		st.Close()
 	}
 }
 

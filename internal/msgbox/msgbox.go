@@ -19,6 +19,17 @@
 // hard to guess address but that is the only protection". Here mailbox IDs
 // are unguessable *and* take/destroy additionally require the capability
 // token returned at creation.
+//
+// Durability: with Config.Store set, mailboxes and their parked messages
+// are persisted through the store's write-ahead log and survive a
+// service restart. Each mailbox writes one metadata record (destination
+// "msgbox:meta", ID "box:"+boxID, payload = capability token) and one
+// record per parked message (destination "mbox:"+boxID), deleted when
+// the owner takes the message or destroys the box — but NOT on Stop,
+// because surviving the stop is the point. Start reloads every box and
+// its messages, preserving arrival order. The store must be private to
+// this service (a courier sharing it would try to "deliver" mailbox
+// records to their pseudo-destinations).
 package msgbox
 
 import (
@@ -36,9 +47,21 @@ import (
 	"repro/internal/queue"
 	"repro/internal/soap"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/wsa"
 	"repro/internal/xmlsoap"
 )
+
+// metaDest is the pseudo-destination under which mailbox metadata
+// records live in the backing store.
+const metaDest = "msgbox:meta"
+
+// boxIDPrefix prefixes mailbox metadata record IDs.
+const boxIDPrefix = "box:"
+
+// msgDest returns the pseudo-destination for a mailbox's parked
+// messages.
+func msgDest(boxID string) string { return "mbox:" + boxID }
 
 // ServiceNS is the RPC namespace of the mailbox management operations.
 const ServiceNS = "urn:wsd:msgbox"
@@ -86,6 +109,11 @@ type Config struct {
 	BoxCap int
 	// PathPrefix is the HTTP mount point. Default "/mbox".
 	PathPrefix string
+	// Store, when set, persists mailboxes and parked messages so they
+	// survive a restart (Start reloads them). The store must be
+	// dedicated to this service; durability follows its WAL sync
+	// policy. Nil keeps everything in memory.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -127,7 +155,15 @@ type Mailbox struct {
 	// body into it, since stored messages outlive the exchange) and
 	// released exactly once — when the owner takes the message, when
 	// the box is destroyed, or when a full box refuses it.
-	msgs *queue.FIFO[*xmlsoap.Buffer]
+	msgs *queue.FIFO[boxMsg]
+}
+
+// boxMsg is one parked message: its payload buffer (single-release
+// ownership per the Mailbox.msgs contract) and, when the service is
+// store-backed, the ID of its durable record.
+type boxMsg struct {
+	payload *xmlsoap.Buffer
+	sid     string
 }
 
 // Service is the WS-MsgBox server. It implements httpx.Handler for both
@@ -160,10 +196,40 @@ func New(cfg Config) *Service {
 	return s
 }
 
-// Start launches the fixed-mode store pool (no-op in buggy mode).
+// Start launches the fixed-mode store pool and, for store-backed
+// services, reloads every persisted mailbox and its parked messages
+// (crash/restart recovery).
 func (s *Service) Start() error {
 	if s.store != nil {
-		return s.store.Start()
+		if err := s.store.Start(); err != nil {
+			return err
+		}
+	}
+	st := s.cfg.Store
+	if st == nil {
+		return nil
+	}
+	for _, meta := range st.PendingFor(metaDest, 0) {
+		boxID := strings.TrimPrefix(meta.ID, boxIDPrefix)
+		mb := &Mailbox{
+			ID:      boxID,
+			Token:   string(meta.Payload),
+			Created: meta.Enqueued,
+			msgs:    queue.New[boxMsg](s.cfg.BoxCap),
+		}
+		// PendingFor preserves arrival order, so the owner takes
+		// messages in the order they were delivered before the restart.
+		for _, rec := range st.PendingFor(msgDest(boxID), 0) {
+			payload := xmlsoap.GetBuffer()
+			payload.B = append(payload.B, rec.Payload...)
+			if err := mb.msgs.TryPut(boxMsg{payload: payload, sid: rec.ID}); err != nil {
+				// Over a (shrunken) BoxCap: the overflow is dropped for
+				// good, matching the live-delivery refusal path.
+				xmlsoap.PutBuffer(payload)
+				st.Delete(rec.ID)
+			}
+		}
+		s.boxes.Put(mb.ID, mb)
 	}
 	return nil
 }
@@ -180,11 +246,13 @@ func (s *Service) Stop() {
 }
 
 // releaseBox closes a mailbox and returns its undelivered payload
-// buffers to the pool (each stored buffer's single release).
+// buffers to the pool (each stored buffer's single release). Durable
+// records are NOT touched here: Stop keeps them for the next Start, and
+// rpcDestroy deletes them itself after the queue is closed.
 func releaseBox(mb *Mailbox) {
 	mb.msgs.Close()
-	for _, payload := range mb.msgs.Drain() {
-		xmlsoap.PutBuffer(payload)
+	for _, m := range mb.msgs.Drain() {
+		xmlsoap.PutBuffer(m.payload)
 	}
 }
 
@@ -279,7 +347,27 @@ func (s *Service) deliverBuggy(mb *Mailbox, payload *xmlsoap.Buffer, ex *httpx.E
 }
 
 func (s *Service) storeMessage(mb *Mailbox, payload *xmlsoap.Buffer) {
-	if err := mb.msgs.TryPut(payload); err != nil {
+	var sid string
+	if st := s.cfg.Store; st != nil {
+		// Write-ahead: the record is durable (per the WAL sync policy)
+		// before the message becomes visible in the box. A store refusal
+		// refuses the delivery — accepting a message durability was
+		// promised for but not delivered would be lying to the sender.
+		sid = wsa.NewMessageID()
+		if err := st.Put(&store.Message{
+			ID:          sid,
+			Destination: msgDest(mb.ID),
+			Payload:     payload.B,
+		}); err != nil {
+			xmlsoap.PutBuffer(payload)
+			s.StoreFailures.Inc()
+			return
+		}
+	}
+	if err := mb.msgs.TryPut(boxMsg{payload: payload, sid: sid}); err != nil {
+		if sid != "" {
+			s.cfg.Store.Delete(sid)
+		}
 		xmlsoap.PutBuffer(payload)
 		s.StoreFailures.Inc()
 		return
@@ -325,7 +413,19 @@ func (s *Service) rpcCreate(ex *httpx.Exchange, v soap.Version) {
 		ID:      randomID(16),
 		Token:   randomID(16),
 		Created: s.cfg.Clock.Now(),
-		msgs:    queue.New[*xmlsoap.Buffer](s.cfg.BoxCap),
+		msgs:    queue.New[boxMsg](s.cfg.BoxCap),
+	}
+	if st := s.cfg.Store; st != nil {
+		if err := st.Put(&store.Message{
+			ID:          boxIDPrefix + mb.ID,
+			Destination: metaDest,
+			Payload:     []byte(mb.Token),
+			Enqueued:    mb.Created,
+		}); err != nil {
+			soap.ReplyFault(ex, httpx.StatusInternalServerError, soap.FaultServer,
+				"mailbox not durable: "+err.Error())
+			return
+		}
 	}
 	s.boxes.Put(mb.ID, mb)
 	s.Created.Inc()
@@ -368,15 +468,21 @@ func (s *Service) rpcTake(ex *httpx.Exchange, v soap.Version, call *soap.Call) {
 	params := []soap.Param{{Name: "count", Value: ""}}
 	n := 0
 	for n < max {
-		payload, ok := mb.msgs.TryTake()
+		m, ok := mb.msgs.TryTake()
 		if !ok {
 			break
 		}
 		n++
 		// The string conversion copies the payload into the response
 		// being built, which is the taken buffer's last use.
-		params = append(params, soap.Param{Name: fmt.Sprintf("msg%d", n), Value: string(payload.B)})
-		xmlsoap.PutBuffer(payload)
+		params = append(params, soap.Param{Name: fmt.Sprintf("msg%d", n), Value: string(m.payload.B)})
+		xmlsoap.PutBuffer(m.payload)
+		if m.sid != "" {
+			// Taken: the durable record is spent. (If the delete cannot
+			// be logged the message may reappear after a crash — at-
+			// least-once, never lost.)
+			s.cfg.Store.Delete(m.sid)
+		}
 	}
 	params[0].Value = strconv.Itoa(n)
 	s.Taken.Add(int64(n))
@@ -398,6 +504,15 @@ func (s *Service) rpcDestroy(ex *httpx.Exchange, v soap.Version, call *soap.Call
 	}
 	s.boxes.Delete(mb.ID)
 	releaseBox(mb)
+	if st := s.cfg.Store; st != nil {
+		// After the queue is closed: any delivery racing this destroy
+		// fails its TryPut and deletes its own record, so enumerating
+		// now leaves no orphans.
+		st.Delete(boxIDPrefix + mb.ID)
+		for _, rec := range st.PendingFor(msgDest(mb.ID), 0) {
+			st.Delete(rec.ID)
+		}
+	}
 	s.Destroyed.Inc()
 	rpcOK(ex, v, OpDestroy, soap.Param{Name: "destroyed", Value: "true"})
 }

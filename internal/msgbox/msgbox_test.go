@@ -70,6 +70,16 @@ func (r *rig) rpc(t *testing.T, op string, params ...soap.Param) ([]soap.Param, 
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Parsed text aliases the pooled response body (the parser is
+	// zero-copy), so clone the params out before releasing it — callers
+	// hold the values across later exchanges. The non-OK path above
+	// keeps the body alive for error reporting; resp.Status stays
+	// readable either way.
+	for i := range results {
+		results[i].Name = strings.Clone(results[i].Name)
+		results[i].Value = strings.Clone(results[i].Value)
+	}
+	resp.Release()
 	return results, resp
 }
 
@@ -100,6 +110,9 @@ func (r *rig) deliver(t *testing.T, id, text string) *httpx.Response {
 	resp, err := r.client.Do("po:9200", httpx.NewRequest("POST", "/mbox/"+id, raw))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if resp.Status == httpx.StatusAccepted {
+		resp.Release() // the ack body is unused; callers read only Status
 	}
 	return resp
 }

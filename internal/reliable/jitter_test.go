@@ -1,0 +1,48 @@
+package reliable
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestRetryJitterDeterministic: the same message and attempt always
+// jitter identically — no hidden randomness to break Virtual-clock
+// reproducibility.
+func TestRetryJitterDeterministic(t *testing.T) {
+	span := 30 * time.Second
+	for attempt := 0; attempt < 5; attempt++ {
+		a := retryJitter("urn:uuid:abc-123", attempt, span)
+		b := retryJitter("urn:uuid:abc-123", attempt, span)
+		if a != b {
+			t.Fatalf("attempt %d: jitter not deterministic (%v vs %v)", attempt, a, b)
+		}
+		if a < 0 || a >= span {
+			t.Fatalf("attempt %d: jitter %v outside [0, %v)", attempt, a, span)
+		}
+	}
+	if got := retryJitter("any", 3, 0); got != 0 {
+		t.Fatalf("zero span jittered %v", got)
+	}
+}
+
+// TestRetryJitterDesynchronizes: a backlog of distinct messages retrying
+// at the same capped backoff must spread out, not march in lockstep —
+// and successive attempts of ONE message must move around too.
+func TestRetryJitterDesynchronizes(t *testing.T) {
+	span := 30 * time.Second
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 64; i++ {
+		seen[retryJitter(fmt.Sprintf("urn:uuid:msg-%04d", i), 6, span)] = true
+	}
+	if len(seen) < 32 {
+		t.Fatalf("64 messages landed on only %d distinct offsets", len(seen))
+	}
+	perAttempt := make(map[time.Duration]bool)
+	for attempt := 0; attempt < 16; attempt++ {
+		perAttempt[retryJitter("urn:uuid:one-msg", attempt, span)] = true
+	}
+	if len(perAttempt) < 8 {
+		t.Fatalf("16 attempts of one message landed on only %d distinct offsets", len(perAttempt))
+	}
+}

@@ -229,7 +229,30 @@ func (c *Courier) attempt(id string) {
 	if backoff > c.cfg.MaxBackoff || backoff <= 0 {
 		backoff = c.cfg.MaxBackoff
 	}
+	// Jitter is added AFTER the cap: when a destination comes back from
+	// an outage, its whole backlog sits at MaxBackoff, and uncapped
+	// identical delays would hammer it in synchronized waves.
+	backoff += retryJitter(id, m.Attempts, backoff/2)
 	c.schedule(id, backoff)
+}
+
+// retryJitter spreads retries for different messages across [0, span)
+// deterministically: an FNV-1a hash of the message ID and attempt
+// number replaces math/rand, so Virtual-clock tests replay the exact
+// same schedule every run while distinct messages (and successive
+// attempts of one message) still land at distinct offsets.
+func retryJitter(id string, attempt int, span time.Duration) time.Duration {
+	if span <= 0 {
+		return 0
+	}
+	h := uint64(0xcbf29ce484222325) // FNV-1a 64-bit offset basis
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 0x100000001b3 // FNV-1a 64-bit prime
+	}
+	h ^= uint64(attempt)
+	h *= 0x100000001b3
+	return time.Duration(h % uint64(span))
 }
 
 func (c *Courier) deliverOnce(m *store.Message) bool {

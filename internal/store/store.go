@@ -2,22 +2,43 @@
 // delivery and durable mailboxes. The paper's future-work section proposes
 // exactly this: "improve forwarding service by adding hold/retry on
 // delivery ... with messages stored in DB with expiration time" (they
-// planned MySQL; an embedded append-log with an in-memory index preserves
-// the behaviour — durable enqueue, expiry, replay on restart — without an
-// external database).
+// planned MySQL; an embedded write-ahead log with an in-memory index
+// preserves the behaviour — durable enqueue, expiry, replay on restart —
+// without an external database).
+//
+// Durability rides internal/wal: every mutation is appended to the
+// segmented, checksummed log BEFORE the in-memory index changes, and the
+// append error — if any — is returned to the caller, so Put/Delete/
+// MarkAttempt cannot report success for a record that never reached the
+// log. Open replays the log on start; a torn tail from a crash
+// mid-append is truncated away by the WAL layer, never fatal. When the
+// log grows past roughly twice the live state, the store compacts it: a
+// snapshot of the live messages becomes the new base segment and the
+// retired segments are deleted.
+//
+// The JSON-lines format of earlier versions survives only as a one-shot
+// migration: OpenFile on a legacy log replays it tolerantly (a corrupt
+// FINAL line is a torn tail and is dropped; corruption earlier is an
+// error), snapshots the result into the WAL directory at path+".wal",
+// and removes the JSON file. The migration is idempotent — the JSON file
+// is deleted only after the snapshot is durably installed, so a crash
+// anywhere mid-migration just redoes it from the JSON on the next open.
 package store
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
+	"io/fs"
 	"os"
 	"sync"
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/wal"
 )
 
 // Message is one stored message awaiting delivery.
@@ -47,89 +68,206 @@ var (
 	ErrNotFound  = errors.New("store: message not found")
 )
 
-// Store is a concurrent message store with optional write-ahead logging.
+// WAL record ops. One record = op byte + op-specific body; records are
+// framed and checksummed by the wal layer.
+const (
+	opPut = 'p' // flags, ID, Destination, Enqueued, [Expires], Attempts, payload
+	opDel = 'd' // ID
+	opAtt = 'a' // ID
+)
+
+// putFlagExpires marks a put record carrying an Expires timestamp.
+// Enqueued needs no flag — Put always stamps it — but Expires' zero
+// value means "never" and must round-trip as exactly that (UnixNano of
+// the zero time.Time is garbage, and nano 0 is a legitimate Virtual
+// clock instant, so presence must be explicit).
+const putFlagExpires = 0x01
+
+// Store is a concurrent message store, optionally durable via a
+// write-ahead log.
 type Store struct {
 	clk clock.Clock
 
 	mu     sync.Mutex
 	byID   map[string]*Message
 	byDest map[string][]string // insertion-ordered IDs per destination
-	wal    io.Writer
-	walF   *os.File
+	log    *wal.Log            // nil for a purely in-memory store
+
+	// Staging for the zero-alloc WAL encode: the encode callback is one
+	// cached method value (encFn) reading these fields, set under mu
+	// right before each append, so the hot path builds no closures.
+	encOp  byte
+	encMsg *Message
+	encID  string
+	encFn  func([]byte) []byte
+
+	// liveBytes approximates the encoded size of the live state; the
+	// log compacts when it exceeds roughly twice this.
+	liveBytes int64
+	compactAt int64
 
 	// counters
 	expired int64
 }
+
+// defaultCompactAt is the log size below which compaction never
+// triggers, regardless of garbage ratio — tiny logs aren't worth the
+// snapshot churn.
+const defaultCompactAt = 1 << 20
 
 // New returns an in-memory store on clk.
 func New(clk clock.Clock) *Store {
 	if clk == nil {
 		clk = clock.Wall
 	}
-	return &Store{
-		clk:    clk,
-		byID:   make(map[string]*Message),
-		byDest: make(map[string][]string),
+	s := &Store{
+		clk:       clk,
+		byID:      make(map[string]*Message),
+		byDest:    make(map[string][]string),
+		compactAt: defaultCompactAt,
 	}
+	s.encFn = s.encodeStaged
+	return s
 }
 
-// walRecord is one log line: an upsert or a delete.
+// Options tunes a durable store.
+type Options struct {
+	// WAL configures the backing log (sync policy, segment size, clock —
+	// the store's clock is used when unset).
+	WAL wal.Config
+	// CompactAt is the log size (bytes) above which auto-compaction may
+	// run; the log must also exceed twice the live state. Default 1 MiB.
+	CompactAt int64
+}
+
+// Open returns a store durably backed by a write-ahead log in dir
+// (created if absent; the parent must exist), replaying any existing
+// log into memory first.
+func Open(clk clock.Clock, dir string, opts Options) (*Store, error) {
+	s := New(clk)
+	if opts.CompactAt > 0 {
+		s.compactAt = opts.CompactAt
+	}
+	cfg := opts.WAL
+	if cfg.Clock == nil {
+		cfg.Clock = s.clk
+	}
+	l, err := wal.Open(dir, cfg, s.applyRecord)
+	if err != nil {
+		return nil, err
+	}
+	s.log = l
+	return s, nil
+}
+
+// OpenFile opens the durable store whose write-ahead log lives in the
+// directory path+".wal". A legacy JSON-lines log at path itself is
+// migrated: replayed (tolerating a torn final line), snapshotted into
+// the WAL, and removed.
+func OpenFile(clk clock.Clock, path string) (*Store, error) {
+	legacy, readErr := os.ReadFile(path)
+	if readErr != nil && !errors.Is(readErr, fs.ErrNotExist) {
+		return nil, fmt.Errorf("store: open %s: %w", path, readErr)
+	}
+	s, err := Open(clk, path+".wal", Options{})
+	if err != nil {
+		return nil, err
+	}
+	if readErr != nil { // no legacy log; the WAL is the state
+		return s, nil
+	}
+	if err := s.migrateJSON(legacy); err != nil {
+		s.Close()
+		return nil, err
+	}
+	if err := os.Remove(path); err != nil {
+		s.Close()
+		return nil, fmt.Errorf("store: retire legacy log %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Close syncs and releases the backing log, if any.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log != nil {
+		err := s.log.Close()
+		s.log = nil
+		return err
+	}
+	return nil
+}
+
+// Sync forces any buffered WAL appends to disk (a no-op for in-memory
+// stores and under wal.SyncAlways).
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	return s.log.Sync()
+}
+
+// WAL exposes the backing log's counters (appends, syncs, rotations,
+// compactions, torn-tail truncations) for stats surfaces and tests.
+// Nil for in-memory stores.
+func (s *Store) WAL() *wal.Log { return s.log }
+
+// walRecord is one line of the LEGACY JSON log, kept for migration.
 type walRecord struct {
 	Op  string   `json:"op"` // "put", "del", "att"
 	Msg *Message `json:"msg,omitempty"`
 	ID  string   `json:"id,omitempty"`
 }
 
-// OpenFile returns a store backed by a JSON-lines append log at path,
-// replaying any existing log into memory first.
-func OpenFile(clk clock.Clock, path string) (*Store, error) {
-	s := New(clk)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("store: open %s: %w", path, err)
-	}
-	if err := s.replay(f); err != nil {
-		f.Close()
-		return nil, err
-	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("store: seek %s: %w", path, err)
-	}
-	s.wal = f
-	s.walF = f
-	return s, nil
-}
-
-// Close releases the backing file, if any.
-func (s *Store) Close() error {
+// migrateJSON replays a legacy JSON-lines log over whatever state the
+// WAL held (a crashed earlier migration's partial writes are discarded
+// wholesale — the JSON is still the source of truth until it is
+// removed), then compacts so the WAL's base snapshot IS the migrated
+// state.
+func (s *Store) migrateJSON(data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.walF != nil {
-		err := s.walF.Close()
-		s.walF = nil
-		s.wal = nil
+	s.byID = make(map[string]*Message)
+	s.byDest = make(map[string][]string)
+	s.liveBytes = 0
+	if err := s.replayJSONLocked(data); err != nil {
 		return err
 	}
-	return nil
+	return s.compactLocked()
 }
 
-func (s *Store) replay(r io.Reader) error {
-	sc := bufio.NewScanner(r)
+// replayJSONLocked applies legacy log lines to the in-memory state
+// only. A line that fails to parse is fatal UNLESS it is the final
+// non-empty line — that is the torn tail of a crash mid-append, and
+// recovery means dropping it, not refusing to start.
+func (s *Store) replayJSONLocked(data []byte) error {
+	sc := bufio.NewScanner(bytes.NewReader(data))
 	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	var torn bool
 	for sc.Scan() {
 		line := sc.Bytes()
-		if len(line) == 0 {
+		if len(bytes.TrimSpace(line)) == 0 {
 			continue
+		}
+		if torn {
+			// A parse failure followed by more content is not a torn
+			// tail; it is corruption in the middle of the log.
+			return errors.New("store: corrupt legacy log line")
 		}
 		var rec walRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
-			return fmt.Errorf("store: corrupt log line: %w", err)
+			torn = true
+			continue
 		}
 		switch rec.Op {
 		case "put":
 			if rec.Msg != nil {
-				s.insertLocked(rec.Msg)
+				if _, dup := s.byID[rec.Msg.ID]; !dup {
+					s.insertLocked(rec.Msg)
+				}
 			}
 		case "del":
 			s.removeLocked(rec.ID)
@@ -142,18 +280,135 @@ func (s *Store) replay(r io.Reader) error {
 	return sc.Err()
 }
 
-func (s *Store) log(rec walRecord) {
-	if s.wal == nil {
-		return
+// encodeStaged is the WAL encode callback: it appends the staged
+// operation (encOp/encMsg/encID, set under mu) to dst. One method value
+// of it is cached in encFn so appends allocate nothing.
+func (s *Store) encodeStaged(dst []byte) []byte {
+	switch s.encOp {
+	case opPut:
+		m := s.encMsg
+		var flags byte
+		if !m.Expires.IsZero() {
+			flags |= putFlagExpires
+		}
+		dst = append(dst, opPut, flags)
+		dst = binary.AppendUvarint(dst, uint64(len(m.ID)))
+		dst = append(dst, m.ID...)
+		dst = binary.AppendUvarint(dst, uint64(len(m.Destination)))
+		dst = append(dst, m.Destination...)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(m.Enqueued.UnixNano()))
+		if flags&putFlagExpires != 0 {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(m.Expires.UnixNano()))
+		}
+		dst = binary.AppendUvarint(dst, uint64(m.Attempts))
+		dst = append(dst, m.Payload...)
+	default: // opDel, opAtt: just the ID
+		dst = append(dst, s.encOp)
+		dst = append(dst, s.encID...)
 	}
-	b, err := json.Marshal(rec)
-	if err != nil {
-		return
-	}
-	s.wal.Write(append(b, '\n'))
+	return dst
 }
 
-// Put stores a message. The ID must be unique among live messages.
+// errBadRecord marks a WAL record that passed its checksum but does not
+// decode — a format version skew, not bit rot.
+var errBadRecord = errors.New("store: undecodable WAL record")
+
+// applyRecord is the WAL replay callback. rec aliases the reader's
+// buffer; everything retained is copied.
+func (s *Store) applyRecord(rec []byte) error {
+	if len(rec) == 0 {
+		return errBadRecord
+	}
+	op, rest := rec[0], rec[1:]
+	switch op {
+	case opPut:
+		m, err := decodePut(rest)
+		if err != nil {
+			return err
+		}
+		if _, dup := s.byID[m.ID]; !dup {
+			s.insertLocked(m)
+		}
+	case opDel:
+		s.removeLocked(string(rest))
+	case opAtt:
+		if m := s.byID[string(rest)]; m != nil {
+			m.Attempts++
+		}
+	default:
+		return fmt.Errorf("%w: op %q", errBadRecord, op)
+	}
+	return nil
+}
+
+// decodePut decodes a put record body into a freshly allocated Message.
+func decodePut(b []byte) (*Message, error) {
+	if len(b) < 1 {
+		return nil, errBadRecord
+	}
+	flags := b[0]
+	b = b[1:]
+	id, b, ok := takeString(b)
+	if !ok {
+		return nil, errBadRecord
+	}
+	dest, b, ok := takeString(b)
+	if !ok {
+		return nil, errBadRecord
+	}
+	if len(b) < 8 {
+		return nil, errBadRecord
+	}
+	enq := int64(binary.LittleEndian.Uint64(b))
+	b = b[8:]
+	var expires time.Time
+	if flags&putFlagExpires != 0 {
+		if len(b) < 8 {
+			return nil, errBadRecord
+		}
+		expires = time.Unix(0, int64(binary.LittleEndian.Uint64(b)))
+		b = b[8:]
+	}
+	attempts, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, errBadRecord
+	}
+	b = b[n:]
+	return &Message{
+		ID:          id,
+		Destination: dest,
+		Payload:     append([]byte(nil), b...),
+		Enqueued:    time.Unix(0, enq),
+		Expires:     expires,
+		Attempts:    int(attempts),
+	}, nil
+}
+
+// takeString reads a uvarint-length-prefixed string, copying it out of
+// the record buffer.
+func takeString(b []byte) (string, []byte, bool) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || uint64(len(b)-sz) < n {
+		return "", nil, false
+	}
+	return string(b[sz : sz+int(n)]), b[sz+int(n):], true
+}
+
+// appendStagedLocked writes the staged operation to the WAL, if one is
+// attached. Called with mu held; the store mutates memory only after
+// the log accepted the record (write-ahead), so a returned error means
+// the operation did not happen.
+func (s *Store) appendStagedLocked() error {
+	if s.log == nil {
+		return nil
+	}
+	return s.log.Append(s.encFn)
+}
+
+// Put stores a message. The ID must be unique among live messages. With
+// a WAL attached, the record is on the log (durable per the configured
+// sync policy) before Put returns nil; a log error is returned and the
+// message is NOT stored.
 func (s *Store) Put(m *Message) error {
 	if m.ID == "" {
 		return errors.New("store: empty message id")
@@ -168,14 +423,24 @@ func (s *Store) Put(m *Message) error {
 	}
 	cp := *m
 	cp.Payload = append([]byte(nil), m.Payload...)
+	s.encOp, s.encMsg = opPut, &cp
+	if err := s.appendStagedLocked(); err != nil {
+		return err
+	}
 	s.insertLocked(&cp)
-	s.log(walRecord{Op: "put", Msg: &cp})
 	return nil
 }
 
 func (s *Store) insertLocked(m *Message) {
 	s.byID[m.ID] = m
 	s.byDest[m.Destination] = append(s.byDest[m.Destination], m.ID)
+	s.liveBytes += liveSize(m)
+}
+
+// liveSize approximates a message's encoded record size for the
+// compaction trigger.
+func liveSize(m *Message) int64 {
+	return int64(32 + len(m.ID) + len(m.Destination) + len(m.Payload))
 }
 
 // Get returns a copy of the message with the given ID.
@@ -191,15 +456,20 @@ func (s *Store) Get(id string) (*Message, error) {
 	return &cp, nil
 }
 
-// Delete removes a message (after successful delivery or expiry).
+// Delete removes a message (after successful delivery or expiry). With
+// a WAL attached, a log error is returned and the message stays.
 func (s *Store) Delete(id string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.byID[id]; !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
+	s.encOp, s.encID = opDel, id
+	if err := s.appendStagedLocked(); err != nil {
+		return err
+	}
 	s.removeLocked(id)
-	s.log(walRecord{Op: "del", ID: id})
+	s.maybeCompactLocked()
 	return nil
 }
 
@@ -209,6 +479,7 @@ func (s *Store) removeLocked(id string) {
 		return
 	}
 	delete(s.byID, id)
+	s.liveBytes -= liveSize(m)
 	ids := s.byDest[m.Destination]
 	for i, x := range ids {
 		if x == id {
@@ -221,7 +492,8 @@ func (s *Store) removeLocked(id string) {
 	}
 }
 
-// MarkAttempt increments the delivery attempt counter.
+// MarkAttempt increments the delivery attempt counter. With a WAL
+// attached, a log error is returned and the counter is unchanged.
 func (s *Store) MarkAttempt(id string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -229,8 +501,11 @@ func (s *Store) MarkAttempt(id string) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
+	s.encOp, s.encID = opAtt, id
+	if err := s.appendStagedLocked(); err != nil {
+		return err
+	}
 	m.Attempts++
-	s.log(walRecord{Op: "att", ID: id})
 	return nil
 }
 
@@ -269,7 +544,10 @@ func (s *Store) Destinations() []string {
 
 // Sweep removes every expired message and returns how many were dropped.
 // Callers run it periodically (the "expiration time" behaviour the paper
-// wanted from its DB).
+// wanted from its DB). A WAL error mid-sweep does not stop the in-memory
+// removal: expiry is re-derived from timestamps on replay, so an
+// unlogged expiry delete self-heals on the next open (and the log's
+// sticky error still surfaces through the next Put/Delete/MarkAttempt).
 func (s *Store) Sweep() int {
 	now := s.clk.Now()
 	s.mu.Lock()
@@ -281,11 +559,60 @@ func (s *Store) Sweep() int {
 		}
 	}
 	for _, id := range dead {
+		s.encOp, s.encID = opDel, id
+		_ = s.appendStagedLocked()
 		s.removeLocked(id)
-		s.log(walRecord{Op: "del", ID: id})
 	}
 	s.expired += int64(len(dead))
+	if len(dead) > 0 {
+		s.maybeCompactLocked()
+	}
 	return len(dead)
+}
+
+// maybeCompactLocked compacts the log once it is both past the
+// CompactAt floor and more than half garbage. Compaction failures are
+// not surfaced here — the log's sticky error resurfaces on the next
+// mutating call.
+func (s *Store) maybeCompactLocked() {
+	if s.log == nil {
+		return
+	}
+	size := s.log.Size()
+	if size < s.compactAt || size < 2*s.liveBytes {
+		return
+	}
+	_ = s.compactLocked()
+}
+
+// compactLocked snapshots the live state into a fresh WAL base segment.
+func (s *Store) compactLocked() error {
+	if s.log == nil {
+		return nil
+	}
+	return s.log.Compact(func(w *wal.Snapshot) error {
+		for _, ids := range s.byDest {
+			for _, id := range ids {
+				m := s.byID[id]
+				if m == nil {
+					continue
+				}
+				s.encOp, s.encMsg = opPut, m
+				if err := w.Append(s.encFn); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// Compact forces a snapshot compaction of the backing log (no-op for
+// in-memory stores).
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
 }
 
 // Len returns the number of live messages.

@@ -1,0 +1,414 @@
+package store
+
+import (
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/wal"
+)
+
+// legacyLog builds a JSON-lines log in the pre-WAL format.
+func legacyLog(lines ...string) []byte {
+	return []byte(strings.Join(lines, "\n") + "\n")
+}
+
+func legacyPut(id, dest, payload string) string {
+	return fmt.Sprintf(`{"op":"put","msg":{"id":%q,"dest":%q,"payload":%q,"enqueued":"2026-01-02T15:04:05Z","expires":"0001-01-01T00:00:00Z","attempts":0}}`,
+		id, dest, base64.StdEncoding.EncodeToString([]byte(payload)))
+}
+
+func TestLegacyMigration(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.jsonl")
+	log := legacyLog(
+		legacyPut("m1", "d1", "first"),
+		legacyPut("m2", "d2", "second"),
+		`{"op":"att","id":"m2"}`,
+		`{"op":"del","id":"m1"}`,
+	)
+	if err := os.WriteFile(path, log, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenFile(clock.Wall, path)
+	if err != nil {
+		t.Fatalf("OpenFile (migration): %v", err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("migrated Len = %d, want 1", s.Len())
+	}
+	m2, err := s.Get("m2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m2.Payload) != "second" || m2.Attempts != 1 {
+		t.Fatalf("m2 = %+v", m2)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("legacy JSON log still present after migration")
+	}
+	if s.WAL() == nil {
+		t.Fatal("migrated store has no WAL")
+	}
+	s.Close()
+	// The state now lives in the WAL alone.
+	s2, err := OpenFile(clock.Wall, path)
+	if err != nil {
+		t.Fatalf("reopen after migration: %v", err)
+	}
+	defer s2.Close()
+	if s2.Len() != 1 {
+		t.Fatalf("post-migration Len = %d, want 1", s2.Len())
+	}
+	if m, err := s2.Get("m2"); err != nil || string(m.Payload) != "second" || m.Attempts != 1 {
+		t.Fatalf("m2 after reopen = %+v (%v)", m, err)
+	}
+}
+
+// TestLegacyTornTailEveryByteOffset pins the satellite fix: a legacy
+// log chopped at ANY byte offset of its final record must open — the
+// torn line is dropped, every whole line before it is applied — instead
+// of hard-failing the way replay used to.
+func TestLegacyTornTailEveryByteOffset(t *testing.T) {
+	whole := []string{
+		legacyPut("m1", "d", "first"),
+		legacyPut("m2", "d", "second"),
+		`{"op":"del","id":"m1"}`,
+	}
+	lastLine := legacyPut("m3", "d", "the-final-record-torn-by-the-crash")
+	prefix := strings.Join(whole, "\n") + "\n"
+	for cut := 0; cut <= len(lastLine); cut++ {
+		path := filepath.Join(t.TempDir(), "store.jsonl")
+		if err := os.WriteFile(path, []byte(prefix+lastLine[:cut]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := OpenFile(clock.Wall, path)
+		if err != nil {
+			t.Fatalf("cut=%d: OpenFile: %v", cut, err)
+		}
+		wantLen := 1 // m2 (m1 deleted)
+		if cut == len(lastLine) {
+			wantLen = 2 // the "torn" line is actually whole
+		}
+		if s.Len() != wantLen {
+			t.Fatalf("cut=%d: Len = %d, want %d", cut, s.Len(), wantLen)
+		}
+		if _, err := s.Get("m2"); err != nil {
+			t.Fatalf("cut=%d: m2 lost: %v", cut, err)
+		}
+		if _, err := s.Get("m1"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("cut=%d: deleted m1 resurrected", cut)
+		}
+		s.Close()
+	}
+}
+
+// TestLegacyCorruptMiddleLineFatal: damage that is NOT the final line
+// is real corruption — silently skipping it could resurrect a deleted
+// message, so OpenFile must refuse.
+func TestLegacyCorruptMiddleLineFatal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	log := legacyLog(
+		legacyPut("m1", "d", "x"),
+		`{"op":"del","id":`, // torn mid-log, followed by more content
+		legacyPut("m2", "d", "y"),
+	)
+	if err := os.WriteFile(path, log, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(clock.Wall, path); err == nil {
+		t.Fatal("OpenFile accepted a corrupt middle line")
+	}
+}
+
+// TestMigrationRedoneAfterCrash: a crash mid-migration leaves both the
+// JSON log and a partially-written WAL; the next OpenFile must discard
+// the partial WAL state and migrate the JSON from scratch.
+func TestMigrationRedoneAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.jsonl")
+	// The interrupted first migration got m1 and a bogus marker into the
+	// WAL before dying.
+	s0, err := Open(clock.Wall, path+".wal", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0.Put(&Message{ID: "m1", Destination: "d", Payload: []byte("stale")})
+	s0.Put(&Message{ID: "leftover", Destination: "d", Payload: []byte("junk")})
+	s0.Close()
+	// The JSON log — still present, still the source of truth.
+	if err := os.WriteFile(path, legacyLog(
+		legacyPut("m1", "d", "fresh"),
+		legacyPut("m2", "d", "second"),
+	), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenFile(clock.Wall, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (WAL leftovers discarded)", s.Len())
+	}
+	if _, err := s.Get("leftover"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("partial-migration leftover survived the redo")
+	}
+	if m, _ := s.Get("m1"); m == nil || string(m.Payload) != "fresh" {
+		t.Fatalf("m1 = %+v, want the JSON version", m)
+	}
+}
+
+// TestWALErrorsSurface pins the satellite fix: with the log unable to
+// accept records, Put/Delete/MarkAttempt report the failure and leave
+// memory untouched — the old store swallowed log errors and carried on.
+func TestWALErrorsSurface(t *testing.T) {
+	s, err := Open(clock.Wall, filepath.Join(t.TempDir(), "wal"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(&Message{ID: "ok", Destination: "d", Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	s.WAL().Close() // the log dies under the store
+	if err := s.Put(&Message{ID: "m", Destination: "d"}); !errors.Is(err, wal.ErrClosed) {
+		t.Fatalf("Put on dead log: %v, want wal.ErrClosed", err)
+	}
+	if _, err := s.Get("m"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("failed Put still stored the message")
+	}
+	if err := s.MarkAttempt("ok"); !errors.Is(err, wal.ErrClosed) {
+		t.Fatalf("MarkAttempt on dead log: %v", err)
+	}
+	if m, _ := s.Get("ok"); m.Attempts != 0 {
+		t.Fatal("failed MarkAttempt still incremented")
+	}
+	if err := s.Delete("ok"); !errors.Is(err, wal.ErrClosed) {
+		t.Fatalf("Delete on dead log: %v", err)
+	}
+	if _, err := s.Get("ok"); err != nil {
+		t.Fatal("failed Delete still removed the message")
+	}
+	// Oversized records surface too, without poisoning the log.
+	s2, err := Open(clock.Wall, filepath.Join(t.TempDir(), "wal2"), Options{WAL: wal.Config{MaxRecord: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	big := &Message{ID: "big", Destination: "d", Payload: make([]byte, 128)}
+	if err := s2.Put(big); !errors.Is(err, wal.ErrTooLarge) {
+		t.Fatalf("oversized Put: %v, want wal.ErrTooLarge", err)
+	}
+	if err := s2.Put(&Message{ID: "small", Destination: "d", Payload: []byte("x")}); err != nil {
+		t.Fatalf("Put after oversized: %v", err)
+	}
+}
+
+// TestTimestampsSurviveReplay: Enqueued and Expires round-trip the
+// binary record, including the "never expires" zero value and the
+// Virtual clock's Unix(0,0) origin.
+func TestTimestampsSurviveReplay(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	defer clk.Stop()
+	dir := filepath.Join(t.TempDir(), "wal")
+	s, err := Open(clk, dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	never := &Message{ID: "never", Destination: "d", Payload: []byte("x")}
+	s.Put(never) // Enqueued stamped Unix(0,0)
+	dated := &Message{ID: "dated", Destination: "d", Payload: []byte("y"),
+		Expires: clk.Now().Add(time.Hour)}
+	s.Put(dated)
+	s.MarkAttempt("dated")
+	s.Close()
+
+	s2, err := Open(clk, dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	n, err := s2.Get("never")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.Expires.IsZero() {
+		t.Fatalf("never-expires came back as %v", n.Expires)
+	}
+	if !n.Enqueued.Equal(time.Unix(0, 0)) {
+		t.Fatalf("Enqueued = %v, want Unix(0,0)", n.Enqueued)
+	}
+	d, err := s2.Get("dated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Expires.Equal(time.Unix(0, 0).Add(time.Hour)) {
+		t.Fatalf("Expires = %v", d.Expires)
+	}
+	if d.Attempts != 1 {
+		t.Fatalf("Attempts = %d", d.Attempts)
+	}
+	// Expiry still enforced after replay.
+	clk.Advance(2 * time.Hour)
+	if n := s2.Sweep(); n != 1 {
+		t.Fatalf("Sweep after replay = %d, want 1", n)
+	}
+}
+
+// TestAutoCompaction: churn far past CompactAt must trigger snapshot
+// compaction — the log stays bounded instead of growing with history —
+// and the compacted log replays to the same state.
+func TestAutoCompaction(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	s, err := Open(clock.Wall, dir, Options{
+		CompactAt: 4 << 10,
+		WAL:       wal.Config{Sync: wal.SyncNever, SegmentSize: 2 << 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 128)
+	for i := 0; i < 400; i++ {
+		id := fmt.Sprintf("m%04d", i)
+		if err := s.Put(&Message{ID: id, Destination: "d", Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+		if i >= 4 {
+			if err := s.Delete(fmt.Sprintf("m%04d", i-4)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if s.WAL().Compactions.Value() == 0 {
+		t.Fatal("no compaction despite heavy churn")
+	}
+	// ~5 live messages * ~170 encoded bytes: the log must be near the
+	// live size, not the 400-op history. Allow generous slack for the
+	// post-compaction appends since the last snapshot.
+	if size := s.WAL().Size(); size > 16<<10 {
+		t.Fatalf("log size %d after churn; compaction is not bounding it", size)
+	}
+	liveLen := s.Len()
+	pending := s.PendingFor("d", 0)
+	s.Close()
+	s2, err := Open(clock.Wall, dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != liveLen {
+		t.Fatalf("replayed Len = %d, want %d", s2.Len(), liveLen)
+	}
+	got := s2.PendingFor("d", 0)
+	if len(got) != len(pending) {
+		t.Fatalf("pending = %d, want %d", len(got), len(pending))
+	}
+	for i := range pending {
+		if got[i].ID != pending[i].ID {
+			t.Fatalf("pending order diverged at %d: %s vs %s", i, got[i].ID, pending[i].ID)
+		}
+	}
+}
+
+// TestWALStoreCrashConsistency is the store-level slice of the
+// acceptance property: chop the WAL segment at every byte offset after
+// a put/delete history — every recovered state must be CONSISTENT
+// (deleted messages stay deleted once the delete record survives;
+// stored messages decode whole) even though how much history survives
+// depends on the cut.
+func TestWALStoreCrashConsistency(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	s, err := Open(clock.Wall, dir, Options{WAL: wal.Config{Sync: wal.SyncNever}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(&Message{ID: "acked", Destination: "d", Payload: []byte("delivered-already")})
+	s.Put(&Message{ID: "pend-1", Destination: "d", Payload: []byte("waiting one")})
+	s.Delete("acked") // delivered: must never come back once this record is on disk
+	s.Put(&Message{ID: "pend-2", Destination: "d", Payload: []byte("waiting two")})
+	s.MarkAttempt("pend-1")
+	s.Close()
+	segs, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	full, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The delete record's on-disk position: find where "acked" stops
+	// resurrecting. Below it, "acked" may be live (its put survived) —
+	// that is consistent, the delete never happened. At or above it,
+	// "acked" must be gone.
+	for cut := 0; cut <= len(full); cut++ {
+		cdir := filepath.Join(t.TempDir(), "cut")
+		if err := os.Mkdir(cdir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(cdir, filepath.Base(segs[0])), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cs, err := Open(clock.Wall, cdir, Options{})
+		if err != nil {
+			t.Fatalf("cut=%d: Open: %v", cut, err)
+		}
+		// Consistency invariants at every cut:
+		if m, err := cs.Get("pend-2"); err == nil {
+			// pend-2's put is after the delete: if pend-2 exists, the
+			// delete record is on disk too, so acked must be gone.
+			if string(m.Payload) != "waiting two" {
+				t.Fatalf("cut=%d: pend-2 payload %q", cut, m.Payload)
+			}
+			if _, err := cs.Get("acked"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("cut=%d: acked message resurrected after its delete", cut)
+			}
+		}
+		if m, err := cs.Get("pend-1"); err == nil {
+			if string(m.Payload) != "waiting one" {
+				t.Fatalf("cut=%d: pend-1 payload %q", cut, m.Payload)
+			}
+		} else if cut == len(full) {
+			t.Fatalf("full log lost pend-1: %v", err)
+		}
+		cs.Close()
+	}
+}
+
+// BenchmarkStorePutDelete measures the durable mutation cycle: one Put
+// and one Delete per op, each a WAL append, under the production
+// group-commit policy and with fsync off (the encode+frame+write cost).
+func BenchmarkStorePutDelete(b *testing.B) {
+	payload := make([]byte, 256)
+	for _, mode := range []struct {
+		name string
+		sync wal.SyncPolicy
+	}{{"nosync", wal.SyncNever}, {"group", wal.SyncInterval}} {
+		b.Run(mode.name, func(b *testing.B) {
+			s, err := Open(clock.Wall, filepath.Join(b.TempDir(), "wal"),
+				Options{WAL: wal.Config{Sync: mode.sync, SegmentSize: 1 << 30}, CompactAt: 1 << 40})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			m := &Message{Destination: "http://dest:1/svc", Payload: payload}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.ID = fmt.Sprintf("bench-%09d", i)
+				m.Enqueued = time.Time{}
+				if err := s.Put(m); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Delete(m.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,26 @@
+package store
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/xmlsoap"
+)
+
+// TestMain turns on the pooled-buffer lifecycle checker for this suite:
+// the durable store encodes every WAL record through a pooled xmlsoap
+// scratch, so release bugs in the encode path panic here. Benchmarks
+// measure the production configuration (same idiom as msgdisp/wal).
+func TestMain(m *testing.M) {
+	bench := false
+	for _, arg := range os.Args {
+		if strings.HasPrefix(arg, "-test.bench=") && !strings.HasSuffix(arg, "=") {
+			bench = true
+		}
+	}
+	if !bench {
+		xmlsoap.EnablePoolCheck()
+	}
+	os.Exit(m.Run())
+}

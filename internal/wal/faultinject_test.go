@@ -1,0 +1,208 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// The fault-injection writer behind the openSegFile hook: a shared
+// byte budget (short-writes then fails once exhausted), a sync-failure
+// switch, and an open-failure countdown. Setting budget to -1 and the
+// switches off "heals" the fault without uninstalling the hook, so one
+// test can crash the log and then recover it.
+type fault struct {
+	budget    int // bytes writable before failure; -1 = unlimited
+	syncFails bool
+	openFails bool
+}
+
+var errInjected = errors.New("injected fault")
+
+type faultFile struct {
+	f  segFile
+	ft *fault
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if ff.ft.budget < 0 || ff.ft.budget >= len(p) {
+		if ff.ft.budget >= 0 {
+			ff.ft.budget -= len(p)
+		}
+		return ff.f.Write(p)
+	}
+	// Short write: the torn-tail case a real crash produces.
+	n := ff.ft.budget
+	ff.ft.budget = 0
+	if n > 0 {
+		if wn, err := ff.f.Write(p[:n]); err != nil {
+			return wn, err
+		}
+	}
+	return n, errInjected
+}
+
+func (ff *faultFile) Sync() error {
+	if ff.ft.syncFails {
+		return errInjected
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Close() error { return ff.f.Close() }
+
+// installFault swaps the segment-file hook for the test's lifetime.
+func installFault(t *testing.T, ft *fault) {
+	t.Helper()
+	orig := openSegFile
+	openSegFile = func(path string, flag int) (segFile, error) {
+		if ft.openFails {
+			return nil, errInjected
+		}
+		f, err := orig(path, flag)
+		if err != nil {
+			return nil, err
+		}
+		return &faultFile{f: f, ft: ft}, nil
+	}
+	t.Cleanup(func() { openSegFile = orig })
+}
+
+// TestFaultShortWriteRecovered: a short write mid-record surfaces the
+// error, poisons the log, and leaves a torn tail that the next Open
+// truncates away — the fully-written records survive.
+func TestFaultShortWriteRecovered(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, _ := collect(t, dir, Config{Sync: SyncNever})
+	for _, s := range []string{"whole-one", "whole-two"} {
+		if err := l.Append(encStr(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	ft := &fault{budget: -1} // healthy while Open reopens the tail
+	installFault(t, ft)
+	var got []string
+	l2, err := Open(dir, Config{Sync: SyncNever}, func(rec []byte) error {
+		got = append(got, string(rec))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("replayed %q before fault", got)
+	}
+	ft.budget = 12 // 8-byte frame header + 4 payload bytes of the next record
+	err = l2.Append(encStr("torn-in-half-by-the-crash"))
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("short-written append: err = %v, want injected fault", err)
+	}
+	// The log is poisoned: the tail holds a partial record.
+	if err := l2.Append(encStr("after")); !errors.Is(err, errInjected) {
+		t.Fatalf("append on poisoned log: err = %v, want sticky injected fault", err)
+	}
+	l2.Close()
+
+	ft.budget = -1 // heal
+	l3, got := collect(t, dir, Config{Sync: SyncNever})
+	if len(got) != 2 || got[0] != "whole-one" || got[1] != "whole-two" {
+		t.Fatalf("recovered %q, want the two whole records", got)
+	}
+	if l3.TornTruncations.Value() == 0 {
+		t.Fatal("torn tail not counted")
+	}
+	if err := l3.Append(encStr("post-recovery")); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	if err := l3.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	l4, got := collect(t, dir, Config{Sync: SyncNever})
+	defer l4.Close()
+	if len(got) != 3 || got[2] != "post-recovery" {
+		t.Fatalf("final state %q", got)
+	}
+}
+
+// TestFaultSyncFailureSticky: a failed fsync under SyncAlways surfaces
+// to the caller and poisons the log — "durable" cannot silently degrade
+// to "maybe".
+func TestFaultSyncFailureSticky(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	ft := &fault{budget: -1}
+	installFault(t, ft)
+	l, _ := collect(t, dir, Config{Sync: SyncAlways})
+	if err := l.Append(encStr("synced-fine")); err != nil {
+		t.Fatal(err)
+	}
+	ft.syncFails = true
+	if err := l.Append(encStr("sync-fails")); !errors.Is(err, errInjected) {
+		t.Fatalf("append with failing fsync: err = %v", err)
+	}
+	if err := l.Append(encStr("after")); !errors.Is(err, errInjected) {
+		t.Fatalf("poisoned log accepted an append: %v", err)
+	}
+	if err := l.Sync(); !errors.Is(err, errInjected) {
+		t.Fatalf("Sync on poisoned log: %v", err)
+	}
+	l.Close()
+	ft.syncFails = false
+	// Both records' bytes reached the file (the process didn't die);
+	// only the durability guarantee failed. Recovery sees them whole.
+	l2, got := collect(t, dir, Config{Sync: SyncAlways})
+	defer l2.Close()
+	if len(got) != 2 {
+		t.Fatalf("recovered %q", got)
+	}
+}
+
+// TestFaultRotationOpenFails: rotation seals the old segment, then the
+// new segment's create fails — the append errors, and recovery reopens
+// with every sealed record intact.
+func TestFaultRotationOpenFails(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	ft := &fault{budget: -1}
+	installFault(t, ft)
+	l, _ := collect(t, dir, Config{Sync: SyncNever, SegmentSize: 64})
+	var want []string
+	var rotErr error
+	for i := 0; ; i++ {
+		if i > 100 {
+			t.Fatal("no rotation within 100 appends")
+		}
+		s := fmt.Sprintf("rec-%02d", i)
+		if l.Size()+int64(recHeaderSize+len(s)) >= 64 {
+			// This append will trigger the rotation; make it fail.
+			ft.openFails = true
+		}
+		err := l.Append(encStr(s))
+		if err != nil {
+			rotErr = err
+			break
+		}
+		want = append(want, s)
+	}
+	if !errors.Is(rotErr, errInjected) {
+		t.Fatalf("rotation failure: err = %v", rotErr)
+	}
+	l.Close()
+	ft.openFails = false
+	l2, got := collect(t, dir, Config{Sync: SyncNever, SegmentSize: 64})
+	defer l2.Close()
+	// The record whose append triggered the failed rotation WAS written
+	// and sealed before rotation started, so it survives too.
+	if len(got) != len(want)+1 {
+		t.Fatalf("recovered %d records %q, want %d", len(got), got, len(want)+1)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if err := l2.Append(encStr("onwards")); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+}

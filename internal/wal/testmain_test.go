@@ -1,0 +1,29 @@
+package wal
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/xmlsoap"
+)
+
+// TestMain turns on the pooled-buffer lifecycle checker for this suite —
+// every WAL append borrows an xmlsoap scratch buffer, so a double
+// release or a stale alias in the encode path panics here instead of
+// corrupting a message elsewhere. Benchmark runs measure the production
+// configuration (poison/verify is O(buffer capacity) per Get/Put); the
+// `poolcheck` build tag still forces checking everywhere when a checked
+// benchmark is explicitly wanted. Same idiom as msgdisp's TestMain.
+func TestMain(m *testing.M) {
+	bench := false
+	for _, arg := range os.Args {
+		if strings.HasPrefix(arg, "-test.bench=") && !strings.HasSuffix(arg, "=") {
+			bench = true
+		}
+	}
+	if !bench {
+		xmlsoap.EnablePoolCheck()
+	}
+	os.Exit(m.Run())
+}
